@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+)
+
+func TestBuildWorkload(t *testing.T) {
+	cases := map[string]struct {
+		n     int
+		tasks int
+		data  int
+	}{
+		"matmul2d":      {5, 25, 10},
+		"matmul2d-rand": {5, 25, 10},
+		"matmul3d":      {3, 27, 18},
+		"cholesky":      {4, 20, 10},
+	}
+	for name, c := range cases {
+		inst, err := buildWorkload(name, c.n, 0.02, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if inst.NumTasks() != c.tasks || inst.NumData() != c.data {
+			t.Errorf("%s: %d tasks, %d data (want %d, %d)",
+				name, inst.NumTasks(), inst.NumData(), c.tasks, c.data)
+		}
+	}
+	if _, err := buildWorkload("sparse2d", 30, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildWorkload("bogus", 5, 0, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPrintResult(t *testing.T) {
+	// printResult writes to stdout; just make sure it does not panic on
+	// a fully populated result.
+	res := &sim.Result{
+		SchedulerName: "X", InstanceName: "Y", NumGPUs: 1,
+		GPU: []sim.GPUStats{{Tasks: 1}},
+	}
+	printResult(res, platform.V100(1))
+}
+
+func TestWorkloadNamesMatchHelp(t *testing.T) {
+	// Every workload listed in the flag help must build.
+	for _, name := range []string{"matmul2d", "matmul2d-rand", "matmul3d", "cholesky", "sparse2d"} {
+		if _, err := buildWorkload(name, 4, 0.5, 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !strings.Contains("matmul2d, matmul2d-rand, matmul3d, cholesky, sparse2d", name) {
+			t.Errorf("%s missing from help text", name)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command paperbench regenerates the data series of every figure of the
+// paper's evaluation (Figures 3 to 13). For each experiment it prints one
+// aligned table per plotted metric, writes results/<figure>.csv, and
+// reports the paper's headline comparisons (e.g. average DARTS+LUF gain
+// over DMDAR).
+//
+// Usage:
+//
+//	paperbench                  # all figures, default sweeps
+//	paperbench -fig fig9        # one figure
+//	paperbench -quick           # a third of the sweep points
+//	paperbench -maxn 100        # cap workload sizes
+//	paperbench -out results     # output directory for CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "run only this figure (fig3...fig13); empty runs all")
+		quick     = flag.Bool("quick", false, "run a reduced sweep")
+		maxN      = flag.Int("maxn", 0, "skip sweep points with N above this bound")
+		outDir    = flag.String("out", "results", "directory for CSV output")
+		verbose   = flag.Bool("v", false, "print one line per run")
+		replicas  = flag.Int("replicas", 1, "seeds averaged per cell (the paper uses 10)")
+		plot      = flag.Bool("plot", false, "render each figure as an ASCII chart as well")
+		ablations = flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
+	)
+	flag.Parse()
+
+	if *ablations {
+		runAblations(*outDir)
+		return
+	}
+	figures := expr.AllFigures()
+	if *fig != "" {
+		f, err := expr.ByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		figures = []*expr.Figure{f}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, f := range figures {
+		opt := expr.RunOptions{Quick: *quick, MaxN: *maxN, Replicas: *replicas}
+		if *verbose {
+			opt.Progress = os.Stderr
+		}
+		rows, err := f.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+		fmt.Printf("   reference: %s\n\n", f.RefLines())
+		for _, m := range f.Metrics {
+			fmt.Println(metrics.FormatTable(rows, m))
+			if *plot {
+				fmt.Println(metrics.Plot(rows, m, 72, 18))
+			}
+		}
+		printHeadlines(f.ID, rows)
+
+		name := strings.ReplaceAll(f.ID, "+", "_") + ".csv"
+		out, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := metrics.WriteCSV(out, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out.Close()
+		fmt.Println()
+	}
+}
+
+// runAblations executes the DESIGN.md §6 studies and prints one table
+// per study.
+func runAblations(outDir string) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var all []metrics.Row
+	for _, a := range expr.Ablations() {
+		rows, err := a.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s ==\n", a.ID, a.Title)
+		w := 0
+		for _, r := range rows {
+			if len(r.Scheduler) > w {
+				w = len(r.Scheduler)
+			}
+		}
+		for _, r := range rows {
+			fmt.Printf("  %-*s  %8.0f GFlop/s  %10.1f MB moved  makespan %8.1f ms\n",
+				w, r.Scheduler, r.GFlops, r.TransferredMB, r.MakespanMS)
+		}
+		fmt.Println()
+		all = append(all, rows...)
+	}
+	out, err := os.Create(filepath.Join(outDir, "ablations.csv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	if err := metrics.WriteCSV(out, all); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// printHeadlines restates the paper's headline claims for the experiments
+// that carry one, with our measured value.
+func printHeadlines(id string, rows []metrics.Row) {
+	type claim struct {
+		a, b  string
+		paper string
+	}
+	claims := map[string]claim{
+		"fig3+4": {"DARTS+LUF", "DMDAR", "paper: +8.5% on average (1 GPU)"},
+		"fig6+7": {"DARTS+LUF", "DMDAR", "paper: +9.4% on average (2 GPUs)"},
+		"fig9":   {"DARTS+LUF", "DMDAR", "paper: +75% on average (randomized order)"},
+		"fig10":  {"DARTS+LUF-3inputs", "DMDAR", "paper: +61% (3D product)"},
+		"fig11":  {"DARTS+LUF+OPTI-3inputs", "hMETIS+R no part. time", "paper: +49% (Cholesky)"},
+		"fig12":  {"DARTS+LUF", "DMDAR", "paper: +40% (sparse)"},
+	}
+	c, ok := claims[id]
+	if !ok {
+		return
+	}
+	gain, n := metrics.SpeedupOver(rows, c.a, c.b)
+	if n == 0 {
+		return
+	}
+	fmt.Printf("headline: %s vs %s: %+.1f%% GFlop/s on average over %d points (%s)\n",
+		c.a, c.b, gain, n, c.paper)
+}

@@ -1,0 +1,29 @@
+package memsched_test
+
+import (
+	"testing"
+
+	"memsched"
+	"memsched/schedtest"
+)
+
+// TestConformanceBuiltins runs the public conformance suite against every
+// built-in strategy — the same suite custom-scheduler authors run against
+// theirs.
+func TestConformanceBuiltins(t *testing.T) {
+	for _, strat := range []memsched.Strategy{
+		memsched.Eager(),
+		memsched.EagerBelady(),
+		memsched.DMDAR(),
+		memsched.HMetisR(false),
+		memsched.MHFP(false),
+		memsched.DARTS(),
+		memsched.DARTSLUF(),
+		memsched.DARTSWith(memsched.DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+	} {
+		strat := strat
+		t.Run(strat.Label, func(t *testing.T) {
+			schedtest.Conformance(t, strat)
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package memsched
+
+import (
+	"memsched/internal/dag"
+)
+
+// DependencyGraph attaches precedence edges to an Instance, enabling the
+// dependent-task extension (the paper's §VI future work). Build one with
+// NewDependencyGraph and run it with WithDependencies.
+type DependencyGraph = dag.Graph
+
+// NewDependencyGraph returns an empty dependency graph over inst.
+func NewDependencyGraph(inst *Instance) *DependencyGraph { return dag.NewGraph(inst) }
+
+// CholeskyDAG builds the full tiled Cholesky decomposition as a dependent
+// task graph: the kernels of Cholesky(n) plus the classical precedence
+// edges (POTRF -> TRSM -> SYRK/GEMM chains).
+func CholeskyDAG(n int) (*Instance, *DependencyGraph) { return dag.CholeskyDAG(n) }
+
+// WithDependencies wraps a strategy so that tasks are released to the
+// GPUs in dependency order: tasks the inner scheduler picks too early
+// wait in a shared ready-stash and run (possibly on another GPU) once
+// their predecessors complete.
+func WithDependencies(g *DependencyGraph, strat Strategy) Strategy {
+	return Strategy{
+		Label: strat.Label + "+deps",
+		New: func() (Scheduler, EvictionPolicy) {
+			inner, pol := strat.New()
+			return dag.NewGate(g, inner), pol
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package memsched_test
+
+import (
+	"fmt"
+	"log"
+
+	"memsched"
+)
+
+// ExampleRun shows the basic flow: build a workload, pick a strategy,
+// simulate, read the metrics.
+func ExampleRun() {
+	inst := memsched.Matmul2D(10) // 100 tasks, everything fits in memory
+	res, err := memsched.Run(inst, memsched.DARTSLUF(), memsched.V100(1), memsched.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loads: %d of %d data items\n", res.Loads, inst.NumData())
+	fmt.Printf("evictions: %d\n", res.Evictions)
+	// Output:
+	// loads: 20 of 20 data items
+	// evictions: 0
+}
+
+// ExampleNewBuilder builds a custom instance by hand.
+func ExampleNewBuilder() {
+	b := memsched.NewBuilder("pipeline")
+	weights := b.AddData("weights", 100_000_000)
+	batchA := b.AddData("batchA", 50_000_000)
+	batchB := b.AddData("batchB", 50_000_000)
+	b.AddTask("inferA", 5e9, weights, batchA)
+	b.AddTask("inferB", 5e9, weights, batchB)
+	inst := b.Build()
+	fmt.Printf("%d tasks sharing %d data items, %.0f MB working set\n",
+		inst.NumTasks(), inst.NumData(), float64(inst.WorkingSetBytes())/1e6)
+	// Output:
+	// 2 tasks sharing 3 data items, 200 MB working set
+}
+
+// ExampleEvaluate is not possible without the internal core package, but
+// Analyze gives the runtime view of a finished schedule.
+func ExampleAnalyze() {
+	inst := memsched.Matmul2D(8)
+	plat := memsched.V100(1)
+	res, err := memsched.Run(inst, memsched.Eager(), plat, memsched.Options{RecordTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := memsched.Analyze(inst, plat, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reuse factor: %.1f tasks-bytes per moved byte\n", a.ReuseFactor)
+	// Output:
+	// reuse factor: 8.0 tasks-bytes per moved byte
+}
+
+// ExampleWithDependencies runs a dependent task graph through any
+// strategy.
+func ExampleWithDependencies() {
+	inst, deps := memsched.CholeskyDAG(4)
+	gated := memsched.WithDependencies(deps, memsched.DMDAR())
+	res, err := memsched.Run(inst, gated, memsched.V100(2), memsched.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s finished %d kernels\n", res.SchedulerName, inst.NumTasks())
+	// Output:
+	// DMDAR+deps finished 20 kernels
+}

@@ -1,0 +1,51 @@
+// cholesky compares every applicable strategy on the task set of a tiled
+// Cholesky decomposition across four GPUs (the scenario of Figure 11),
+// with scheduling costs charged to the simulated clock — showing why the
+// paper adds the OPTI search cutoff to DARTS for workloads with very many
+// tasks.
+//
+// Run with:
+//
+//	go run ./examples/cholesky
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsched"
+)
+
+func main() {
+	const n = 40
+	inst := memsched.Cholesky(n)
+	plat := memsched.V100(4)
+
+	fmt.Printf("%s: %d kernels (POTRF/TRSM/SYRK/GEMM) over %d tiles, %.0f MB working set\n\n",
+		inst.Name(), inst.NumTasks(), inst.NumData(), float64(inst.WorkingSetBytes())/1e6)
+
+	strategies := []memsched.Strategy{
+		memsched.Eager(),
+		memsched.DMDAR(),
+		memsched.HMetisR(true),
+		memsched.DARTSLUF(),
+		memsched.DARTSWith(memsched.DARTSOptions{LUF: true, ThreeInputs: true}),
+		memsched.DARTSWith(memsched.DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+	}
+	for _, strat := range strategies {
+		res, err := memsched.Run(inst, strat, plat, memsched.Options{
+			Seed:    1,
+			NsPerOp: memsched.DefaultNsPerOp, // charge scheduling time
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.0f GFlop/s  %8.1f MB moved  sched cost %v\n",
+			res.SchedulerName, res.GFlops, float64(res.BytesTransferred)/1e6,
+			res.StaticCost+res.DynamicCost)
+	}
+
+	fmt.Println("\nThe plain DARTS data scan is quadratic in practice and its cost")
+	fmt.Println("shows directly in the makespan; OPTI stops the scan at the first")
+	fmt.Println("data enabling a task and keeps the throughput close to optimal.")
+}

@@ -1,0 +1,86 @@
+// custom-scheduler shows how to plug a user-defined strategy into the
+// runtime through the public extension interfaces: a locality-aware
+// variant of EAGER that serves tasks from a shared queue but skips ahead
+// (within a small window) to tasks whose inputs are already resident on
+// the requesting GPU.
+//
+// Run with:
+//
+//	go run ./examples/custom-scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsched"
+)
+
+// greedyLocal is a minimal custom scheduler. It must be single-use: Run
+// builds a fresh one per simulation through the Strategy's New function.
+type greedyLocal struct {
+	window int
+	queue  []memsched.TaskID
+	view   memsched.RuntimeView
+}
+
+// Name identifies the strategy in results.
+func (s *greedyLocal) Name() string { return "greedy-local" }
+
+// Init captures the runtime view and fills the shared queue in
+// submission order.
+func (s *greedyLocal) Init(inst *memsched.Instance, view memsched.RuntimeView) {
+	s.view = view
+	s.queue = make([]memsched.TaskID, inst.NumTasks())
+	for i := range s.queue {
+		s.queue[i] = memsched.TaskID(i)
+	}
+}
+
+// PopTask scans the first window queued tasks and serves the one with the
+// fewest missing inputs on this GPU.
+func (s *greedyLocal) PopTask(gpu int) (memsched.TaskID, bool) {
+	if len(s.queue) == 0 {
+		return -1, false
+	}
+	limit := min(s.window, len(s.queue))
+	best, bestMissing := 0, int(^uint(0)>>1)
+	for i := 0; i < limit; i++ {
+		if m := s.view.MissingInputs(gpu, s.queue[i]); m < bestMissing {
+			best, bestMissing = i, m
+			if m == 0 {
+				break
+			}
+		}
+	}
+	t := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return t, true
+}
+
+// TaskDone, DataLoaded and DataEvicted are unused by this strategy.
+func (s *greedyLocal) TaskDone(gpu int, t memsched.TaskID)    {}
+func (s *greedyLocal) DataLoaded(gpu int, d memsched.DataID)  {}
+func (s *greedyLocal) DataEvicted(gpu int, d memsched.DataID) {}
+
+func main() {
+	inst := memsched.Matmul2D(50)
+	plat := memsched.V100(2)
+
+	custom := memsched.Custom("greedy-local", func() (memsched.Scheduler, memsched.EvictionPolicy) {
+		return &greedyLocal{window: 64}, nil // nil policy = default LRU
+	})
+
+	for _, strat := range []memsched.Strategy{memsched.Eager(), custom, memsched.DARTSLUF()} {
+		res, err := memsched.Run(inst, strat, plat, memsched.Options{Seed: 1, CheckInvariants: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %8.0f GFlop/s  %9.1f MB transferred\n",
+			res.SchedulerName, res.GFlops, float64(res.BytesTransferred)/1e6)
+	}
+
+	fmt.Println("\nA 60-line scheduler already recovers much of the locality EAGER")
+	fmt.Println("wastes; the DARTS+LUF column shows what data-first planning and")
+	fmt.Println("a future-aware eviction policy add on top.")
+}

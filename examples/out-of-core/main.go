@@ -1,0 +1,49 @@
+// out-of-core runs the generalization the paper sketches in its
+// introduction: "the optimization problem studied in this paper is not
+// specific to the use of such accelerators ... it is also relevant for a
+// computer made of several CPUs with restricted private memory, and
+// limited bandwidth for the communication between memories and disk."
+//
+// The platform swaps GPUs for CPU sockets and the PCI bus for a shared
+// disk link; the schedulers are unchanged.
+//
+// Run with:
+//
+//	go run ./examples/out-of-core
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsched"
+)
+
+func main() {
+	plat := memsched.CPUDisk(2)
+	// Scale the workload so the 8 GB of cumulated memory is
+	// oversubscribed about 2.4x, as in the paper's GPU experiments.
+	inst := memsched.Matmul2D(400)
+
+	fmt.Printf("out-of-core: %d CPU sockets x %.0f GB memory, %.0f GB/s shared disk link\n",
+		plat.NumGPUs, float64(plat.MemoryBytes)/1e9, plat.BusBytesPerSecond/1e9)
+	fmt.Printf("workload %s: %.1f GB working set\n\n", inst.Name(), float64(inst.WorkingSetBytes())/1e9)
+
+	for _, strat := range []memsched.Strategy{
+		memsched.Eager(),
+		memsched.DMDAR(),
+		memsched.DARTSLUF(),
+	} {
+		res, err := memsched.Run(inst, strat, plat, memsched.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %8.0f GFlop/s (peak %.0f)  %8.1f GB read from disk  makespan %v\n",
+			res.SchedulerName, res.GFlops, plat.PeakGFlops(),
+			float64(res.BytesTransferred)/1e9, res.Makespan.Round(1e7))
+	}
+
+	fmt.Println("\nThe same pathology and the same cure carry over: EAGER re-reads")
+	fmt.Println("the working set from disk once it stops fitting in memory, while")
+	fmt.Println("DARTS+LUF computes as much as possible with the data at hand.")
+}

@@ -1,0 +1,62 @@
+package memsched
+
+import (
+	"io"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+// FigureRow is one measurement of a reproduced paper figure: a (working
+// set, strategy) cell with its throughput and traffic.
+type FigureRow = metrics.Row
+
+// FigureIDs lists the reproducible experiments in paper order. "fig3+4"
+// and "fig6+7" each regenerate two figures from the same runs.
+func FigureIDs() []string {
+	var ids []string
+	for _, f := range expr.AllFigures() {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+// ReproduceOptions trims a figure reproduction.
+type ReproduceOptions struct {
+	// Quick keeps every third sweep point plus the last.
+	Quick bool
+	// MaxN skips sweep points above this size (0 = no bound).
+	MaxN int
+	// Replicas averages each cell over this many seeds (0 or 1 = one).
+	Replicas int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// ReproduceFigure reruns the experiment behind one of the paper's figures
+// ("fig3" ... "fig13", see FigureIDs) and returns its data rows. Format
+// them with FormatFigureTable or consume them directly.
+func ReproduceFigure(id string, opt ReproduceOptions) ([]FigureRow, error) {
+	f, err := expr.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(expr.RunOptions{
+		Quick:    opt.Quick,
+		MaxN:     opt.MaxN,
+		Replicas: opt.Replicas,
+		Progress: opt.Progress,
+	})
+}
+
+// FormatFigureTable renders figure rows as an aligned text table for the
+// given metric ("gflops" or "transfers").
+func FormatFigureTable(rows []FigureRow, metric string) string {
+	return metrics.FormatTable(rows, metric)
+}
+
+// PlotFigure renders figure rows as an ASCII chart (working set on the x
+// axis, the metric on the y axis, one letter per strategy).
+func PlotFigure(rows []FigureRow, metric string, width, height int) string {
+	return metrics.Plot(rows, metric, width, height)
+}

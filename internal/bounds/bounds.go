@@ -1,0 +1,95 @@
+// Package bounds computes performance bounds for a (workload, platform)
+// pair: the reference lines of the paper's figures ("GFlop/s max", the
+// "PCI bus limit") and makespan lower bounds that no schedule can beat.
+// The simulator's results are validated against them in tests.
+package bounds
+
+import (
+	"time"
+
+	"memsched/internal/platform"
+	"memsched/internal/taskgraph"
+)
+
+// UsedDataBytes returns the total footprint of the data read by at least
+// one task: the compulsory traffic every schedule must move at least once.
+func UsedDataBytes(inst *taskgraph.Instance) int64 {
+	var s int64
+	for _, d := range inst.AllData() {
+		if len(inst.Consumers(d.ID)) > 0 {
+			s += d.Size
+		}
+	}
+	return s
+}
+
+// CompulsoryLoads returns the minimum number of load operations of any
+// schedule: each data item read by some task must be loaded at least once
+// on at least one GPU.
+func CompulsoryLoads(inst *taskgraph.Instance) int {
+	n := 0
+	for _, d := range inst.AllData() {
+		if len(inst.Consumers(d.ID)) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MakespanLowerBound returns a lower bound on the makespan of any
+// schedule of inst on plat: the maximum of
+//
+//   - the compute bound: total flops at aggregate peak throughput, plus
+//     one kernel latency per task spread over the GPUs;
+//   - the bus bound: compulsory traffic at full bus bandwidth (peer
+//     links cannot help the first copy of each data item, which must
+//     cross the host bus);
+//   - the straggler bound: the single longest task on the fastest GPU.
+func MakespanLowerBound(inst *taskgraph.Instance, plat platform.Platform) time.Duration {
+	compute := plat.MinComputeTime(inst.TotalFlops()) +
+		time.Duration(int64(plat.KernelLatency)*int64(inst.NumTasks())/int64(plat.NumGPUs))
+
+	busSec := float64(UsedDataBytes(inst)) / plat.BusBytesPerSecond
+	bus := time.Duration(busSec * float64(time.Second))
+
+	var maxFlops float64
+	for _, t := range inst.Tasks() {
+		if t.Flops > maxFlops {
+			maxFlops = t.Flops
+		}
+	}
+	fastest := plat.GFlopsPerGPU
+	for g := 0; g < plat.NumGPUs; g++ {
+		if v := plat.GFlopsOn(g); v > fastest {
+			fastest = v
+		}
+	}
+	straggler := plat.KernelLatency + time.Duration(maxFlops/(fastest*1e9)*float64(time.Second))
+
+	lb := compute
+	if bus > lb {
+		lb = bus
+	}
+	if straggler > lb {
+		lb = straggler
+	}
+	return lb
+}
+
+// ThroughputUpperBound returns the maximum achievable GFlop/s of inst on
+// plat, derived from MakespanLowerBound. Every simulated result must stay
+// at or below it.
+func ThroughputUpperBound(inst *taskgraph.Instance, plat platform.Platform) float64 {
+	lb := MakespanLowerBound(inst, plat)
+	if lb <= 0 {
+		return plat.PeakGFlops()
+	}
+	return inst.TotalFlops() / lb.Seconds() / 1e9
+}
+
+// BusLimitBytes is re-exported here next to the other bounds: the maximum
+// traffic the bus can carry within the optimal compute time (the black
+// dotted curve of Figures 4 and 7).
+func BusLimitBytes(inst *taskgraph.Instance, plat platform.Platform) int64 {
+	return plat.BusLimitBytes(inst.TotalFlops())
+}

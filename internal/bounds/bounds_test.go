@@ -1,0 +1,106 @@
+package bounds_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/bounds"
+	"memsched/internal/expr"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func TestCompulsoryCountsSparse(t *testing.T) {
+	inst := workload.Sparse2D(40, 0.05, 3)
+	// Sparse instances keep all 80 data items but only consume some.
+	if got := bounds.CompulsoryLoads(inst); got >= inst.NumData() {
+		t.Fatalf("compulsory %d should be below %d declared data", got, inst.NumData())
+	}
+	if bounds.UsedDataBytes(inst) >= inst.WorkingSetBytes() {
+		t.Fatal("used bytes should be below the declared working set")
+	}
+	dense := workload.Matmul2D(10)
+	if bounds.CompulsoryLoads(dense) != dense.NumData() {
+		t.Fatal("dense instance: every data is used")
+	}
+	if bounds.UsedDataBytes(dense) != dense.WorkingSetBytes() {
+		t.Fatal("dense instance: used bytes = working set")
+	}
+}
+
+func TestMakespanLowerBoundComponents(t *testing.T) {
+	inst := workload.Matmul2D(10)
+	plat := platform.V100(1)
+	lb := bounds.MakespanLowerBound(inst, plat)
+	if lb < plat.MinComputeTime(inst.TotalFlops()) {
+		t.Fatal("bound below pure compute time")
+	}
+	// A bus-starved platform makes the bus term dominate.
+	slow := plat
+	slow.BusBytesPerSecond = 1e6 // 1 MB/s: ~295 seconds for the working set
+	lb2 := bounds.MakespanLowerBound(inst, slow)
+	if lb2.Seconds() < 290 {
+		t.Fatalf("bus-starved bound %v too small", lb2)
+	}
+	if bounds.BusLimitBytes(inst, plat) <= 0 {
+		t.Fatal("bus limit must be positive")
+	}
+}
+
+// TestNoStrategyBeatsBound is the central property: no strategy on any
+// workload may exceed the throughput upper bound.
+func TestNoStrategyBeatsBound(t *testing.T) {
+	strats := []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.MHFPStrategy(false),
+		sched.HMetisRStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+	}
+	insts := []*taskgraph.Instance{
+		workload.Matmul2D(20),
+		workload.Cholesky(8),
+		workload.Sparse2D(40, 0.1, 2),
+	}
+	for _, gpus := range []int{1, 2, 4} {
+		plat := platform.V100(gpus)
+		for _, inst := range insts {
+			bound := bounds.ThroughputUpperBound(inst, plat)
+			for _, strat := range strats {
+				res, err := expr.RunOne(inst, strat, plat, 0, 1, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.GFlops > bound*1.001 { // tiny float slack
+					t.Fatalf("%s on %s (%d GPUs): %.0f GFlop/s beats bound %.0f",
+						strat.Label, inst.Name(), gpus, res.GFlops, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundsRandomInstancesProperty: bounds are positive on random
+// instances, and doubling the GPU count never raises the makespan lower
+// bound.
+func TestBoundsRandomInstancesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := workload.Random(5+rng.Intn(30), 3+rng.Intn(8), 3, seed)
+		plat := platform.V100(1 + rng.Intn(4))
+		lb := bounds.MakespanLowerBound(inst, plat)
+		ub := bounds.ThroughputUpperBound(inst, plat)
+		if lb <= 0 || ub <= 0 {
+			return false
+		}
+		plat2 := plat
+		plat2.NumGPUs = plat.NumGPUs * 2
+		return bounds.MakespanLowerBound(inst, plat2) <= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

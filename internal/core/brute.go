@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"memsched/internal/taskgraph"
+)
+
+// BruteForceResult is the outcome of exhaustive search.
+type BruteForceResult struct {
+	// Loads is the minimum total number of loads over all schedules
+	// respecting the task-count bound.
+	Loads int
+	// Schedule achieves Loads.
+	Schedule *Schedule
+}
+
+// BruteForce exhaustively solves the Bi-Obj-Multi-GPU-Task-Scheduling
+// decision problem (Definition 1): over every partition of the tasks onto
+// gpus GPUs with at most maxTasksPerGPU tasks each and every processing
+// order, it evaluates the loads objective with the optimal (Belady)
+// eviction and returns the minimum. The problem is NP-complete
+// (Theorem 1), so this is only usable for tiny instances; it panics above
+// 9 tasks to prevent accidents.
+func BruteForce(inst *taskgraph.Instance, gpus int, memoryBytes int64, maxTasksPerGPU int) (*BruteForceResult, error) {
+	m := inst.NumTasks()
+	if m > 9 {
+		panic(fmt.Sprintf("core: BruteForce on %d tasks (max 9)", m))
+	}
+	if gpus < 1 {
+		return nil, fmt.Errorf("core: %d gpus", gpus)
+	}
+	assign := make([]int, m)
+	best := &BruteForceResult{Loads: -1}
+
+	var enumerateAssign func(i int)
+	var enumerateOrders func(k int, queues [][]taskgraph.TaskID)
+
+	evalFull := func(queues [][]taskgraph.TaskID) {
+		s := &Schedule{Order: queues}
+		ev, err := Evaluate(inst, s, memoryBytes, Belady)
+		if err != nil {
+			return // infeasible (some task does not fit)
+		}
+		if best.Loads < 0 || ev.Loads < best.Loads {
+			cp := make([][]taskgraph.TaskID, len(queues))
+			for k := range queues {
+				cp[k] = append([]taskgraph.TaskID(nil), queues[k]...)
+			}
+			best.Loads = ev.Loads
+			best.Schedule = &Schedule{Order: cp}
+		}
+	}
+
+	// enumerateOrders permutes the queue of GPU k in place, recursing to
+	// the next GPU and finally evaluating.
+	enumerateOrders = func(k int, queues [][]taskgraph.TaskID) {
+		if k == len(queues) {
+			evalFull(queues)
+			return
+		}
+		q := queues[k]
+		var permute func(i int)
+		permute = func(i int) {
+			if i == len(q) {
+				enumerateOrders(k+1, queues)
+				return
+			}
+			for j := i; j < len(q); j++ {
+				q[i], q[j] = q[j], q[i]
+				permute(i + 1)
+				q[i], q[j] = q[j], q[i]
+			}
+		}
+		permute(0)
+	}
+
+	enumerateAssign = func(i int) {
+		if i == m {
+			queues := make([][]taskgraph.TaskID, gpus)
+			counts := make([]int, gpus)
+			for t, g := range assign {
+				counts[g]++
+				if counts[g] > maxTasksPerGPU {
+					return
+				}
+				queues[g] = append(queues[g], taskgraph.TaskID(t))
+			}
+			enumerateOrders(0, queues)
+			return
+		}
+		for g := 0; g < gpus; g++ {
+			assign[i] = g
+			enumerateAssign(i + 1)
+			// Symmetry breaking: task 0 always on GPU 0.
+			if i == 0 {
+				break
+			}
+		}
+	}
+	enumerateAssign(0)
+	if best.Loads < 0 {
+		return nil, fmt.Errorf("core: no feasible schedule within %d tasks per GPU and %d bytes", maxTasksPerGPU, memoryBytes)
+	}
+	return best, nil
+}
+
+// Fig1Example reproduces the instance of Figure 1 of the paper: nine
+// tasks with 2D grid dependencies over six unit data items, and the
+// schedule shown there (GPU1 runs T1,T2,T5,T4; GPU2 runs T3,T6,T9,T8,T7).
+// With a memory bound of M=2 data items, that schedule performs 11 loads.
+func Fig1Example() (*taskgraph.Instance, *Schedule) {
+	b := taskgraph.NewBuilder("fig1")
+	const unit = 100 // arbitrary uniform size
+	var d [7]taskgraph.DataID
+	for i := 1; i <= 6; i++ {
+		d[i] = b.AddData(fmt.Sprintf("D%d", i), unit)
+	}
+	// Task T_{3r+c+1} at row r, column c reads column data D_{c+1} and
+	// row data D_{4+r}.
+	var tasks [10]taskgraph.TaskID
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			id := 3*r + c + 1
+			tasks[id] = b.AddTask(fmt.Sprintf("T%d", id), 1e9, d[c+1], d[4+r])
+		}
+	}
+	inst := b.Build()
+	s := &Schedule{Order: [][]taskgraph.TaskID{
+		{tasks[1], tasks[2], tasks[5], tasks[4]},
+		{tasks[3], tasks[6], tasks[9], tasks[8], tasks[7]},
+	}}
+	return inst, s
+}
+
+// Fig1MemoryBytes is the memory bound of Figure 1 (M = 2 unit data).
+const Fig1MemoryBytes = 200

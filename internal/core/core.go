@@ -1,0 +1,205 @@
+// Package core implements the formal model of §III of the paper: the
+// Bi-Obj-Multi-GPU-Task-Scheduling problem. Given a schedule sigma (a task
+// order per GPU), it derives the optimal eviction sets V(k,i) with
+// Belady's rule, maintains the live sets L(k,i), checks the memory bound,
+// and counts the loads objective. A brute-force solver for tiny instances
+// witnesses the optimization landscape and anchors the heuristics' tests.
+package core
+
+import (
+	"fmt"
+
+	"memsched/internal/taskgraph"
+)
+
+// Schedule is a task order per GPU: Order[k] lists the tasks processed by
+// GPU k, in order (sigma(k, i) = Order[k][i]).
+type Schedule struct {
+	// Order holds one task sequence per GPU.
+	Order [][]taskgraph.TaskID
+}
+
+// NumGPUs returns the number of GPUs of the schedule.
+func (s *Schedule) NumGPUs() int { return len(s.Order) }
+
+// MaxTasksPerGPU returns max_k nb_k, the load-balancing objective
+// (Objective 1 of the paper).
+func (s *Schedule) MaxTasksPerGPU() int {
+	m := 0
+	for _, q := range s.Order {
+		if len(q) > m {
+			m = len(q)
+		}
+	}
+	return m
+}
+
+// Validate checks that the schedule processes every task of inst exactly
+// once.
+func (s *Schedule) Validate(inst *taskgraph.Instance) error {
+	seen := make([]bool, inst.NumTasks())
+	count := 0
+	for k, q := range s.Order {
+		for _, t := range q {
+			if t < 0 || int(t) >= inst.NumTasks() {
+				return fmt.Errorf("core: gpu %d schedules unknown task %d", k, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("core: task %d scheduled twice", t)
+			}
+			seen[t] = true
+			count++
+		}
+	}
+	if count != inst.NumTasks() {
+		return fmt.Errorf("core: %d of %d tasks scheduled", count, inst.NumTasks())
+	}
+	return nil
+}
+
+// Eval is the outcome of evaluating a schedule under an eviction rule.
+type Eval struct {
+	// LoadsPerGPU is #Loads_k for each GPU.
+	LoadsPerGPU []int
+	// Loads is the total number of load operations, Objective 2.
+	Loads int
+	// BytesLoaded is the loads objective weighted by data sizes.
+	BytesLoaded int64
+	// MaxTasksPerGPU is Objective 1.
+	MaxTasksPerGPU int
+}
+
+// EvictionRule selects the offline eviction policy used by Evaluate.
+type EvictionRule int
+
+const (
+	// Belady evicts the resident data whose next use on this GPU is the
+	// furthest in the future, which is optimal for a fixed sigma
+	// (Belady's rule, [15] in the paper).
+	Belady EvictionRule = iota
+	// LRUOffline evicts the least recently used resident data.
+	LRUOffline
+)
+
+// Evaluate simulates the schedule on GPUs with memoryBytes of memory each,
+// deriving eviction sets with the given rule, and returns the objective
+// values. Data is loaded as late as possible, as in the paper's model: the
+// inputs of sigma(k,i) missing from L(k,i-1) are loaded right before task
+// i runs. It returns an error if some task's inputs cannot fit.
+func Evaluate(inst *taskgraph.Instance, s *Schedule, memoryBytes int64, rule EvictionRule) (*Eval, error) {
+	if err := s.Validate(inst); err != nil {
+		return nil, err
+	}
+	ev := &Eval{
+		LoadsPerGPU:    make([]int, s.NumGPUs()),
+		MaxTasksPerGPU: s.MaxTasksPerGPU(),
+	}
+	for k, q := range s.Order {
+		loads, bytes, err := evalGPU(inst, q, memoryBytes, rule)
+		if err != nil {
+			return nil, fmt.Errorf("gpu %d: %w", k, err)
+		}
+		ev.LoadsPerGPU[k] = loads
+		ev.Loads += loads
+		ev.BytesLoaded += bytes
+	}
+	return ev, nil
+}
+
+// evalGPU runs one GPU's sequence. For Belady it precomputes, for every
+// position and data item, the next position using that data.
+func evalGPU(inst *taskgraph.Instance, q []taskgraph.TaskID, memoryBytes int64, rule EvictionRule) (int, int64, error) {
+	const never = int(^uint(0) >> 1)
+	resident := make(map[taskgraph.DataID]int) // data -> priority stamp
+	var residentBytes int64
+	loads := 0
+	var bytesLoaded int64
+
+	// nextUse[d] at step i: the smallest j >= i with d input of q[j].
+	// Maintained with per-data sorted position lists.
+	positions := make(map[taskgraph.DataID][]int)
+	for i, t := range q {
+		for _, d := range inst.Inputs(t) {
+			positions[d] = append(positions[d], i)
+		}
+	}
+	cursor := make(map[taskgraph.DataID]int) // index into positions[d]
+	nextUseAfter := func(d taskgraph.DataID, i int) int {
+		pos := positions[d]
+		c := cursor[d]
+		for c < len(pos) && pos[c] < i {
+			c++
+		}
+		cursor[d] = c
+		if c == len(pos) {
+			return never
+		}
+		return pos[c]
+	}
+
+	clock := 0
+	for i, t := range q {
+		inputs := inst.Inputs(t)
+		var need int64
+		for _, d := range inputs {
+			if _, ok := resident[d]; !ok {
+				need += inst.Data(d).Size
+			}
+		}
+		// Evict until the missing inputs fit (stage 1 of the model).
+		for residentBytes+need > memoryBytes {
+			victim := taskgraph.NoData
+			switch rule {
+			case Belady:
+				furthest := -1
+				for d := range resident {
+					if isInput(inputs, d) {
+						continue // V(k,i) must not evict inputs of sigma(k,i)
+					}
+					nu := nextUseAfter(d, i)
+					if nu > furthest || (nu == furthest && (victim == taskgraph.NoData || d < victim)) {
+						furthest = nu
+						victim = d
+					}
+				}
+			case LRUOffline:
+				oldest := never
+				for d := range resident {
+					if isInput(inputs, d) {
+						continue
+					}
+					if resident[d] < oldest || (resident[d] == oldest && (victim == taskgraph.NoData || d < victim)) {
+						oldest = resident[d]
+						victim = d
+					}
+				}
+			}
+			if victim == taskgraph.NoData {
+				return 0, 0, fmt.Errorf("core: inputs of task %d (%d bytes) cannot fit in %d bytes", t, need, memoryBytes)
+			}
+			residentBytes -= inst.Data(victim).Size
+			delete(resident, victim)
+		}
+		// Load missing inputs (stage 2), then run the task (stage 3).
+		for _, d := range inputs {
+			if _, ok := resident[d]; !ok {
+				resident[d] = clock
+				residentBytes += inst.Data(d).Size
+				loads++
+				bytesLoaded += inst.Data(d).Size
+			}
+			clock++
+			resident[d] = clock
+		}
+	}
+	return loads, bytesLoaded, nil
+}
+
+func isInput(inputs []taskgraph.DataID, d taskgraph.DataID) bool {
+	for _, in := range inputs {
+		if in == d {
+			return true
+		}
+	}
+	return false
+}

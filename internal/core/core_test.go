@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func TestFig1Example(t *testing.T) {
+	inst, s := Fig1Example()
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(inst, s, Fig1MemoryBytes, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Loads != 11 {
+		t.Fatalf("Figure 1 schedule: %d loads, paper says 11", ev.Loads)
+	}
+	if ev.LoadsPerGPU[0] != 5 || ev.LoadsPerGPU[1] != 6 {
+		t.Fatalf("per-GPU loads %v, want [5 6]", ev.LoadsPerGPU)
+	}
+	if ev.MaxTasksPerGPU != 5 {
+		t.Fatalf("max nb_k = %d, want 5", ev.MaxTasksPerGPU)
+	}
+}
+
+func TestEvaluateRejectsBadSchedules(t *testing.T) {
+	inst, s := Fig1Example()
+	// Duplicate a task.
+	bad := &Schedule{Order: [][]taskgraph.TaskID{s.Order[0], s.Order[0]}}
+	if _, err := Evaluate(inst, bad, Fig1MemoryBytes, Belady); err == nil {
+		t.Fatal("expected error for duplicated tasks")
+	}
+	// Drop a task.
+	bad = &Schedule{Order: [][]taskgraph.TaskID{s.Order[0]}}
+	if _, err := Evaluate(inst, bad, Fig1MemoryBytes, Belady); err == nil {
+		t.Fatal("expected error for missing tasks")
+	}
+	// Memory too small for a 2-input task.
+	if _, err := Evaluate(inst, s, 100, Belady); err == nil {
+		t.Fatal("expected error for memory below one task footprint")
+	}
+}
+
+// TestBeladyOptimalOnFig1 verifies against brute force that no schedule
+// of the Figure 1 instance on 2 GPUs with at most 5 tasks per GPU does
+// fewer loads than the optimum, and that the figure's schedule (11 loads)
+// is not optimal for free placement (a row-wise split achieves fewer).
+func TestBeladyOptimalOnFig1(t *testing.T) {
+	inst, _ := Fig1Example()
+	best, err := BruteForce(inst, 2, Fig1MemoryBytes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Loads > 11 {
+		t.Fatalf("brute force found %d loads, figure achieves 11", best.Loads)
+	}
+	ev, err := Evaluate(inst, best.Schedule, Fig1MemoryBytes, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Loads != best.Loads {
+		t.Fatalf("re-evaluation mismatch: %d vs %d", ev.Loads, best.Loads)
+	}
+}
+
+// TestBeladyNeverWorseThanLRU is the classical optimality property of
+// Belady's rule, checked on random instances and schedules.
+func TestBeladyNeverWorseThanLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := workload.Random(12+rng.Intn(20), 6+rng.Intn(8), 3, seed)
+		s := randomSchedule(inst, 1+rng.Intn(3), rng)
+		mem := 3 * inst.MaxDataSize() * int64(inst.MaxInputs())
+		bel, err := Evaluate(inst, s, mem, Belady)
+		if err != nil {
+			return true // infeasible memory; nothing to compare
+		}
+		lru, err := Evaluate(inst, s, mem, LRUOffline)
+		if err != nil {
+			return false
+		}
+		return bel.Loads <= lru.Loads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadsLowerBound: every GPU must load each distinct data its tasks
+// read at least once, so total loads >= union sizes summed over GPUs.
+func TestLoadsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := workload.Random(10+rng.Intn(15), 5+rng.Intn(6), 2, seed)
+		s := randomSchedule(inst, 2, rng)
+		mem := 3 * inst.MaxDataSize() * int64(inst.MaxInputs())
+		ev, err := Evaluate(inst, s, mem, Belady)
+		if err != nil {
+			return true
+		}
+		lower := 0
+		for _, q := range s.Order {
+			distinct := map[taskgraph.DataID]bool{}
+			for _, task := range q {
+				for _, d := range inst.Inputs(task) {
+					distinct[d] = true
+				}
+			}
+			lower += len(distinct)
+		}
+		return ev.Loads >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnlimitedMemoryLoadsEqualUnion: with memory holding everything,
+// loads equal exactly the per-GPU distinct data counts.
+func TestUnlimitedMemoryLoadsEqualUnion(t *testing.T) {
+	inst := workload.Matmul2D(6)
+	rng := rand.New(rand.NewSource(4))
+	s := randomSchedule(inst, 2, rng)
+	ev, err := Evaluate(inst, s, inst.WorkingSetBytes(), Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 0
+	for _, q := range s.Order {
+		distinct := map[taskgraph.DataID]bool{}
+		for _, task := range q {
+			for _, d := range inst.Inputs(task) {
+				distinct[d] = true
+			}
+		}
+		lower += len(distinct)
+	}
+	if ev.Loads != lower {
+		t.Fatalf("loads %d != distinct-per-GPU %d with unlimited memory", ev.Loads, lower)
+	}
+}
+
+func randomSchedule(inst *taskgraph.Instance, gpus int, rng *rand.Rand) *Schedule {
+	order := make([][]taskgraph.TaskID, gpus)
+	perm := rng.Perm(inst.NumTasks())
+	for i, p := range perm {
+		k := i % gpus
+		order[k] = append(order[k], taskgraph.TaskID(p))
+	}
+	return &Schedule{Order: order}
+}
+
+func TestBruteForceRespectsTaskBound(t *testing.T) {
+	inst, _ := Fig1Example()
+	res, err := BruteForce(inst, 2, Fig1MemoryBytes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.MaxTasksPerGPU() > 5 {
+		t.Fatalf("bound violated: %d", res.Schedule.MaxTasksPerGPU())
+	}
+	// Tighter balance bound still feasible but may cost more loads.
+	res5, err := BruteForce(inst, 2, Fig1MemoryBytes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTight, err := BruteForce(inst, 2, Fig1MemoryBytes, 5-0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTight.Loads < res5.Loads {
+		t.Fatalf("tighter bound cannot reduce loads: %d < %d", resTight.Loads, res5.Loads)
+	}
+}
+
+// TestEvaluateHeterogeneousSizes: the model extends to data of different
+// sizes (§III note); eviction must free enough bytes, possibly evicting
+// several small items for one large.
+func TestEvaluateHeterogeneousSizes(t *testing.T) {
+	b := taskgraph.NewBuilder("hetero")
+	small1 := b.AddData("s1", 100)
+	small2 := b.AddData("s2", 100)
+	big := b.AddData("big", 250)
+	t0 := b.AddTask("t0", 1e9, small1, small2)
+	t1 := b.AddTask("t1", 1e9, big)
+	t2 := b.AddTask("t2", 1e9, small1)
+	inst := b.Build()
+
+	// Capacity 300: t0 loads both small (200 B). t1 needs 250 B: both
+	// smalls must go. t2 reloads small1. Loads = 2 + 1 + 1 = 4.
+	s := &Schedule{Order: [][]taskgraph.TaskID{{t0, t1, t2}}}
+	ev, err := Evaluate(inst, s, 300, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Loads != 4 {
+		t.Fatalf("loads = %d, want 4", ev.Loads)
+	}
+	if ev.BytesLoaded != 100+100+250+100 {
+		t.Fatalf("bytes = %d", ev.BytesLoaded)
+	}
+	// Reordering t2 before t1 avoids the reload: 3 loads.
+	s = &Schedule{Order: [][]taskgraph.TaskID{{t0, t2, t1}}}
+	ev, err = Evaluate(inst, s, 300, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Loads != 3 {
+		t.Fatalf("reordered loads = %d, want 3", ev.Loads)
+	}
+}
+
+// TestBeladyEvictsFurthestUse pins the rule itself on a hand-built case.
+func TestBeladyEvictsFurthestUse(t *testing.T) {
+	b := taskgraph.NewBuilder("belady")
+	const u = 100
+	dx := b.AddData("x", u)
+	dy := b.AddData("y", u)
+	dz := b.AddData("z", u)
+	// Order t0(x,y), t1(z), t2(x) with capacity for two items: loading z
+	// at t1 forces an eviction. Belady must evict y (never used again)
+	// and keep x for t2, giving exactly the three compulsory loads.
+	t0 := b.AddTask("t0", 1e9, dx, dy)
+	t1 := b.AddTask("t1", 1e9, dz)
+	t2 := b.AddTask("t2", 1e9, dx)
+	inst := b.Build()
+	s := &Schedule{Order: [][]taskgraph.TaskID{{t0, t1, t2}}}
+	bel, err := Evaluate(inst, s, 2*u, Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bel.Loads != 3 {
+		t.Fatalf("Belady loads = %d, want 3 (evicts y, never used again)", bel.Loads)
+	}
+}

@@ -1,0 +1,74 @@
+package dag
+
+import (
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// CholeskyDAG builds the full tiled Cholesky decomposition as a dependent
+// task graph: the same kernels and data as workload.Cholesky (whose
+// Figure 11 experiment strips the dependencies), plus the classical
+// precedence edges:
+//
+//	POTRF(k)    <- SYRK(k,j)  for all j < k
+//	TRSM(i,k)   <- POTRF(k), GEMM(i,k,j) for all j < k
+//	SYRK(i,k)   <- TRSM(i,k), SYRK(i,j)  for all j < k
+//	GEMM(i,j,k) <- TRSM(i,k), TRSM(j,k), GEMM(i,j,l) for all l < k
+//
+// It returns the instance and its dependency graph.
+func CholeskyDAG(n int) (*taskgraph.Instance, *Graph) {
+	inst := workload.Cholesky(n)
+	g := NewGraph(inst)
+
+	// Recover task ids by replaying the generator's submission order.
+	potrf := make([]taskgraph.TaskID, n)
+	trsm := make(map[[2]int]taskgraph.TaskID)
+	syrk := make(map[[2]int]taskgraph.TaskID)
+	gemm := make(map[[3]int]taskgraph.TaskID)
+	id := taskgraph.TaskID(0)
+	for k := 0; k < n; k++ {
+		potrf[k] = id
+		id++
+		for i := k + 1; i < n; i++ {
+			trsm[[2]int{i, k}] = id
+			id++
+		}
+		for i := k + 1; i < n; i++ {
+			syrk[[2]int{i, k}] = id
+			id++
+			for j := k + 1; j < i; j++ {
+				gemm[[3]int{i, j, k}] = id
+				id++
+			}
+		}
+	}
+	if int(id) != inst.NumTasks() {
+		panic("dag: Cholesky task enumeration out of sync with workload.Cholesky")
+	}
+
+	for k := 0; k < n; k++ {
+		for j := 0; j < k; j++ {
+			g.AddDependency(syrk[[2]int{k, j}], potrf[k])
+		}
+		for i := k + 1; i < n; i++ {
+			g.AddDependency(potrf[k], trsm[[2]int{i, k}])
+			for j := 0; j < k; j++ {
+				g.AddDependency(gemm[[3]int{i, k, j}], trsm[[2]int{i, k}])
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			g.AddDependency(trsm[[2]int{i, k}], syrk[[2]int{i, k}])
+			for j := 0; j < k; j++ {
+				g.AddDependency(syrk[[2]int{i, j}], syrk[[2]int{i, k}])
+			}
+			for j := k + 1; j < i; j++ {
+				g.AddDependency(trsm[[2]int{i, k}], gemm[[3]int{i, j, k}])
+				g.AddDependency(trsm[[2]int{j, k}], gemm[[3]int{i, j, k}])
+				if k > 0 {
+					g.AddDependency(gemm[[3]int{i, j, k - 1}], gemm[[3]int{i, j, k}])
+				}
+			}
+		}
+	}
+	return inst, g
+}

@@ -1,0 +1,156 @@
+// Package dag adds inter-task dependencies on top of the independent-task
+// model, the first item of the paper's future work ("In the long run, our
+// objective is to consider tasks with dependencies", §VI).
+//
+// A Graph attaches precedence edges to the tasks of a taskgraph.Instance.
+// The Gate wrapper makes any of the repository's schedulers
+// dependency-safe: tasks are handed to the runtime only once all their
+// predecessors completed, which models how a dynamic runtime system
+// exposes the scheduler to the currently-ready subset of the DAG (the
+// situation §I of the paper builds on).
+//
+// As in the paper, data versioning is not modeled: dependencies constrain
+// execution order only, and data items remain read-only inputs.
+package dag
+
+import (
+	"fmt"
+
+	"memsched/internal/taskgraph"
+)
+
+// Graph is a set of precedence edges over the tasks of an instance.
+type Graph struct {
+	inst  *taskgraph.Instance
+	preds [][]taskgraph.TaskID
+	succs [][]taskgraph.TaskID
+	edges int
+}
+
+// NewGraph returns an empty dependency graph over inst.
+func NewGraph(inst *taskgraph.Instance) *Graph {
+	return &Graph{
+		inst:  inst,
+		preds: make([][]taskgraph.TaskID, inst.NumTasks()),
+		succs: make([][]taskgraph.TaskID, inst.NumTasks()),
+	}
+}
+
+// Instance returns the underlying instance.
+func (g *Graph) Instance() *taskgraph.Instance { return g.inst }
+
+// AddDependency records that after must not start before before
+// completes. Duplicate edges are ignored; self-edges panic.
+func (g *Graph) AddDependency(before, after taskgraph.TaskID) {
+	if before == after {
+		panic(fmt.Sprintf("dag: self dependency on task %d", before))
+	}
+	if before < 0 || int(before) >= g.inst.NumTasks() || after < 0 || int(after) >= g.inst.NumTasks() {
+		panic(fmt.Sprintf("dag: dependency %d -> %d out of range", before, after))
+	}
+	for _, p := range g.preds[after] {
+		if p == before {
+			return
+		}
+	}
+	g.preds[after] = append(g.preds[after], before)
+	g.succs[before] = append(g.succs[before], after)
+	g.edges++
+}
+
+// NumEdges returns the number of distinct dependency edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Predecessors returns the tasks that must complete before t starts.
+// Callers must not mutate the returned slice.
+func (g *Graph) Predecessors(t taskgraph.TaskID) []taskgraph.TaskID { return g.preds[t] }
+
+// Successors returns the tasks waiting on t. Callers must not mutate the
+// returned slice.
+func (g *Graph) Successors(t taskgraph.TaskID) []taskgraph.TaskID { return g.succs[t] }
+
+// Validate reports an error if the graph has a cycle.
+func (g *Graph) Validate() error {
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *Graph) topoOrder() ([]taskgraph.TaskID, error) {
+	n := g.inst.NumTasks()
+	indeg := make([]int, n)
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.preds[t])
+	}
+	queue := make([]taskgraph.TaskID, 0, n)
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			queue = append(queue, taskgraph.TaskID(t))
+		}
+	}
+	order := make([]taskgraph.TaskID, 0, n)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, s := range g.succs[t] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag: cycle involving %d tasks", n-len(order))
+	}
+	return order, nil
+}
+
+// Levels returns for every task its depth in the DAG (sources are level
+// 0), and the number of levels. Tasks of one level are mutually
+// independent: the "fairly large subset of independent tasks" the paper's
+// schedulers operate on.
+func (g *Graph) Levels() ([]int, int, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	level := make([]int, g.inst.NumTasks())
+	maxL := 0
+	for _, t := range order {
+		for _, p := range g.preds[t] {
+			if level[p]+1 > level[t] {
+				level[t] = level[p] + 1
+			}
+		}
+		if level[t] > maxL {
+			maxL = level[t]
+		}
+	}
+	return level, maxL + 1, nil
+}
+
+// CriticalPathFlops returns the maximum total flops along any dependency
+// chain: a lower bound on the work any schedule must serialize.
+func (g *Graph) CriticalPathFlops() (float64, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	best := make([]float64, g.inst.NumTasks())
+	var cp float64
+	for _, t := range order {
+		b := 0.0
+		for _, p := range g.preds[t] {
+			if best[p] > b {
+				b = best[p]
+			}
+		}
+		best[t] = b + g.inst.Task(t).Flops
+		if best[t] > cp {
+			cp = best[t]
+		}
+	}
+	return cp, nil
+}

@@ -1,0 +1,255 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func lineInstance(n int) *taskgraph.Instance {
+	b := taskgraph.NewBuilder("line")
+	d := b.AddData("d", 10*platform.MB)
+	for i := 0; i < n; i++ {
+		b.AddTask("t", workload.Flops3D, d)
+	}
+	return b.Build()
+}
+
+func TestGraphBasics(t *testing.T) {
+	inst := lineInstance(4)
+	g := NewGraph(inst)
+	g.AddDependency(0, 1)
+	g.AddDependency(1, 2)
+	g.AddDependency(0, 2)
+	g.AddDependency(0, 2) // duplicate ignored
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Predecessors(2); len(got) != 2 {
+		t.Fatalf("preds(2) = %v", got)
+	}
+	if got := g.Successors(0); len(got) != 2 {
+		t.Fatalf("succs(0) = %v", got)
+	}
+	levels, num, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num != 3 || levels[0] != 0 || levels[1] != 1 || levels[2] != 2 || levels[3] != 0 {
+		t.Fatalf("levels = %v (%d)", levels, num)
+	}
+	cp, err := g.CriticalPathFlops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 3*workload.Flops3D {
+		t.Fatalf("critical path = %g", cp)
+	}
+}
+
+func TestGraphDetectsCycle(t *testing.T) {
+	g := NewGraph(lineInstance(3))
+	g.AddDependency(0, 1)
+	g.AddDependency(1, 2)
+	g.AddDependency(2, 0)
+	if g.Validate() == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(lineInstance(2))
+	for name, f := range map[string]func(){
+		"self":  func() { g.AddDependency(1, 1) },
+		"range": func() { g.AddDependency(0, 5) },
+	} {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+// runGated executes inst under strat wrapped in a dependency gate and
+// verifies from the trace that no task started before its predecessors
+// finished.
+func runGated(t *testing.T, inst *taskgraph.Instance, g *Graph, strat sched.Strategy, gpus int) *sim.Result {
+	t.Helper()
+	inner, pol := strat.New()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(gpus),
+		Scheduler:       NewGate(g, inner),
+		Eviction:        ev,
+		Seed:            1,
+		RecordTrace:     true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", strat.Label, err)
+	}
+	// Dependency order check.
+	started := make(map[taskgraph.TaskID]bool)
+	done := make(map[taskgraph.TaskID]bool)
+	for _, evt := range res.Trace {
+		switch evt.Kind {
+		case sim.TraceStart:
+			for _, p := range g.Predecessors(evt.Task) {
+				if !done[p] {
+					t.Fatalf("%s: task %d started before predecessor %d finished", strat.Label, evt.Task, p)
+				}
+			}
+			started[evt.Task] = true
+		case sim.TraceEnd:
+			done[evt.Task] = true
+		}
+	}
+	if len(done) != inst.NumTasks() {
+		t.Fatalf("%s: %d of %d tasks completed", strat.Label, len(done), inst.NumTasks())
+	}
+	return res
+}
+
+func TestGateRespectsDependenciesAllStrategies(t *testing.T) {
+	inst, g := CholeskyDAG(8)
+	for _, strat := range []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.HMetisRStrategy(false),
+		sched.MHFPStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+	} {
+		for _, gpus := range []int{1, 2, 4} {
+			runGated(t, inst, g, strat, gpus)
+		}
+	}
+}
+
+func TestGateRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		inst := workload.Random(n, 5+rng.Intn(6), 2, seed)
+		g := NewGraph(inst)
+		// Random forward edges only: guaranteed acyclic.
+		for i := 0; i < 2*n; i++ {
+			a := rng.Intn(n - 1)
+			b := a + 1 + rng.Intn(n-a-1)
+			g.AddDependency(taskgraph.TaskID(a), taskgraph.TaskID(b))
+		}
+		s, lufPol := sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+		res, err := sim.Run(inst, sim.Config{
+			Platform:        platform.V100(2),
+			Scheduler:       NewGate(g, s),
+			Eviction:        lufPol,
+			Seed:            seed,
+			RecordTrace:     true,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			return false
+		}
+		done := make(map[taskgraph.TaskID]bool)
+		for _, evt := range res.Trace {
+			switch evt.Kind {
+			case sim.TraceStart:
+				for _, p := range g.Predecessors(evt.Task) {
+					if !done[p] {
+						return false
+					}
+				}
+			case sim.TraceEnd:
+				done[evt.Task] = true
+			}
+		}
+		return len(done) == inst.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyDAGShape(t *testing.T) {
+	n := 6
+	inst, g := CholeskyDAG(n)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Instance() != inst {
+		t.Fatal("graph detached from instance")
+	}
+	// The critical path of tiled Cholesky has 3(n-1)+1 kernels:
+	// POTRF(0), TRSM(1,0), SYRK(1,0)|GEMM..., POTRF(1), ...
+	_, levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 3*(n-1)+1 {
+		t.Fatalf("levels = %d, want %d", levels, 3*(n-1)+1)
+	}
+	cp, err := g.CriticalPathFlops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp <= 0 || cp >= inst.TotalFlops() {
+		t.Fatalf("critical path %g vs total %g", cp, inst.TotalFlops())
+	}
+	// Sources: only POTRF(0)... plus tasks with no predecessors like
+	// TRSM(i,0)? TRSM(i,0) depends on POTRF(0). GEMM(i,j,0) depends on
+	// TRSM. So exactly one source.
+	sources := 0
+	for t2 := 0; t2 < inst.NumTasks(); t2++ {
+		if len(g.Predecessors(taskgraph.TaskID(t2))) == 0 {
+			sources++
+		}
+	}
+	if sources != 1 {
+		t.Fatalf("sources = %d, want 1 (POTRF(0))", sources)
+	}
+}
+
+// TestDependenciesCostThroughput: the gated Cholesky cannot beat the
+// dependency-free task set of the paper (same kernels, fewer
+// constraints), and both must complete.
+func TestDependenciesCostThroughput(t *testing.T) {
+	inst, g := CholeskyDAG(12)
+	gated := runGated(t, inst, g, sched.DARTSStrategy(sched.DARTSOptions{LUF: true}), 4)
+
+	inner, pol := sched.DARTSStrategy(sched.DARTSOptions{LUF: true}).New()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	free, err := sim.Run(inst, sim.Config{
+		Platform:  platform.V100(4),
+		Scheduler: inner,
+		Eviction:  ev,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Makespan < free.Makespan {
+		t.Fatalf("dependencies made the run faster: %v vs %v", gated.Makespan, free.Makespan)
+	}
+}

@@ -1,0 +1,100 @@
+package dag
+
+import (
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// Gate makes any scheduler dependency-safe. It forwards PopTask to the
+// wrapped scheduler; tasks popped before their predecessors completed are
+// parked in a shared stash and released — to whichever GPU asks first —
+// once they become ready. This mirrors a dynamic runtime system's ready
+// queue: mapping intentions may be formed early, but execution is
+// released in dependency order, and a blocked task can migrate to an idle
+// GPU (a form of the task stealing the paper's strategies already use).
+//
+// When neither the stash nor the inner scheduler yields a ready task, the
+// gate keeps draining the inner scheduler into the stash until it finds
+// one or the inner scheduler runs dry: with an acyclic graph some
+// unexecuted task is always ready, so gated runs always make progress.
+type Gate struct {
+	graph *Graph
+	inner sim.Scheduler
+	// remainingPreds counts uncompleted predecessors per task.
+	remainingPreds []int
+	// stash holds popped-but-blocked tasks in pop order.
+	stash []taskgraph.TaskID
+}
+
+// NewGate wraps inner with the dependency constraints of graph. Init
+// panics if the graph is cyclic.
+func NewGate(graph *Graph, inner sim.Scheduler) *Gate {
+	return &Gate{graph: graph, inner: inner}
+}
+
+// Name returns the inner scheduler's name with a "+deps" suffix.
+func (g *Gate) Name() string { return g.inner.Name() + "+deps" }
+
+// Init validates the graph and initializes the readiness counters.
+func (g *Gate) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	if err := g.graph.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if g.graph.Instance() != inst {
+		panic("dag: Gate used with a different instance than its graph")
+	}
+	n := inst.NumTasks()
+	g.remainingPreds = make([]int, n)
+	for t := 0; t < n; t++ {
+		g.remainingPreds[t] = len(g.graph.Predecessors(taskgraph.TaskID(t)))
+	}
+	g.inner.Init(inst, view)
+}
+
+func (g *Gate) ready(t taskgraph.TaskID) bool { return g.remainingPreds[t] == 0 }
+
+// popStash returns the first ready stashed task, if any.
+func (g *Gate) popStash() (taskgraph.TaskID, bool) {
+	for i, t := range g.stash {
+		if g.ready(t) {
+			g.stash = append(g.stash[:i], g.stash[i+1:]...)
+			return t, true
+		}
+	}
+	return taskgraph.NoTask, false
+}
+
+// PopTask returns a ready task for gpu: first from the stash, then by
+// draining the inner scheduler (stashing unready tasks) until a ready one
+// appears or the inner scheduler has nothing left.
+func (g *Gate) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if t, ok := g.popStash(); ok {
+		return t, true
+	}
+	for {
+		t, ok := g.inner.PopTask(gpu)
+		if !ok {
+			return taskgraph.NoTask, false
+		}
+		if g.ready(t) {
+			return t, true
+		}
+		g.stash = append(g.stash, t)
+	}
+}
+
+// TaskDone releases the successors of t and forwards the notification.
+func (g *Gate) TaskDone(gpu int, t taskgraph.TaskID) {
+	for _, s := range g.graph.Successors(t) {
+		g.remainingPreds[s]--
+	}
+	g.inner.TaskDone(gpu, t)
+}
+
+// DataLoaded forwards to the inner scheduler.
+func (g *Gate) DataLoaded(gpu int, d taskgraph.DataID) { g.inner.DataLoaded(gpu, d) }
+
+// DataEvicted forwards to the inner scheduler.
+func (g *Gate) DataEvicted(gpu int, d taskgraph.DataID) { g.inner.DataEvicted(gpu, d) }
+
+var _ sim.Scheduler = (*Gate)(nil)

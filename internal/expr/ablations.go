@@ -1,0 +1,176 @@
+package expr
+
+import (
+	"fmt"
+
+	"memsched/internal/memory"
+	"memsched/internal/metrics"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// Ablation is one ablation study: a fixed workload and platform with a
+// set of labelled configurations to compare.
+type Ablation struct {
+	// ID and Title identify the study.
+	ID, Title string
+	// Run executes the study and returns one row per configuration.
+	Run func() ([]metrics.Row, error)
+}
+
+func runCase(id string, inst *taskgraph.Instance, label string, build func() (sim.Scheduler, sim.EvictionPolicy), plat platform.Platform, opts sim.Config) (metrics.Row, error) {
+	s, pol := build()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	opts.Platform = plat
+	opts.Scheduler = s
+	opts.Eviction = ev
+	res, err := sim.Run(inst, opts)
+	if err != nil {
+		return metrics.Row{}, fmt.Errorf("%s: %s: %w", id, label, err)
+	}
+	row := metrics.FromResult(id, res)
+	row.Scheduler = label
+	return row, nil
+}
+
+// Ablations returns the ablation studies of DESIGN.md §6, mirroring the
+// benchmark suite so they can be regenerated from the CLI.
+func Ablations() []Ablation {
+	return []Ablation{
+		{
+			ID:    "ablation-ready-window",
+			Title: "DMDAR Ready reorder depth (2D product, 2 GPUs)",
+			Run: func() ([]metrics.Row, error) {
+				inst := workload.Matmul2D(80)
+				var rows []metrics.Row
+				for _, w := range []int{16, 64, 256, 1024, -1} {
+					label := fmt.Sprintf("window=%d", w)
+					if w < 0 {
+						label = "window=all"
+					}
+					w := w
+					row, err := runCase("ablation-ready-window", inst, label,
+						func() (sim.Scheduler, sim.EvictionPolicy) { return sched.NewDMDAR(w)(), nil },
+						platform.V100(2), sim.Config{Seed: 1})
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+				return rows, nil
+			},
+		},
+		{
+			ID:    "ablation-eviction",
+			Title: "Eviction policies under fixed orders (2D product, 1 GPU)",
+			Run: func() ([]metrics.Row, error) {
+				inst := workload.Matmul2D(60)
+				cases := []struct {
+					label string
+					build func() (sim.Scheduler, sim.EvictionPolicy)
+				}{
+					{"DARTS+LRU", func() (sim.Scheduler, sim.EvictionPolicy) {
+						s, _ := sched.NewDARTSPair(sched.DARTSOptions{})()
+						return s, nil
+					}},
+					{"DARTS+FIFO", func() (sim.Scheduler, sim.EvictionPolicy) {
+						s, _ := sched.NewDARTSPair(sched.DARTSOptions{})()
+						return s, memory.NewFIFO()
+					}},
+					{"DARTS+MRU", func() (sim.Scheduler, sim.EvictionPolicy) {
+						s, _ := sched.NewDARTSPair(sched.DARTSOptions{})()
+						return s, memory.NewMRU()
+					}},
+					{"DARTS+LUF", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+					}},
+					{"EAGER+LRU", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewEager()(), nil
+					}},
+					{"EAGER+Belady", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewEagerBeladyPair()()
+					}},
+				}
+				var rows []metrics.Row
+				for _, c := range cases {
+					row, err := runCase("ablation-eviction", inst, c.label, c.build,
+						platform.V100(1), sim.Config{Seed: 1})
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+				return rows, nil
+			},
+		},
+		{
+			ID:    "ablation-bus",
+			Title: "Bus contention model and NVLink (2D product, DARTS+LUF)",
+			Run: func() ([]metrics.Row, error) {
+				inst := workload.Matmul2D(60)
+				darts := func() (sim.Scheduler, sim.EvictionPolicy) {
+					return sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+				}
+				var rows []metrics.Row
+				for _, c := range []struct {
+					label string
+					plat  platform.Platform
+					model sim.BusModel
+				}{
+					{"fifo-bus 2GPU", platform.V100(2), sim.BusFIFO},
+					{"fair-share 2GPU", platform.V100(2), sim.BusFairShare},
+					{"pci-only 4GPU", platform.V100(4), sim.BusFIFO},
+					{"nvlink 4GPU", platform.V100NVLink(4), sim.BusFIFO},
+				} {
+					row, err := runCase("ablation-bus", inst, c.label, darts, c.plat,
+						sim.Config{Seed: 1, BusModel: c.model})
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+				return rows, nil
+			},
+		},
+		{
+			ID:    "ablation-partition-model",
+			Title: "Hypergraph vs clique expansion vs work stealing (2D product, 4 GPUs)",
+			Run: func() ([]metrics.Row, error) {
+				inst := workload.Matmul2D(60)
+				cases := []struct {
+					label string
+					build func() (sim.Scheduler, sim.EvictionPolicy)
+				}{
+					{"hMETIS+R", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewHMetisR(false, 0)(), nil
+					}},
+					{"METIS+R (clique)", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewMetisR(false, 0)(), nil
+					}},
+					{"WS-locality", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewWorkStealing(0, 0)(), nil
+					}},
+					{"DARTS+LUF", func() (sim.Scheduler, sim.EvictionPolicy) {
+						return sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+					}},
+				}
+				var rows []metrics.Row
+				for _, c := range cases {
+					row, err := runCase("ablation-partition-model", inst, c.label, c.build,
+						platform.V100(4), sim.Config{Seed: 1})
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+				return rows, nil
+			},
+		},
+	}
+}

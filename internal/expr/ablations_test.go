@@ -1,0 +1,53 @@
+package expr_test
+
+import (
+	"testing"
+
+	"memsched/internal/expr"
+)
+
+// TestAblationsRun executes every ablation study once and sanity-checks
+// the qualitative outcomes the benchmarks rely on.
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	byID := map[string]map[string]float64{}
+	for _, a := range expr.Ablations() {
+		rows, err := a.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", a.ID, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s: only %d rows", a.ID, len(rows))
+		}
+		cells := map[string]float64{}
+		for _, r := range rows {
+			if r.GFlops <= 0 {
+				t.Fatalf("%s: %s produced no throughput", a.ID, r.Scheduler)
+			}
+			cells[r.Scheduler] = r.GFlops
+		}
+		byID[a.ID] = cells
+	}
+	// Ready window: 16 must be clearly worse than 256.
+	rw := byID["ablation-ready-window"]
+	if rw["window=16"] >= rw["window=256"] {
+		t.Errorf("ready window: 16 (%.0f) should trail 256 (%.0f)", rw["window=16"], rw["window=256"])
+	}
+	// Eviction: LUF best among DARTS variants; Belady beats LRU for EAGER.
+	evx := byID["ablation-eviction"]
+	if evx["DARTS+LUF"] < evx["DARTS+LRU"] {
+		t.Errorf("eviction: LUF (%.0f) should beat LRU (%.0f)", evx["DARTS+LUF"], evx["DARTS+LRU"])
+	}
+	if evx["EAGER+Belady"] <= evx["EAGER+LRU"] {
+		t.Errorf("eviction: Belady (%.0f) should beat LRU (%.0f) under EAGER", evx["EAGER+Belady"], evx["EAGER+LRU"])
+	}
+	// Partition model: planning (DARTS+LUF) tops the study.
+	pm := byID["ablation-partition-model"]
+	for label, v := range pm {
+		if label != "DARTS+LUF" && v > pm["DARTS+LUF"] {
+			t.Errorf("partition model: %s (%.0f) above DARTS+LUF (%.0f)", label, v, pm["DARTS+LUF"])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package expr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/core"
+	"memsched/internal/expr"
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// extractSchedule reads the executed task order per GPU out of a trace.
+func extractSchedule(res *sim.Result, gpus int) *core.Schedule {
+	s := &core.Schedule{Order: make([][]taskgraph.TaskID, gpus)}
+	for _, ev := range res.Trace {
+		if ev.Kind == sim.TraceStart {
+			s.Order[ev.GPU] = append(s.Order[ev.GPU], ev.Task)
+		}
+	}
+	return s
+}
+
+// TestSimNeverBeatsBeladyBound is the bridge between the simulator and
+// the formal model of §III: for whatever task order a strategy actually
+// executed, Belady's rule gives the minimum possible number of loads
+// (the paper's optimal eviction result). The simulator, which commits to
+// evictions online, can never do better on the same order and memory.
+func TestSimNeverBeatsBeladyBound(t *testing.T) {
+	f := func(seed int64, stratIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(25)
+		inst := workload.Matmul2D(n)
+		gpus := 1 + rng.Intn(2)
+		strats := []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		}
+		strat := strats[int(stratIdx)%len(strats)]
+
+		plat := platform.V100(gpus)
+		s, pol := strat.New()
+		var ev sim.EvictionPolicy = pol
+		if ev == nil {
+			ev = memory.NewLRU()
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Platform:    plat,
+			Scheduler:   s,
+			Eviction:    ev,
+			Seed:        seed,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return false
+		}
+		sched := extractSchedule(res, gpus)
+		bound, err := core.Evaluate(inst, sched, plat.MemoryBytes, core.Belady)
+		if err != nil {
+			return false
+		}
+		return res.Loads >= bound.Loads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimMatchesCompulsoryLoadsWhenEverythingFits: with memory large
+// enough for the whole working set, the simulator's loads equal exactly
+// the per-GPU distinct-data counts of the executed schedule, which is
+// also the offline evaluator's answer.
+func TestSimMatchesCompulsoryLoadsWhenEverythingFits(t *testing.T) {
+	inst := workload.Matmul2D(12)
+	plat := platform.V100Unlimited(2)
+	res, err := expr.RunOne(inst, sched.DMDARStrategy(), plat, 0, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := func() (*sim.Result, error) {
+		s, _ := sched.DMDARStrategy().New()
+		return sim.Run(inst, sim.Config{
+			Platform:    plat,
+			Scheduler:   s,
+			Eviction:    memory.NewLRU(),
+			Seed:        3,
+			RecordTrace: true,
+		})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := extractSchedule(res2, 2)
+	offline, err := core.Evaluate(inst, schedule, plat.MemoryBytes, core.Belady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Loads != offline.Loads {
+		t.Fatalf("sim loads %d != offline compulsory %d", res2.Loads, offline.Loads)
+	}
+	if res.Loads != res2.Loads {
+		t.Fatalf("same seed, different loads: %d vs %d", res.Loads, res2.Loads)
+	}
+}

@@ -1,0 +1,151 @@
+// Package expr defines one executable experiment per figure of the
+// paper's evaluation (§V, Figures 3 to 13): workload sweep, platform,
+// strategy set and cost model. Each experiment regenerates the series the
+// figure plots (GFlop/s or MB transferred versus working-set size).
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"memsched/internal/memory"
+	"memsched/internal/metrics"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// Point is one x-axis position of a figure: a problem size and the
+// instance generator for it.
+type Point struct {
+	// N is the workload size parameter (task grid edge, tile count...).
+	N int
+	// Build generates the instance.
+	Build func() *taskgraph.Instance
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	// ID names the experiment after the paper figure(s) it regenerates,
+	// e.g. "fig3+4" (the same runs produce both the throughput and the
+	// transfer figure).
+	ID string
+	// Title restates the paper caption.
+	Title string
+	// Metrics lists what the paper plots from these runs: "gflops",
+	// "transfers", or both.
+	Metrics []string
+	// Platform is the simulated machine.
+	Platform platform.Platform
+	// NsPerOp is the scheduler cost model conversion; 0 reproduces the
+	// paper's pure-simulation figures that ignore scheduling time.
+	NsPerOp float64
+	// Points is the working-set sweep.
+	Points []Point
+	// Strategies are the compared schedulers, in legend order.
+	Strategies []sched.Strategy
+	// Seed feeds every run.
+	Seed int64
+}
+
+// RunOptions trims or instruments an experiment run.
+type RunOptions struct {
+	// MaxN skips sweep points with N above this bound (0 = no bound).
+	// Benchmarks use it to keep -bench runs short.
+	MaxN int
+	// Quick keeps only every third point plus the last.
+	Quick bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+	// CheckInvariants validates every trace (slower).
+	CheckInvariants bool
+	// Replicas averages each (point, strategy) cell over this many
+	// seeds (the paper averages 10 iterations per result). 0 or 1 runs
+	// a single seed.
+	Replicas int
+}
+
+// Run executes the experiment and returns one row per (point, strategy).
+func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
+	points := f.Points
+	if opt.Quick {
+		var kept []Point
+		for i, p := range points {
+			if i%3 == 0 || i == len(points)-1 {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
+	}
+	reps := opt.Replicas
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []metrics.Row
+	for _, p := range points {
+		if opt.MaxN > 0 && p.N > opt.MaxN {
+			continue
+		}
+		inst := p.Build()
+		for _, strat := range f.Strategies {
+			var row metrics.Row
+			for r := 0; r < reps; r++ {
+				res, err := RunOne(inst, strat, f.Platform, f.NsPerOp, f.Seed+int64(r), opt.CheckInvariants)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s on %s: %w", f.ID, strat.Label, inst.Name(), err)
+				}
+				one := metrics.FromResult(f.ID, res)
+				if r == 0 {
+					row = one
+				} else {
+					row.GFlops += one.GFlops
+					row.TransferredMB += one.TransferredMB
+					row.MakespanMS += one.MakespanMS
+					row.Loads += one.Loads
+					row.Evictions += one.Evictions
+				}
+			}
+			if reps > 1 {
+				row.GFlops /= float64(reps)
+				row.TransferredMB /= float64(reps)
+				row.MakespanMS /= float64(reps)
+				row.Loads /= reps
+				row.Evictions /= reps
+			}
+			rows = append(rows, row)
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "%s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
+					f.ID, row.WorkingSetMB, strat.Label, row.GFlops, row.TransferredMB)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunOne executes a single (instance, strategy) pair on plat.
+func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool) (*sim.Result, error) {
+	s, pol := strat.New()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	return sim.Run(inst, sim.Config{
+		Platform:        plat,
+		Scheduler:       s,
+		Eviction:        ev,
+		Seed:            seed,
+		NsPerOp:         nsPerOp,
+		CheckInvariants: check,
+	})
+}
+
+// RefLines describes the figure's reference lines, mirroring the paper's
+// dotted verticals and horizontals.
+func (f *Figure) RefLines() string {
+	p := f.Platform
+	cum := float64(p.CumulatedMemory()) / platform.MB
+	return fmt.Sprintf(
+		"GFlop/s max = %.0f; A and B fit in cumulated memory at ws = %.0f MB; B fits at ws = %.0f MB",
+		p.PeakGFlops(), cum, 2*cum)
+}

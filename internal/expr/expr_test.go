@@ -1,0 +1,99 @@
+package expr_test
+
+import (
+	"testing"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+// TestFig3QuickShapes runs a trimmed Figure 3 sweep and checks the
+// paper's qualitative results on one GPU: under memory constraint (B no
+// longer fits, ws > 1000 MB), DARTS+LUF beats DMDAR, which beats EAGER.
+func TestFig3QuickShapes(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[len(f.Points)-3:] // the most constrained points
+	rows, err := f.Run(expr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]map[string]float64{}
+	for _, r := range rows {
+		k := r.Workload
+		if byKey[k] == nil {
+			byKey[k] = map[string]float64{}
+		}
+		byKey[k][r.Scheduler] = r.GFlops
+	}
+	for wl, m := range byKey {
+		if m["DARTS+LUF"] <= m["EAGER"] {
+			t.Errorf("%s: DARTS+LUF (%.0f) should beat EAGER (%.0f)", wl, m["DARTS+LUF"], m["EAGER"])
+		}
+		if m["DMDAR"] <= m["EAGER"] {
+			t.Errorf("%s: DMDAR (%.0f) should beat EAGER (%.0f)", wl, m["DMDAR"], m["EAGER"])
+		}
+		// mHFP with charged packing cost must be far below its
+		// cost-free variant on large working sets.
+		if m["mHFP"] >= m["mHFP no sched. time"]*0.9 {
+			t.Errorf("%s: mHFP with sched time (%.0f) should collapse vs without (%.0f)",
+				wl, m["mHFP"], m["mHFP no sched. time"])
+		}
+	}
+	t.Logf("\n%s", metrics.FormatTable(rows, "gflops"))
+	t.Logf("\n%s", metrics.FormatTable(rows, "transfers"))
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		if _, err := expr.ByID(id); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if _, err := expr.ByID("fig99"); err == nil {
+		t.Error("expected error for fig99")
+	}
+}
+
+// TestAllFiguresSmallestPoint runs only the smallest sweep point of every
+// figure with invariant checking, as an integration test of the full
+// harness.
+func TestAllFiguresSmallestPoint(t *testing.T) {
+	for _, f := range expr.AllFigures() {
+		f.Points = f.Points[:1]
+		rows, err := f.Run(expr.RunOptions{CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		if len(rows) != len(f.Strategies) {
+			t.Errorf("%s: %d rows for %d strategies", f.ID, len(rows), len(f.Strategies))
+		}
+	}
+}
+
+// TestReplicasAveraging: averaging over seeds yields one row per cell
+// with plausible values between the per-seed extremes.
+func TestReplicasAveraging(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:1]
+	f.Strategies = f.Strategies[:2] // EAGER, DMDAR
+	single, err := f.Run(expr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := f.Run(expr.RunOptions{Replicas: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg) != len(single) {
+		t.Fatalf("rows: %d vs %d", len(avg), len(single))
+	}
+	for i := range avg {
+		if avg[i].Scheduler != single[i].Scheduler {
+			t.Fatalf("row order changed")
+		}
+		ratio := avg[i].GFlops / single[i].GFlops
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("%s: averaged %.0f far from single %.0f", avg[i].Scheduler, avg[i].GFlops, single[i].GFlops)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package expr
+
+import (
+	"fmt"
+
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// Sweep sizes. The paper sweeps the 2D product from 5x5 to 300x300 tasks
+// (140 MB to 8400 MB); we cap the default sweeps where the shapes are
+// established (both memory thresholds crossed) to keep full harness runs
+// in minutes. cmd/paperbench accepts -maxn to extend them.
+var (
+	ns2D1GPU   = []int{5, 10, 17, 25, 34, 42, 50, 68, 85, 100, 120, 150}
+	ns2D2GPU   = []int{5, 10, 17, 25, 34, 42, 50, 68, 85, 100, 120, 150}
+	ns2D4GPU   = []int{10, 25, 42, 60, 85, 110, 135, 150, 175, 200}
+	ns2DRand   = []int{5, 10, 17, 25, 34, 42, 50, 60}
+	ns3D       = []int{8, 12, 16, 20, 24, 27, 30}
+	nsChol     = []int{10, 16, 24, 32, 40, 48}
+	nsSparse   = []int{50, 100, 150, 200, 250, 300, 340}
+	sparseSeed = int64(42)
+)
+
+func points2D(ns []int) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = Point{N: n, Build: func() *taskgraph.Instance { return workload.Matmul2D(n) }}
+	}
+	return pts
+}
+
+func pointsRand2D(ns []int) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = Point{N: n, Build: func() *taskgraph.Instance { return workload.Matmul2DRandomized(n, int64(n)) }}
+	}
+	return pts
+}
+
+func points3D(ns []int) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = Point{N: n, Build: func() *taskgraph.Instance { return workload.Matmul3D(n) }}
+	}
+	return pts
+}
+
+func pointsCholesky(ns []int) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = Point{N: n, Build: func() *taskgraph.Instance { return workload.Cholesky(n) }}
+	}
+	return pts
+}
+
+func pointsSparse(ns []int) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = Point{N: n, Build: func() *taskgraph.Instance {
+			return workload.Sparse2D(n, workload.DefaultSparseKeep, sparseSeed)
+		}}
+	}
+	return pts
+}
+
+// Fig3And4 is the single-GPU 2D matrix multiplication experiment: the
+// same runs produce Figure 3 (GFlop/s) and Figure 4 (data transfers).
+func Fig3And4() *Figure {
+	return &Figure{
+		ID:       "fig3+4",
+		Title:    "2D matrix multiplication, 1 Tesla V100 GPU (Figures 3 and 4)",
+		Metrics:  []string{"gflops", "transfers"},
+		Platform: platform.V100(1),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   points2D(ns2D1GPU),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+			sched.MHFPStrategy(true),
+			sched.MHFPStrategy(false),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig5 is the 2-GPU 2D product in pure simulation (scheduling cost
+// ignored), as the paper's SimGrid runs.
+func Fig5() *Figure {
+	return &Figure{
+		ID:       "fig5",
+		Title:    "2D matrix multiplication, 2 GPUs, simulation without scheduling cost (Figure 5)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(2),
+		NsPerOp:  0,
+		Points:   points2D(ns2D2GPU),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.MHFPStrategy(true),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig6And7 is the 2-GPU 2D product with scheduling costs charged: the same
+// runs produce Figure 6 (GFlop/s) and Figure 7 (data transfers).
+func Fig6And7() *Figure {
+	return &Figure{
+		ID:       "fig6+7",
+		Title:    "2D matrix multiplication, 2 Tesla V100 GPUs (Figures 6 and 7)",
+		Metrics:  []string{"gflops", "transfers"},
+		Platform: platform.V100(2),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   points2D(ns2D2GPU),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.HMetisRStrategy(false),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig8 is the 4-GPU 2D product, adding the DARTS+LUF+threshold variant
+// the paper introduces to contain DARTS' scheduling time on larger task
+// sets.
+func Fig8() *Figure {
+	return &Figure{
+		ID:       "fig8",
+		Title:    "2D matrix multiplication, 4 Tesla V100 GPUs (Figure 8)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(4),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   points2D(ns2D4GPU),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.HMetisRStrategy(false),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Threshold: 10}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig9 is the randomized-submission-order 2D product on 2 GPUs.
+func Fig9() *Figure {
+	return &Figure{
+		ID:       "fig9",
+		Title:    "2D matrix multiplication with randomized task order, 2 Tesla V100 GPUs (Figure 9)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(2),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   pointsRand2D(ns2DRand),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.HMetisRStrategy(false),
+			sched.DARTSStrategy(sched.DARTSOptions{}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig10 is the 3D matrix multiplication on 4 GPUs in pure simulation,
+// introducing the DARTS 3inputs variant.
+func Fig10() *Figure {
+	return &Figure{
+		ID:       "fig10",
+		Title:    "3D matrix multiplication, 4 GPUs, simulation (Figure 10)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(4),
+		NsPerOp:  0,
+		Points:   points3D(ns3D),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true, ThreeInputs: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig11 is the Cholesky task set on 4 GPUs, introducing the OPTI cutoff.
+func Fig11() *Figure {
+	return &Figure{
+		ID:       "fig11",
+		Title:    "Tasks from the Cholesky decomposition, 4 Tesla V100 GPUs (Figure 11)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(4),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   pointsCholesky(nsChol),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.HMetisRStrategy(false),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true, ThreeInputs: true}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig12 is the sparse 2D product (2% of tasks kept) on 4 GPUs with the
+// 500 MB memory limit.
+func Fig12() *Figure {
+	return &Figure{
+		ID:       "fig12",
+		Title:    "Sparse 2D matrix multiplication, 4 Tesla V100 GPUs, 500 MB (Figure 12)",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(4),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   pointsSparse(nsSparse),
+		Strategies: []sched.Strategy{
+			sched.EagerStrategy(),
+			sched.DMDARStrategy(),
+			sched.HMetisRStrategy(true),
+			sched.HMetisRStrategy(false),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Opti: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// Fig13 is the sparse 2D product without memory limitation (32 GB per
+// GPU).
+func Fig13() *Figure {
+	f := Fig12()
+	f.ID = "fig13"
+	f.Title = "Sparse 2D matrix multiplication, 4 Tesla V100 GPUs, no memory limit (Figure 13)"
+	f.Platform = platform.V100Unlimited(4)
+	return f
+}
+
+// AllFigures returns every experiment in paper order.
+func AllFigures() []*Figure {
+	return []*Figure{
+		Fig3And4(), Fig5(), Fig6And7(), Fig8(), Fig9(),
+		Fig10(), Fig11(), Fig12(), Fig13(),
+	}
+}
+
+// ByID returns the experiment covering the given figure id ("fig3" and
+// "fig4" both resolve to "fig3+4").
+func ByID(id string) (*Figure, error) {
+	alias := map[string]string{
+		"fig3": "fig3+4", "fig4": "fig3+4",
+		"fig6": "fig6+7", "fig7": "fig6+7",
+	}
+	if a, ok := alias[id]; ok {
+		id = a
+	}
+	for _, f := range AllFigures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unknown figure %q", id)
+}

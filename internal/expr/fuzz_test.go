@@ -1,0 +1,101 @@
+package expr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/bounds"
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+// TestFuzzAllKnobs is the whole-stack property test: random instances,
+// random platform knobs (GPU count, memory, bandwidth, NVLink,
+// heterogeneous speeds, bus model), random window sizes and random
+// strategies must always complete with a valid trace and never exceed the
+// throughput upper bound.
+func TestFuzzAllKnobs(t *testing.T) {
+	strategies := []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.MHFPStrategy(false),
+		sched.HMetisRStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, ThreeInputs: true, Opti: true}),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := workload.Random(10+rng.Intn(60), 4+rng.Intn(10), 3, seed)
+
+		gpus := 1 + rng.Intn(4)
+		plat := platform.Platform{
+			NumGPUs:           gpus,
+			GFlopsPerGPU:      100 + 1000*rng.Float64(),
+			BusBytesPerSecond: 1e8 + 1e9*rng.Float64(),
+		}
+		// Memory between the progress minimum and twice the working set.
+		var maxFootprint int64
+		for _, task := range inst.Tasks() {
+			if fp := inst.TaskFootprint(task.ID); fp > maxFootprint {
+				maxFootprint = fp
+			}
+		}
+		span := inst.WorkingSetBytes() * 2
+		plat.MemoryBytes = 2*maxFootprint + rng.Int63n(span)
+		if rng.Intn(2) == 0 {
+			plat.NVLinkBytesPerSecond = 2 * plat.BusBytesPerSecond
+		}
+		if rng.Intn(3) == 0 {
+			list := make([]float64, gpus)
+			for i := range list {
+				list[i] = 100 + 1000*rng.Float64()
+			}
+			plat.GFlopsPerGPUList = list
+		}
+		busModel := sim.BusFIFO
+		if rng.Intn(2) == 0 {
+			busModel = sim.BusFairShare
+		}
+
+		strat := strategies[rng.Intn(len(strategies))]
+		s, pol := strat.New()
+		var ev sim.EvictionPolicy = pol
+		if ev == nil {
+			switch rng.Intn(3) {
+			case 0:
+				ev = memory.NewLRU()
+			case 1:
+				ev = memory.NewFIFO()
+			default:
+				ev = memory.NewMRU()
+			}
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Platform:        plat,
+			Scheduler:       s,
+			Eviction:        ev,
+			WindowSize:      1 + rng.Intn(8),
+			Seed:            seed,
+			BusModel:        busModel,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Logf("seed %d (%s): %v", seed, strat.Label, err)
+			return false
+		}
+		bound := bounds.ThroughputUpperBound(inst, plat)
+		if res.GFlops > bound*1.001 {
+			t.Logf("seed %d (%s): %.1f GFlop/s beats bound %.1f", seed, strat.Label, res.GFlops, bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package expr_test
+
+import (
+	"testing"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+// shapes_test locks in the qualitative result of every paper figure at
+// reduced sweep sizes: who wins, who collapses, and where. These are the
+// regression tests for the reproduction itself; run with -short to skip
+// them.
+
+// runFig executes a figure restricted to its maxN largest retained point
+// set and indexes GFlop/s by (workingSet, scheduler).
+func runFig(t *testing.T, id string, maxN int) map[float64]map[string]float64 {
+	t.Helper()
+	f, err := expr.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Run(expr.RunOptions{MaxN: maxN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[float64]map[string]float64{}
+	for _, r := range rows {
+		if out[r.WorkingSetMB] == nil {
+			out[r.WorkingSetMB] = map[string]float64{}
+		}
+		out[r.WorkingSetMB][r.Scheduler] = r.GFlops
+	}
+	return out
+}
+
+// lastPoints returns the k largest working-set keys in ascending order.
+func lastPoints(cells map[float64]map[string]float64, k int) []float64 {
+	keys := make([]float64, 0, len(cells))
+	for ws := range cells {
+		keys = append(keys, ws)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	if len(keys) > k {
+		keys = keys[len(keys)-k:]
+	}
+	return keys
+}
+
+func requireOrder(t *testing.T, cells map[string]float64, ws float64, faster, slower string, margin float64) {
+	t.Helper()
+	f, okF := cells[faster]
+	s, okS := cells[slower]
+	if !okF || !okS {
+		t.Fatalf("ws %.0f: missing %q or %q in %v", ws, faster, slower, cells)
+	}
+	if f < s*margin {
+		t.Errorf("ws %.0f: %s (%.0f) should beat %s (%.0f) by factor %.2f", ws, faster, f, slower, s, margin)
+	}
+}
+
+func TestShapeFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig3", 85)
+	for _, ws := range lastPoints(cells, 2) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF", "EAGER", 1.8)         // EAGER pathology
+		requireOrder(t, c, ws, "DARTS+LUF", "DMDAR", 1.0)         // LUF at least matches DMDAR
+		requireOrder(t, c, ws, "mHFP no sched. time", "mHFP", 10) // packing cost prohibitive
+	}
+}
+
+func TestShapeFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig5", 85)
+	for _, ws := range lastPoints(cells, 2) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF", "EAGER", 3)
+		requireOrder(t, c, ws, "mHFP", "hMETIS+R", 1.0) // packing beats partitioning in pure simulation
+	}
+}
+
+func TestShapeFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig6", 85)
+	for _, ws := range lastPoints(cells, 2) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF", "DMDAR", 1.0)
+		requireOrder(t, c, ws, "hMETIS+R no part. time", "hMETIS+R", 1.05) // partition cost visible
+		requireOrder(t, c, ws, "DMDAR", "EAGER", 2)
+	}
+}
+
+func TestShapeFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig8", 110)
+	for _, ws := range lastPoints(cells, 2) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF", "EAGER", 3)
+		requireOrder(t, c, ws, "DARTS+LUF", "hMETIS+R", 1.5)
+	}
+}
+
+func TestShapeFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig9", 60)
+	for _, ws := range lastPoints(cells, 2) {
+		c := cells[ws]
+		// Randomized order: DMDAR and hMETIS+R are heavily impacted,
+		// DARTS+LUF barely (the paper's central Figure 9 claim).
+		requireOrder(t, c, ws, "DARTS+LUF", "DMDAR", 1.25)
+		requireOrder(t, c, ws, "DARTS+LUF", "hMETIS+R no part. time", 1.25)
+		requireOrder(t, c, ws, "DARTS+LUF", "EAGER", 4)
+	}
+}
+
+func TestShapeFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig10", 27)
+	for _, ws := range lastPoints(cells, 1) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF-3inputs", "DMDAR", 1.3)
+		requireOrder(t, c, ws, "DARTS+LUF-3inputs", "DARTS+LUF", 1.0)
+	}
+}
+
+func TestShapeFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig11", 40)
+	for _, ws := range lastPoints(cells, 1) {
+		c := cells[ws]
+		// OPTI rescues DARTS on huge task counts; hMETIS pays its
+		// partitioning dearly.
+		requireOrder(t, c, ws, "DARTS+LUF+OPTI-3inputs", "hMETIS+R no part. time", 1.2)
+		requireOrder(t, c, ws, "DARTS+LUF+OPTI-3inputs", "DMDAR", 1.2)
+		requireOrder(t, c, ws, "hMETIS+R no part. time", "hMETIS+R", 1.5)
+	}
+}
+
+func TestShapeFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig12", 250)
+	for _, ws := range lastPoints(cells, 1) {
+		c := cells[ws]
+		requireOrder(t, c, ws, "DARTS+LUF", "DMDAR", 1.15)
+		requireOrder(t, c, ws, "DARTS+LUF", "EAGER", 1.4)
+	}
+}
+
+func TestShapeFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	cells := runFig(t, "fig13", 250)
+	for _, ws := range lastPoints(cells, 1) {
+		c := cells[ws]
+		// Without memory pressure everyone improves; DARTS+LUF and
+		// hMETIS+R contend for the top, DMDAR/EAGER lag.
+		requireOrder(t, c, ws, "DARTS+LUF", "DMDAR", 1.2)
+		requireOrder(t, c, ws, "hMETIS+R", "EAGER", 1.3)
+	}
+}
+
+// TestShapeFig4Transfers locks the transfer-volume ordering of Figure 4.
+func TestShapeFig4Transfers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	f, err := expr.ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Run(expr.RunOptions{MaxN: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := map[float64]map[string]float64{}
+	var maxWS float64
+	for _, r := range rows {
+		if moved[r.WorkingSetMB] == nil {
+			moved[r.WorkingSetMB] = map[string]float64{}
+		}
+		moved[r.WorkingSetMB][r.Scheduler] = r.TransferredMB
+		if r.WorkingSetMB > maxWS {
+			maxWS = r.WorkingSetMB
+		}
+	}
+	c := moved[maxWS]
+	if c["EAGER"] < 3*c["DARTS+LUF"] {
+		t.Errorf("EAGER moved %.0f MB, DARTS+LUF %.0f: pathological reloads missing", c["EAGER"], c["DARTS+LUF"])
+	}
+	if c["mHFP no sched. time"] > c["EAGER"] {
+		t.Errorf("mHFP moved more than EAGER")
+	}
+	_ = metrics.Row{}
+}

@@ -1,0 +1,39 @@
+package expr_test
+
+import (
+	"testing"
+
+	"memsched/internal/expr"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+// TestSeedStabilityHeadline reproduces the paper's variance statement
+// ("Each result is the average of the performance obtained over 10
+// iterations. For most of the results, the deviance is less than 2%",
+// §V-A): across ten seeds, the DARTS+LUF throughput on a constrained
+// headline point stays within 2% of its mean.
+func TestSeedStabilityHeadline(t *testing.T) {
+	inst := workload.Matmul2D(50)
+	plat := platform.V100(2)
+	var values []float64
+	var sum float64
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := expr.RunOne(inst, sched.DARTSStrategy(sched.DARTSOptions{LUF: true}), plat, sim.DefaultNsPerOp, seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, res.GFlops)
+		sum += res.GFlops
+	}
+	mean := sum / float64(len(values))
+	for i, v := range values {
+		dev := (v - mean) / mean
+		if dev < -0.02 || dev > 0.02 {
+			t.Errorf("seed %d: %.0f GFlop/s deviates %.1f%% from mean %.0f", i+1, v, 100*dev, mean)
+		}
+	}
+	t.Logf("mean %.0f GFlop/s over %d seeds", mean, len(values))
+}

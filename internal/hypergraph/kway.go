@@ -1,0 +1,78 @@
+package hypergraph
+
+import (
+	"math/rand"
+)
+
+// kwayRefine improves a K-way partition in place by greedy vertex moves
+// optimizing the connectivity-1 objective directly, something recursive
+// bisection cannot see across its cuts. Vertices are visited in random
+// order; a vertex moves to the part giving the largest positive gain that
+// respects the balance caps. Passes repeat until one yields no
+// improvement or maxPasses is reached. Returns the ops performed.
+func kwayRefine(h *Hypergraph, part []int, k int, maxW []int64, rng *rand.Rand, maxPasses int) int64 {
+	var ops int64
+	n := h.NumVertices()
+	// pins[net][part] counts, stored flat.
+	pins := make([]int32, h.NumNets()*k)
+	for ni := 0; ni < h.NumNets(); ni++ {
+		for _, p := range h.Net(ni) {
+			pins[ni*k+part[p]]++
+		}
+		ops += int64(len(h.Net(ni)))
+	}
+	partW := make([]int64, k)
+	for v, p := range part {
+		partW[p] += h.VertexWeight(v)
+	}
+
+	order := rng.Perm(n)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for _, v := range order {
+			from := part[v]
+			w := h.VertexWeight(v)
+			// Gain of leaving `from`: every net where v is the only
+			// `from` pin drops one part from its span.
+			var leaveGain int64
+			for _, ni := range h.Incidence(v) {
+				if pins[int(ni)*k+from] == 1 {
+					leaveGain += h.NetWeight(int(ni))
+				}
+			}
+			ops += int64(len(h.Incidence(v)))
+			bestTo, bestGain := -1, int64(0)
+			for to := 0; to < k; to++ {
+				if to == from || partW[to]+w > maxW[to] {
+					continue
+				}
+				gain := leaveGain
+				for _, ni := range h.Incidence(v) {
+					if pins[int(ni)*k+to] == 0 {
+						gain -= h.NetWeight(int(ni))
+					}
+				}
+				ops += int64(len(h.Incidence(v)))
+				if gain > bestGain {
+					bestTo, bestGain = to, gain
+				}
+			}
+			if bestTo < 0 {
+				continue
+			}
+			// Apply the move.
+			for _, ni := range h.Incidence(v) {
+				pins[int(ni)*k+from]--
+				pins[int(ni)*k+bestTo]++
+			}
+			partW[from] -= w
+			partW[bestTo] += w
+			part[v] = bestTo
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return ops
+}

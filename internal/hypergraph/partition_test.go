@@ -1,0 +1,193 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoClusters builds a hypergraph with two dense clusters of size n joined
+// by a single bridging net: the optimal bisection cuts exactly that net.
+func twoClusters(n int) *Hypergraph {
+	h := New(2 * n)
+	for c := 0; c < 2; c++ {
+		base := int32(c * n)
+		// Dense intra-cluster nets: consecutive triples.
+		for i := 0; i+2 < n; i++ {
+			h.AddNet(1, base+int32(i), base+int32(i+1), base+int32(i+2))
+		}
+		// One net tying the whole cluster together.
+		pins := make([]int32, n)
+		for i := range pins {
+			pins[i] = base + int32(i)
+		}
+		h.AddNet(2, pins...)
+	}
+	h.AddNet(1, 0, int32(n)) // bridge
+	return h
+}
+
+func TestBisectTwoClusters(t *testing.T) {
+	h := twoClusters(40)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	part, stats, err := Partition(h, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.PartWeights(part, 2)
+	if w[0] != 40 || w[1] != 40 {
+		t.Fatalf("imbalanced parts: %v", w)
+	}
+	if stats.Cut != 1 {
+		t.Fatalf("cut = %d, want 1 (only the bridge net)", stats.Cut)
+	}
+	// The two clusters must land in different parts.
+	for v := 1; v < 40; v++ {
+		if part[v] != part[0] {
+			t.Fatalf("cluster 0 split: vertex %d", v)
+		}
+		if part[40+v] != part[40] {
+			t.Fatalf("cluster 1 split: vertex %d", 40+v)
+		}
+	}
+}
+
+func TestPartitionFourWayBalance(t *testing.T) {
+	// A 12x12 2D-matmul-style hypergraph: 144 tasks, 24 nets of 12 pins.
+	n := 12
+	h := New(n * n)
+	for i := 0; i < n; i++ {
+		pins := make([]int32, n)
+		for j := 0; j < n; j++ {
+			pins[j] = int32(i*n + j)
+		}
+		h.AddNet(1, pins...) // row net
+		for j := 0; j < n; j++ {
+			pins[j] = int32(j*n + i)
+		}
+		h.AddNet(1, pins...) // column net
+	}
+	part, stats, err := Partition(h, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.PartWeights(part, 4)
+	for p, pw := range w {
+		if pw < 30 || pw > 42 {
+			t.Fatalf("part %d weight %d outside [30,42]: %v", p, pw, w)
+		}
+	}
+	// A random 4-way split cuts essentially all 24 nets with lambda 4
+	// (obj ~72); a good partition of the grid achieves far less.
+	if stats.Cut >= 60 {
+		t.Fatalf("connectivity-1 objective %d too high", stats.Cut)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	h := twoClusters(30)
+	a, _, err := Partition(h, Config{K: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Partition(h, Config{K: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic partition at vertex %d", v)
+		}
+	}
+}
+
+func TestPartitionPropertyRandom(t *testing.T) {
+	// Property: for random hypergraphs, Partition returns a complete
+	// assignment with every part within the balance cap, and the
+	// connectivity-1 objective is no worse than total net weight times
+	// (K-1) (the trivial upper bound).
+	f := func(seed int64, kRaw uint8, nRaw uint8) bool {
+		k := 2 + int(kRaw%3)    // 2..4
+		n := 3*k + int(nRaw%40) // enough vertices per part
+		rng := rand.New(rand.NewSource(seed))
+		h := New(n)
+		nets := 2 * n
+		var totalW int64
+		for i := 0; i < nets; i++ {
+			sz := 2 + rng.Intn(4)
+			pins := make([]int32, 0, sz)
+			seen := map[int32]bool{}
+			for len(pins) < sz {
+				p := int32(rng.Intn(n))
+				if !seen[p] {
+					seen[p] = true
+					pins = append(pins, p)
+				}
+			}
+			w := int64(1 + rng.Intn(3))
+			h.AddNet(w, pins...)
+			totalW += w
+		}
+		part, stats, err := Partition(h, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, p := range part {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		w := h.PartWeights(part, k)
+		total := h.TotalVertexWeight()
+		// Recursive bisection with UBFactor=1 can compound imbalance a
+		// little; allow 15% of total above the perfect share.
+		cap64 := total/int64(k) + total*15/100 + 1
+		for _, pw := range w {
+			if pw > cap64 {
+				return false
+			}
+		}
+		return stats.Cut <= totalW*int64(k-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducePreservesStructure(t *testing.T) {
+	h := twoClusters(10)
+	ids := []int32{0, 1, 2, 3, 4}
+	sub, subIDs := induce(h, ids)
+	if len(subIDs) != 5 || sub.NumVertices() != 5 {
+		t.Fatalf("wrong sub size")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nets with >= 2 pins inside {0..4}: triples (0,1,2),(1,2,3),(2,3,4),
+	// the triple (3,4,5) reduced to (3,4), and the cluster-wide net
+	// reduced to 5 pins. The bridge net (0,10) drops to one pin.
+	if sub.NumNets() != 5 {
+		t.Fatalf("sub has %d nets, want 5", sub.NumNets())
+	}
+}
+
+func TestCutAndConnectivity(t *testing.T) {
+	h := New(4)
+	h.AddNet(3, 0, 1)
+	h.AddNet(5, 0, 1, 2, 3)
+	h.AddNet(2, 2, 3)
+	part := []int{0, 0, 1, 1}
+	if c := h.Cut(part); c != 5 {
+		t.Fatalf("cut = %d, want 5", c)
+	}
+	if c := h.ConnectivityMinusOne(part, 2); c != 5 {
+		t.Fatalf("conn-1 = %d, want 5", c)
+	}
+	part = []int{0, 1, 2, 3}
+	if c := h.ConnectivityMinusOne(part, 4); c != 3+5*3+2 {
+		t.Fatalf("conn-1 = %d, want 20", c)
+	}
+}

@@ -1,0 +1,215 @@
+package hypergraph
+
+import (
+	"container/heap"
+)
+
+// bisection holds the mutable state of a 2-way partition under refinement.
+type bisection struct {
+	h     *Hypergraph
+	part  []int      // 0 or 1 per vertex
+	partW [2]int64   // current side weights
+	maxW  [2]int64   // balance caps
+	pins  [][2]int32 // per net: pins on each side
+}
+
+func newBisection(h *Hypergraph, part []int, maxW [2]int64) *bisection {
+	b := &bisection{h: h, part: part, maxW: maxW}
+	b.pins = make([][2]int32, h.NumNets())
+	for v, p := range part {
+		b.partW[p] += h.VertexWeight(v)
+	}
+	for n := 0; n < h.NumNets(); n++ {
+		for _, p := range h.Net(n) {
+			b.pins[n][part[p]]++
+		}
+	}
+	return b
+}
+
+// gain returns the cut reduction obtained by moving v to the other side.
+func (b *bisection) gain(v int) int64 {
+	from := b.part[v]
+	to := 1 - from
+	var g int64
+	for _, ni := range b.h.Incidence(v) {
+		n := int(ni)
+		w := b.h.NetWeight(n)
+		if b.pins[n][from] == 1 {
+			g += w // net becomes uncut
+		}
+		if b.pins[n][to] == 0 {
+			g -= w // net becomes cut
+		}
+	}
+	return g
+}
+
+// move transfers v to the other side, updating side weights and pin counts.
+func (b *bisection) move(v int) {
+	from := b.part[v]
+	to := 1 - from
+	b.part[v] = to
+	w := b.h.VertexWeight(v)
+	b.partW[from] -= w
+	b.partW[to] += w
+	for _, ni := range b.h.Incidence(v) {
+		b.pins[ni][from]--
+		b.pins[ni][to]++
+	}
+}
+
+func (b *bisection) cut() int64 {
+	var c int64
+	for n := 0; n < b.h.NumNets(); n++ {
+		if b.pins[n][0] > 0 && b.pins[n][1] > 0 {
+			c += b.h.NetWeight(n)
+		}
+	}
+	return c
+}
+
+func (b *bisection) feasible() bool {
+	return b.partW[0] <= b.maxW[0] && b.partW[1] <= b.maxW[1]
+}
+
+// rebalance greedily moves vertices out of an overweight side, choosing
+// at each step the vertex whose move loses the least cut, until both
+// sides respect their caps (or no move can help). Returns ops performed.
+func (b *bisection) rebalance() int64 {
+	var ops int64
+	for !b.feasible() {
+		from := 0
+		if b.partW[1] > b.maxW[1] {
+			from = 1
+		}
+		to := 1 - from
+		best, bestGain := -1, int64(-1<<62)
+		for v := range b.part {
+			if b.part[v] != from {
+				continue
+			}
+			if b.partW[to]+b.h.VertexWeight(v) > b.maxW[to] && b.partW[from]-b.h.VertexWeight(v) >= b.partW[to] {
+				// Moving would just swap which side is overweight
+				// without making progress.
+				continue
+			}
+			g := b.gain(v)
+			ops += int64(len(b.h.Incidence(v)))
+			if g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best < 0 {
+			return ops
+		}
+		b.move(best)
+		ops += int64(len(b.h.Incidence(best)))
+	}
+	return ops
+}
+
+// gainEntry is a lazily invalidated max-heap entry of the FM pass.
+type gainEntry struct {
+	gain int64
+	v    int
+	gen  int32
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// fmPass runs one Fiduccia–Mattheyses pass: vertices are tentatively moved
+// in best-gain-first order under the balance caps, each at most once, and
+// the best prefix of the move sequence is kept. Returns the cut
+// improvement of the pass and the ops performed.
+func (b *bisection) fmPass() (improved int64, ops int64) {
+	n := b.h.NumVertices()
+	locked := make([]bool, n)
+	gen := make([]int32, n)
+	gh := make(gainHeap, 0, n)
+	for v := 0; v < n; v++ {
+		gh = append(gh, gainEntry{gain: b.gain(v), v: v})
+		ops += int64(len(b.h.Incidence(v)))
+	}
+	heap.Init(&gh)
+
+	type moveRec struct{ v int }
+	var moves []moveRec
+	var cum, bestCum int64
+	bestIdx := 0 // number of moves of the best prefix
+
+	for gh.Len() > 0 {
+		e := heap.Pop(&gh).(gainEntry)
+		if locked[e.v] || e.gen != gen[e.v] {
+			continue
+		}
+		from := b.part[e.v]
+		to := 1 - from
+		if b.partW[to]+b.h.VertexWeight(e.v) > b.maxW[to] {
+			continue // cannot move under balance; entry consumed
+		}
+		// Entry gains can be stale only in gen, which we checked; but
+		// recompute defensively to keep the pass exact.
+		g := b.gain(e.v)
+		ops += int64(len(b.h.Incidence(e.v)))
+		b.move(e.v)
+		locked[e.v] = true
+		cum += g
+		moves = append(moves, moveRec{v: e.v})
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves)
+		}
+		// Refresh neighbors whose gain may have changed.
+		for _, ni := range b.h.Incidence(e.v) {
+			net := b.h.Net(int(ni))
+			if len(net) > maxNetSizeForMatching {
+				continue
+			}
+			for _, u := range net {
+				if !locked[u] {
+					gen[u]++
+					ng := b.gain(int(u))
+					ops += int64(len(b.h.Incidence(int(u))))
+					heap.Push(&gh, gainEntry{gain: ng, v: int(u), gen: gen[u]})
+				}
+			}
+		}
+	}
+	// Roll back moves beyond the best prefix.
+	for i := len(moves) - 1; i >= bestIdx; i-- {
+		b.move(moves[i].v)
+	}
+	return bestCum, ops
+}
+
+// refine runs FM passes until a pass yields no improvement, up to
+// maxPasses, after an initial rebalance. Returns ops performed.
+func (b *bisection) refine(maxPasses int) int64 {
+	ops := b.rebalance()
+	for i := 0; i < maxPasses; i++ {
+		improved, passOps := b.fmPass()
+		ops += passOps
+		if improved <= 0 {
+			break
+		}
+	}
+	return ops
+}

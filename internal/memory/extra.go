@@ -1,0 +1,94 @@
+package memory
+
+import (
+	"math/rand"
+
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// MRU evicts the most recently used data item. On cyclic access patterns
+// larger than memory (exactly the EAGER 2D-product pathology) MRU is the
+// classical antidote to LRU thrashing; it is provided as an ablation
+// comparator.
+type MRU struct {
+	clock int64
+	last  [][]int64
+}
+
+// NewMRU returns a fresh MRU policy.
+func NewMRU() *MRU { return &MRU{} }
+
+// Name returns "MRU".
+func (p *MRU) Name() string { return "MRU" }
+
+// Init sizes the per-GPU recency tables.
+func (p *MRU) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	p.clock = 0
+	p.last = make([][]int64, view.Platform().NumGPUs)
+	for k := range p.last {
+		p.last[k] = make([]int64, inst.NumData())
+	}
+}
+
+func (p *MRU) touch(gpu int, d taskgraph.DataID) {
+	p.clock++
+	p.last[gpu][d] = p.clock
+}
+
+// Loaded marks d as just used on gpu.
+func (p *MRU) Loaded(gpu int, d taskgraph.DataID) { p.touch(gpu, d) }
+
+// Used marks d as just used on gpu.
+func (p *MRU) Used(gpu int, d taskgraph.DataID) { p.touch(gpu, d) }
+
+// Victim returns the most recently used candidate.
+func (p *MRU) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	best := candidates[0]
+	bestT := p.last[gpu][best]
+	for _, d := range candidates[1:] {
+		if t := p.last[gpu][d]; t > bestT {
+			best, bestT = d, t
+		}
+	}
+	return best
+}
+
+// Evicted forgets the recency of d on gpu.
+func (p *MRU) Evicted(gpu int, d taskgraph.DataID) { p.last[gpu][d] = 0 }
+
+// Random evicts a uniformly random candidate. It is the no-information
+// baseline of the eviction ablation.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy seeded deterministically.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name returns "Random".
+func (p *Random) Name() string { return "Random" }
+
+// Init is a no-op.
+func (p *Random) Init(inst *taskgraph.Instance, view sim.RuntimeView) {}
+
+// Loaded is a no-op.
+func (p *Random) Loaded(gpu int, d taskgraph.DataID) {}
+
+// Used is a no-op.
+func (p *Random) Used(gpu int, d taskgraph.DataID) {}
+
+// Victim returns a random candidate.
+func (p *Random) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	return candidates[p.rng.Intn(len(candidates))]
+}
+
+// Evicted is a no-op.
+func (p *Random) Evicted(gpu int, d taskgraph.DataID) {}
+
+var (
+	_ sim.EvictionPolicy = (*MRU)(nil)
+	_ sim.EvictionPolicy = (*Random)(nil)
+)

@@ -1,0 +1,112 @@
+// Package memory provides the generic eviction policies used by the
+// paper's schedulers: LRU (the StarPU default used by every strategy
+// except DARTS+LUF) and helpers shared with the offline Belady evaluator
+// of internal/core. The DARTS-specific LUF policy lives with its scheduler
+// in internal/sched because it reads the scheduler's plannedTasks state.
+package memory
+
+import (
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// LRU evicts the least recently used data item. "Use" is either becoming
+// resident or being read by a starting task. This is the paper's baseline
+// eviction policy ("All the schedulers use the LRU's eviction policy
+// except for DARTS+LUF", §V-A).
+type LRU struct {
+	clock int64
+	last  [][]int64 // per GPU, indexed by DataID; 0 = never used
+}
+
+// NewLRU returns a fresh LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name returns "LRU".
+func (p *LRU) Name() string { return "LRU" }
+
+// Init sizes the per-GPU recency tables.
+func (p *LRU) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	p.clock = 0
+	p.last = make([][]int64, view.Platform().NumGPUs)
+	for k := range p.last {
+		p.last[k] = make([]int64, inst.NumData())
+	}
+}
+
+func (p *LRU) touch(gpu int, d taskgraph.DataID) {
+	p.clock++
+	p.last[gpu][d] = p.clock
+}
+
+// Loaded marks d as just used on gpu.
+func (p *LRU) Loaded(gpu int, d taskgraph.DataID) { p.touch(gpu, d) }
+
+// Used marks d as just used on gpu.
+func (p *LRU) Used(gpu int, d taskgraph.DataID) { p.touch(gpu, d) }
+
+// Victim returns the least recently used candidate.
+func (p *LRU) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	best := candidates[0]
+	bestT := p.last[gpu][best]
+	for _, d := range candidates[1:] {
+		if t := p.last[gpu][d]; t < bestT {
+			best, bestT = d, t
+		}
+	}
+	return best
+}
+
+// Evicted forgets the recency of d on gpu.
+func (p *LRU) Evicted(gpu int, d taskgraph.DataID) { p.last[gpu][d] = 0 }
+
+// FIFO evicts the data item loaded the longest ago, ignoring uses. It is
+// provided for the eviction-policy ablation bench.
+type FIFO struct {
+	clock int64
+	born  [][]int64 // per GPU, indexed by DataID; 0 = never loaded
+}
+
+// NewFIFO returns a fresh FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name returns "FIFO".
+func (p *FIFO) Name() string { return "FIFO" }
+
+// Init sizes the per-GPU tables.
+func (p *FIFO) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	p.clock = 0
+	p.born = make([][]int64, view.Platform().NumGPUs)
+	for k := range p.born {
+		p.born[k] = make([]int64, inst.NumData())
+	}
+}
+
+// Loaded records the load time of d on gpu.
+func (p *FIFO) Loaded(gpu int, d taskgraph.DataID) {
+	p.clock++
+	p.born[gpu][d] = p.clock
+}
+
+// Used is a no-op for FIFO.
+func (p *FIFO) Used(gpu int, d taskgraph.DataID) {}
+
+// Victim returns the earliest loaded candidate.
+func (p *FIFO) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	best := candidates[0]
+	bestT := p.born[gpu][best]
+	for _, d := range candidates[1:] {
+		if t := p.born[gpu][d]; t < bestT {
+			best, bestT = d, t
+		}
+	}
+	return best
+}
+
+// Evicted forgets d on gpu.
+func (p *FIFO) Evicted(gpu int, d taskgraph.DataID) { p.born[gpu][d] = 0 }
+
+var (
+	_ sim.EvictionPolicy = (*LRU)(nil)
+	_ sim.EvictionPolicy = (*FIFO)(nil)
+)

@@ -1,0 +1,178 @@
+// Package metrics turns simulation results into the rows the paper's
+// figures plot (GFlop/s and MB transferred per working-set size and
+// strategy) and renders them as aligned text tables or CSV.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+)
+
+// Row is one measurement: one strategy on one instance.
+type Row struct {
+	// Figure identifies the experiment ("fig3", "ablation-window", ...).
+	Figure string
+	// Workload is the instance name.
+	Workload string
+	// WorkingSetMB is the footprint of all distinct data in MB (10^6 B),
+	// the x-axis of every paper figure.
+	WorkingSetMB float64
+	// Scheduler is the strategy label.
+	Scheduler string
+	// GPUs is the GPU count.
+	GPUs int
+	// GFlops is the achieved throughput.
+	GFlops float64
+	// TransferredMB is the volume moved over the bus in MB.
+	TransferredMB float64
+	// Loads and Evictions count data movements.
+	Loads     int
+	Evictions int
+	// MakespanMS is the simulated completion time in milliseconds.
+	MakespanMS float64
+	// StaticMS and DynamicMS are the charged scheduling costs in
+	// milliseconds.
+	StaticMS  float64
+	DynamicMS float64
+}
+
+// FromResult converts a simulation result into a Row.
+func FromResult(figure string, r *sim.Result) Row {
+	return Row{
+		Figure:        figure,
+		Workload:      r.InstanceName,
+		WorkingSetMB:  float64(r.WorkingSetBytes) / platform.MB,
+		Scheduler:     r.SchedulerName,
+		GPUs:          r.NumGPUs,
+		GFlops:        r.GFlops,
+		TransferredMB: float64(r.BytesTransferred) / platform.MB,
+		Loads:         r.Loads,
+		Evictions:     r.Evictions,
+		MakespanMS:    float64(r.Makespan.Microseconds()) / 1000,
+		StaticMS:      float64(r.StaticCost.Microseconds()) / 1000,
+		DynamicMS:     float64(r.DynamicCost.Microseconds()) / 1000,
+	}
+}
+
+var csvHeader = []string{
+	"figure", "workload", "working_set_mb", "scheduler", "gpus",
+	"gflops", "transferred_mb", "loads", "evictions",
+	"makespan_ms", "static_ms", "dynamic_ms",
+}
+
+// WriteCSV writes rows with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Workload,
+			strconv.FormatFloat(r.WorkingSetMB, 'f', 1, 64),
+			r.Scheduler, strconv.Itoa(r.GPUs),
+			strconv.FormatFloat(r.GFlops, 'f', 0, 64),
+			strconv.FormatFloat(r.TransferredMB, 'f', 1, 64),
+			strconv.Itoa(r.Loads), strconv.Itoa(r.Evictions),
+			strconv.FormatFloat(r.MakespanMS, 'f', 2, 64),
+			strconv.FormatFloat(r.StaticMS, 'f', 2, 64),
+			strconv.FormatFloat(r.DynamicMS, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatTable renders rows as one aligned table per figure: one line per
+// working-set size, one column per strategy, showing the given metric
+// ("gflops" or "transfers").
+func FormatTable(rows []Row, metric string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var wsList []float64
+	wsSeen := map[float64]bool{}
+	var schedList []string
+	schedSeen := map[string]bool{}
+	cell := map[[2]string]float64{}
+	for _, r := range rows {
+		if !wsSeen[r.WorkingSetMB] {
+			wsSeen[r.WorkingSetMB] = true
+			wsList = append(wsList, r.WorkingSetMB)
+		}
+		if !schedSeen[r.Scheduler] {
+			schedSeen[r.Scheduler] = true
+			schedList = append(schedList, r.Scheduler)
+		}
+		v := r.GFlops
+		if metric == "transfers" {
+			v = r.TransferredMB
+		}
+		cell[[2]string{ws(r.WorkingSetMB), r.Scheduler}] = v
+	}
+	sort.Float64s(wsList)
+
+	var b strings.Builder
+	unit := "GFlop/s"
+	if metric == "transfers" {
+		unit = "MB transferred"
+	}
+	fmt.Fprintf(&b, "%-14s", "ws (MB)")
+	for _, s := range schedList {
+		fmt.Fprintf(&b, "  %22s", s)
+	}
+	fmt.Fprintf(&b, "   [%s]\n", unit)
+	for _, w := range wsList {
+		fmt.Fprintf(&b, "%-14.1f", w)
+		for _, s := range schedList {
+			v, ok := cell[[2]string{ws(w), s}]
+			if !ok {
+				fmt.Fprintf(&b, "  %22s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "  %22.1f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ws(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// SpeedupOver returns the average ratio (in percent, e.g. 8.5 for +8.5%)
+// of metric values of scheduler a over scheduler b across the working-set
+// points both cover, using GFlops. It is used to reproduce the paper's
+// "X% more GFlop/s than DMDAR" claims.
+func SpeedupOver(rows []Row, a, b string) (float64, int) {
+	byWS := map[float64]map[string]float64{}
+	for _, r := range rows {
+		if byWS[r.WorkingSetMB] == nil {
+			byWS[r.WorkingSetMB] = map[string]float64{}
+		}
+		byWS[r.WorkingSetMB][r.Scheduler] = r.GFlops
+	}
+	var sum float64
+	n := 0
+	for _, m := range byWS {
+		va, oka := m[a]
+		vb, okb := m[b]
+		if oka && okb && vb > 0 {
+			sum += (va/vb - 1) * 100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

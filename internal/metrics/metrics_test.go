@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/sim"
+)
+
+func sample() []Row {
+	return []Row{
+		{Figure: "fig3", Workload: "w1", WorkingSetMB: 100, Scheduler: "EAGER", GPUs: 1, GFlops: 5000, TransferredMB: 900, Loads: 61, Evictions: 2, MakespanMS: 10},
+		{Figure: "fig3", Workload: "w1", WorkingSetMB: 100, Scheduler: "DARTS+LUF", GPUs: 1, GFlops: 13000, TransferredMB: 300, Loads: 20, MakespanMS: 4},
+		{Figure: "fig3", Workload: "w2", WorkingSetMB: 200, Scheduler: "EAGER", GPUs: 1, GFlops: 4000, TransferredMB: 2500, Loads: 170, MakespanMS: 30},
+		{Figure: "fig3", Workload: "w2", WorkingSetMB: 200, Scheduler: "DARTS+LUF", GPUs: 1, GFlops: 12000, TransferredMB: 500, Loads: 34, MakespanMS: 9},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "figure" || recs[0][5] != "gflops" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][3] != "EAGER" || recs[2][5] != "13000" {
+		t.Fatalf("rows = %v", recs[1:3])
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(sample(), "gflops")
+	if !strings.Contains(out, "EAGER") || !strings.Contains(out, "DARTS+LUF") {
+		t.Fatalf("missing schedulers:\n%s", out)
+	}
+	if !strings.Contains(out, "13000.0") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 working sets
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Working sets sorted ascending.
+	if !strings.HasPrefix(lines[1], "100") || !strings.HasPrefix(lines[2], "200") {
+		t.Fatalf("rows unsorted:\n%s", out)
+	}
+	tr := FormatTable(sample(), "transfers")
+	if !strings.Contains(tr, "MB transferred") || !strings.Contains(tr, "2500.0") {
+		t.Fatalf("transfers table:\n%s", tr)
+	}
+	if FormatTable(nil, "gflops") != "" {
+		t.Fatal("empty rows should give empty table")
+	}
+	// Missing cells render as dashes.
+	rows := sample()[:3] // w2 has only EAGER
+	if out := FormatTable(rows, "gflops"); !strings.Contains(out, "-") {
+		t.Fatalf("missing cell not dashed:\n%s", out)
+	}
+}
+
+func TestSpeedupOver(t *testing.T) {
+	gain, n := SpeedupOver(sample(), "DARTS+LUF", "EAGER")
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	// (13000/5000-1 + 12000/4000-1)/2 * 100 = (160 + 200)/2 = 180.
+	if gain < 179.9 || gain > 180.1 {
+		t.Fatalf("gain = %g, want 180", gain)
+	}
+	if _, n := SpeedupOver(sample(), "DARTS+LUF", "nope"); n != 0 {
+		t.Fatalf("n = %d for unknown scheduler", n)
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	res := &sim.Result{
+		SchedulerName:    "DMDAR",
+		InstanceName:     "matmul2d(n=10)",
+		NumGPUs:          2,
+		Makespan:         1500 * time.Millisecond,
+		GFlops:           123,
+		WorkingSetBytes:  200_000_000,
+		BytesTransferred: 50_000_000,
+		Loads:            7,
+		Evictions:        3,
+		StaticCost:       20 * time.Millisecond,
+		DynamicCost:      5 * time.Millisecond,
+	}
+	r := FromResult("figX", res)
+	if r.Figure != "figX" || r.Scheduler != "DMDAR" || r.GPUs != 2 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.WorkingSetMB != 200 || r.TransferredMB != 50 {
+		t.Fatalf("MB conversion: %+v", r)
+	}
+	if r.MakespanMS != 1500 || r.StaticMS != 20 || r.DynamicMS != 5 {
+		t.Fatalf("ms conversion: %+v", r)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	out := Plot(sample(), "gflops", 40, 10)
+	if !strings.Contains(out, "GFlop/s") {
+		t.Fatalf("missing unit:\n%s", out)
+	}
+	if !strings.Contains(out, "a = EAGER") || !strings.Contains(out, "b = DARTS+LUF") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing marks:\n%s", out)
+	}
+	if Plot(nil, "gflops", 40, 10) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if Plot(sample(), "gflops", 4, 2) != "" {
+		t.Fatal("degenerate dimensions should render nothing")
+	}
+	// transfers variant
+	if out := Plot(sample(), "transfers", 40, 8); !strings.Contains(out, "MB moved") {
+		t.Fatalf("transfers plot:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plot renders the rows of one figure as an ASCII chart: working set on
+// the x axis, the chosen metric ("gflops" or "transfers") on the y axis,
+// one letter per strategy. It is the terminal rendition of the paper's
+// figures.
+func Plot(rows []Row, metric string, width, height int) string {
+	if len(rows) == 0 || width < 16 || height < 4 {
+		return ""
+	}
+	type pt struct{ x, y float64 }
+	series := map[string][]pt{}
+	var schedOrder []string
+	var minX, maxX, maxY float64
+	minX = 1e300
+	for _, r := range rows {
+		y := r.GFlops
+		if metric == "transfers" {
+			y = r.TransferredMB
+		}
+		if _, ok := series[r.Scheduler]; !ok {
+			schedOrder = append(schedOrder, r.Scheduler)
+		}
+		series[r.Scheduler] = append(series[r.Scheduler], pt{r.WorkingSetMB, y})
+		if r.WorkingSetMB < minX {
+			minX = r.WorkingSetMB
+		}
+		if r.WorkingSetMB > maxX {
+			maxX = r.WorkingSetMB
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxX <= minX || maxY <= 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "abcdefghijklmnopqrstuvwxyz"
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := height - 1 - int(y/maxY*float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, name := range schedOrder {
+		m := marks[si%len(marks)]
+		pts := series[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for _, p := range pts {
+			r, c := rowOf(p.y), col(p.x)
+			if grid[r][c] == ' ' {
+				grid[r][c] = m
+			} else if grid[r][c] != m {
+				grid[r][c] = '*' // overlapping series
+			}
+		}
+	}
+	unit := "GFlop/s"
+	if metric == "transfers" {
+		unit = "MB moved"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.0f %s\n", maxY, unit)
+	for _, line := range grid {
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-10.0f%*s MB (working set)\n", minX, width-9, fmt.Sprintf("%.0f", maxX))
+	for si, name := range schedOrder {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}

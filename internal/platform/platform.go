@@ -1,0 +1,217 @@
+// Package platform describes the simulated machine: K GPUs with private
+// memories of bounded size, all connected to the host memory through one
+// shared PCI Express bus (Figure 2 of the paper).
+//
+// The presets are calibrated against the Tesla V100 testbed of the paper:
+// 13 253 GFlop/s of single-precision GEMM throughput per GPU, GPU memory
+// artificially limited to 500 MB, and an effective PCIe bandwidth of
+// 12 GB/s shared by all GPUs.
+package platform
+
+import (
+	"fmt"
+	"time"
+)
+
+// MB is 10^6 bytes, the unit used on every figure axis of the paper.
+const MB = 1_000_000
+
+// GB is 10^9 bytes.
+const GB = 1_000_000_000
+
+// Platform describes the simulated machine.
+type Platform struct {
+	// NumGPUs is K, the number of accelerators.
+	NumGPUs int
+	// MemoryBytes is the capacity of each GPU memory. The paper limits
+	// it to 500 MB "to better distinguish the performance of different
+	// strategies even on small datasets" (§V-A).
+	MemoryBytes int64
+	// GFlopsPerGPU is the sustained kernel throughput of one GPU, in
+	// GFlop/s. A task of f flops runs for f/(GFlopsPerGPU*1e9) seconds
+	// plus KernelLatency.
+	GFlopsPerGPU float64
+	// GFlopsPerGPUList, when non-empty, gives each GPU its own
+	// throughput (heterogeneous accelerators, the extension §III of the
+	// paper mentions and DMDA was originally designed for). Its length
+	// must equal NumGPUs; GFlopsPerGPU is then ignored except as a
+	// fallback for out-of-range queries.
+	GFlopsPerGPUList []float64
+	// BusBytesPerSecond is the effective bandwidth of the shared
+	// host-to-GPU bus. Transfers to all GPUs serialize on this bus.
+	BusBytesPerSecond float64
+	// TransferLatency is the fixed per-transfer setup cost.
+	TransferLatency time.Duration
+	// KernelLatency is the fixed per-kernel launch cost.
+	KernelLatency time.Duration
+	// NVLinkBytesPerSecond, when positive, enables direct GPU-to-GPU
+	// transfers over per-GPU NVLink channels that bypass the shared PCI
+	// bus. This implements the extension the paper lists as future work
+	// ("Moving data from a nearby GPU is indeed usually faster than
+	// loading it from the main memory", SVI).
+	NVLinkBytesPerSecond float64
+	// NVLinkLatency is the fixed setup cost of one peer transfer.
+	NVLinkLatency time.Duration
+}
+
+// V100 returns the paper's experimental platform with the given number of
+// GPUs and the 500 MB memory restriction.
+func V100(numGPUs int) Platform {
+	return Platform{
+		NumGPUs:           numGPUs,
+		MemoryBytes:       500 * MB,
+		GFlopsPerGPU:      13253,
+		BusBytesPerSecond: 12 * GB,
+		TransferLatency:   10 * time.Microsecond,
+		KernelLatency:     10 * time.Microsecond,
+	}
+}
+
+// V100NVLink returns the V100 platform with NVLink 2.0 peer links
+// enabled (25 GB/s effective per direction), the future-work extension of
+// the paper's SVI.
+func V100NVLink(numGPUs int) Platform {
+	p := V100(numGPUs)
+	p.NVLinkBytesPerSecond = 25 * GB
+	p.NVLinkLatency = 5 * time.Microsecond
+	return p
+}
+
+// CPUDisk returns the out-of-core scenario of the paper's introduction:
+// "a computer made of several CPUs with restricted private memory, and
+// limited bandwidth for the communication between memories and disk".
+// Numbers model one NUMA socket per "GPU": 2 TFlop/s of sustained SIMD
+// throughput, 4 GB of private memory, and a 2 GB/s shared disk link —
+// the same compute-to-transfer ratio regime as the V100 testbed.
+func CPUDisk(numCPUs int) Platform {
+	return Platform{
+		NumGPUs:           numCPUs,
+		MemoryBytes:       4 * GB,
+		GFlopsPerGPU:      2000,
+		BusBytesPerSecond: 2 * GB,
+		TransferLatency:   100 * time.Microsecond,
+		KernelLatency:     5 * time.Microsecond,
+	}
+}
+
+// V100Unlimited returns the platform used by Figure 13: the same machine
+// with the full 32 GB of memory per GPU, i.e. no effective memory limit.
+func V100Unlimited(numGPUs int) Platform {
+	p := V100(numGPUs)
+	p.MemoryBytes = 32 * GB
+	return p
+}
+
+// Validate reports an error if the platform description is not usable.
+func (p Platform) Validate() error {
+	switch {
+	case p.NumGPUs <= 0:
+		return fmt.Errorf("platform: NumGPUs = %d, must be positive", p.NumGPUs)
+	case p.MemoryBytes <= 0:
+		return fmt.Errorf("platform: MemoryBytes = %d, must be positive", p.MemoryBytes)
+	case p.GFlopsPerGPU <= 0:
+		return fmt.Errorf("platform: GFlopsPerGPU = %g, must be positive", p.GFlopsPerGPU)
+	case p.BusBytesPerSecond <= 0:
+		return fmt.Errorf("platform: BusBytesPerSecond = %g, must be positive", p.BusBytesPerSecond)
+	case p.TransferLatency < 0 || p.KernelLatency < 0 || p.NVLinkLatency < 0:
+		return fmt.Errorf("platform: negative latency")
+	case p.NVLinkBytesPerSecond < 0:
+		return fmt.Errorf("platform: negative NVLink bandwidth")
+	}
+	if len(p.GFlopsPerGPUList) > 0 {
+		if len(p.GFlopsPerGPUList) != p.NumGPUs {
+			return fmt.Errorf("platform: %d per-GPU throughputs for %d GPUs", len(p.GFlopsPerGPUList), p.NumGPUs)
+		}
+		for i, g := range p.GFlopsPerGPUList {
+			if g <= 0 {
+				return fmt.Errorf("platform: GPU %d throughput %g, must be positive", i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// GFlopsOn returns the kernel throughput of one specific GPU.
+func (p Platform) GFlopsOn(gpu int) float64 {
+	if gpu >= 0 && gpu < len(p.GFlopsPerGPUList) {
+		return p.GFlopsPerGPUList[gpu]
+	}
+	return p.GFlopsPerGPU
+}
+
+// TaskDurationOn returns the simulated execution time of a kernel on one
+// specific GPU, including launch latency.
+func (p Platform) TaskDurationOn(gpu int, flops float64) time.Duration {
+	sec := flops / (p.GFlopsOn(gpu) * 1e9)
+	return p.KernelLatency + time.Duration(sec*float64(time.Second))
+}
+
+// Heterogeneous returns the V100 platform with the given per-GPU
+// throughputs (in GFlop/s) instead of uniform speeds.
+func Heterogeneous(gflops ...float64) Platform {
+	p := V100(len(gflops))
+	p.GFlopsPerGPUList = append([]float64(nil), gflops...)
+	return p
+}
+
+// TaskDuration returns the simulated execution time of a kernel of the
+// given flops on one GPU, including launch latency.
+func (p Platform) TaskDuration(flops float64) time.Duration {
+	sec := flops / (p.GFlopsPerGPU * 1e9)
+	return p.KernelLatency + time.Duration(sec*float64(time.Second))
+}
+
+// TransferDuration returns the simulated time the shared bus is occupied
+// by one host-to-GPU transfer of the given size, including setup latency.
+func (p Platform) TransferDuration(bytes int64) time.Duration {
+	sec := float64(bytes) / p.BusBytesPerSecond
+	return p.TransferLatency + time.Duration(sec*float64(time.Second))
+}
+
+// PeerTransferDuration returns the simulated duration of one NVLink
+// GPU-to-GPU transfer. It panics if NVLink is disabled.
+func (p Platform) PeerTransferDuration(bytes int64) time.Duration {
+	if p.NVLinkBytesPerSecond <= 0 {
+		panic("platform: PeerTransferDuration without NVLink")
+	}
+	sec := float64(bytes) / p.NVLinkBytesPerSecond
+	return p.NVLinkLatency + time.Duration(sec*float64(time.Second))
+}
+
+// HasNVLink reports whether peer GPU-to-GPU transfers are enabled.
+func (p Platform) HasNVLink() bool { return p.NVLinkBytesPerSecond > 0 }
+
+// PeakGFlops returns the aggregate kernel throughput of the machine, the
+// "GFlop/s max" horizontal line of the paper's figures.
+func (p Platform) PeakGFlops() float64 {
+	if len(p.GFlopsPerGPUList) > 0 {
+		var s float64
+		for _, g := range p.GFlopsPerGPUList {
+			s += g
+		}
+		return s
+	}
+	return p.GFlopsPerGPU * float64(p.NumGPUs)
+}
+
+// MinComputeTime returns the time needed to process totalFlops at peak
+// throughput, ignoring all data movement: the denominator of the
+// "PCI bus limit" reference line.
+func (p Platform) MinComputeTime(totalFlops float64) time.Duration {
+	return time.Duration(totalFlops / p.PeakGFlops() / 1e9 * float64(time.Second))
+}
+
+// BusLimitBytes returns the maximum number of bytes the shared bus can
+// move during the optimal computation time for totalFlops. A strategy
+// transferring more than this necessarily spends longer on transfers than
+// the optimal computation time (the black dotted curve of Figures 4 and 7).
+func (p Platform) BusLimitBytes(totalFlops float64) int64 {
+	sec := p.MinComputeTime(totalFlops).Seconds()
+	return int64(sec * p.BusBytesPerSecond)
+}
+
+// CumulatedMemory returns the total memory of all GPUs, used by the
+// "fits in cumulated memory" vertical reference lines.
+func (p Platform) CumulatedMemory() int64 {
+	return p.MemoryBytes * int64(p.NumGPUs)
+}

@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+func TestV100Presets(t *testing.T) {
+	p := V100(4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGPUs != 4 || p.MemoryBytes != 500*MB {
+		t.Fatalf("unexpected preset: %+v", p)
+	}
+	if got := p.PeakGFlops(); got != 4*13253 {
+		t.Errorf("peak = %g", got)
+	}
+	u := V100Unlimited(2)
+	if u.MemoryBytes != 32*GB {
+		t.Errorf("unlimited memory = %d", u.MemoryBytes)
+	}
+	if got := p.CumulatedMemory(); got != 2000*MB {
+		t.Errorf("cumulated = %d", got)
+	}
+}
+
+func TestTaskDuration(t *testing.T) {
+	p := V100(1)
+	// A 2D product task: 2*960*960*3840 flops at 13253 GFlop/s is
+	// ~534 us plus the 10 us launch latency.
+	flops := 2.0 * 960 * 960 * 3840
+	d := p.TaskDuration(flops)
+	if d < 530*time.Microsecond || d > 560*time.Microsecond {
+		t.Errorf("2D task duration = %v", d)
+	}
+}
+
+func TestTransferDuration(t *testing.T) {
+	p := V100(1)
+	// 14.7456 MB at 12 GB/s is ~1.229 ms plus 10 us latency.
+	d := p.TransferDuration(14_745_600)
+	if d < 1200*time.Microsecond || d > 1300*time.Microsecond {
+		t.Errorf("transfer duration = %v", d)
+	}
+	// Zero bytes still pays the latency.
+	if got := p.TransferDuration(0); got != p.TransferLatency {
+		t.Errorf("zero transfer = %v", got)
+	}
+}
+
+func TestBusLimit(t *testing.T) {
+	p := V100(1)
+	totalFlops := 1e13 // ~0.7546 s of compute at peak
+	limit := p.BusLimitBytes(totalFlops)
+	sec := totalFlops / (13253 * 1e9)
+	want := int64(sec * 12 * GB)
+	if diff := limit - want; diff < -1000 || diff > 1000 {
+		t.Errorf("bus limit = %d, want ~%d", limit, want)
+	}
+	// With 2 GPUs the compute time halves, so does the limit.
+	p2 := V100(2)
+	if l2 := p2.BusLimitBytes(totalFlops); l2 >= limit {
+		t.Errorf("2-GPU limit %d not below 1-GPU limit %d", l2, limit)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]Platform{
+		"gpus":    {NumGPUs: 0, MemoryBytes: 1, GFlopsPerGPU: 1, BusBytesPerSecond: 1},
+		"memory":  {NumGPUs: 1, MemoryBytes: 0, GFlopsPerGPU: 1, BusBytesPerSecond: 1},
+		"gflops":  {NumGPUs: 1, MemoryBytes: 1, GFlopsPerGPU: 0, BusBytesPerSecond: 1},
+		"bus":     {NumGPUs: 1, MemoryBytes: 1, GFlopsPerGPU: 1, BusBytesPerSecond: 0},
+		"latency": {NumGPUs: 1, MemoryBytes: 1, GFlopsPerGPU: 1, BusBytesPerSecond: 1, TransferLatency: -1},
+	}
+	for name, p := range cases {
+		if p.Validate() == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestMinComputeTime(t *testing.T) {
+	p := V100(2)
+	d := p.MinComputeTime(2 * 13253 * 1e9) // exactly one second of work
+	if d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Errorf("min compute time = %v", d)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// EagerBelady couples the EAGER task order with an oracle eviction policy
+// applying Belady's rule to the shared queue: evict the resident data
+// whose next use in the remaining task sequence is the furthest away.
+// Belady's rule is optimal for a fixed task order (§III of the paper), so
+// this pair is the best possible eviction behaviour for the EAGER order
+// and anchors the eviction-policy ablation bench.
+type EagerBelady struct {
+	base
+	inst  *taskgraph.Instance
+	queue []taskgraph.TaskID
+	next  int
+}
+
+// NewEagerBeladyPair returns a builder producing the EAGER scheduler and
+// its Belady oracle policy for one run.
+func NewEagerBeladyPair() func() (sim.Scheduler, sim.EvictionPolicy) {
+	return func() (sim.Scheduler, sim.EvictionPolicy) {
+		s := &EagerBelady{}
+		return s, &beladyOracle{s: s}
+	}
+}
+
+// Name returns "EAGER+Belady".
+func (s *EagerBelady) Name() string { return "EAGER+Belady" }
+
+// Init loads the shared queue in submission order.
+func (s *EagerBelady) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.inst = inst
+	s.queue = make([]taskgraph.TaskID, inst.NumTasks())
+	for i := range s.queue {
+		s.queue[i] = taskgraph.TaskID(i)
+	}
+	s.next = 0
+}
+
+// PopTask hands out the next queued task.
+func (s *EagerBelady) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if s.next >= len(s.queue) {
+		return taskgraph.NoTask, false
+	}
+	t := s.queue[s.next]
+	s.next++
+	return t, true
+}
+
+// beladyOracle evicts the candidate whose next use in the paired
+// scheduler's remaining sequence is furthest in the future.
+type beladyOracle struct {
+	s *EagerBelady
+}
+
+// Name returns "Belady".
+func (p *beladyOracle) Name() string { return "Belady" }
+
+// Init, Loaded, Used and Evicted are no-ops: the oracle reads the paired
+// scheduler's queue directly.
+func (p *beladyOracle) Init(inst *taskgraph.Instance, view sim.RuntimeView) {}
+
+// Loaded is a no-op.
+func (p *beladyOracle) Loaded(gpu int, d taskgraph.DataID) {}
+
+// Used is a no-op.
+func (p *beladyOracle) Used(gpu int, d taskgraph.DataID) {}
+
+// Victim scans the remaining shared queue once and returns the candidate
+// used the latest (or never).
+func (p *beladyOracle) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	const never = int(^uint(0) >> 1)
+	nextUse := make(map[taskgraph.DataID]int, len(candidates))
+	for _, d := range candidates {
+		nextUse[d] = never
+	}
+	remaining := len(candidates)
+	for i := p.s.next; i < len(p.s.queue) && remaining > 0; i++ {
+		for _, d := range p.s.inst.Inputs(p.s.queue[i]) {
+			if use, ok := nextUse[d]; ok && use == never {
+				nextUse[d] = i
+				remaining--
+			}
+		}
+	}
+	best := candidates[0]
+	for _, d := range candidates[1:] {
+		if nextUse[d] > nextUse[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+// Evicted is a no-op.
+func (p *beladyOracle) Evicted(gpu int, d taskgraph.DataID) {}
+
+var (
+	_ sim.Scheduler      = (*EagerBelady)(nil)
+	_ sim.EvictionPolicy = (*beladyOracle)(nil)
+)

@@ -1,0 +1,40 @@
+package sched_test
+
+import (
+	"testing"
+
+	"memsched/internal/sched"
+	"memsched/internal/workload"
+)
+
+// TestEagerBeladyBeatsEagerLRU checks the in-simulator counterpart of the
+// offline property verified in internal/core: with the task order fixed
+// (EAGER), the Belady oracle never transfers more than LRU, and on the
+// pathological constrained 2D product it transfers strictly less.
+func TestEagerBeladyBeatsEagerLRU(t *testing.T) {
+	for _, n := range []int{36, 44, 50} {
+		inst := workload.Matmul2D(n)
+		lru := run(t, sched.EagerStrategy(), inst, 1)
+		bel := run(t, sched.Strategy{Label: "EAGER+Belady", New: sched.NewEagerBeladyPair()}, inst, 1)
+		if bel.BytesTransferred > lru.BytesTransferred {
+			t.Fatalf("n=%d: Belady moved %d B > LRU %d B", n, bel.BytesTransferred, lru.BytesTransferred)
+		}
+		if n >= 44 && bel.BytesTransferred == lru.BytesTransferred {
+			t.Errorf("n=%d: expected Belady to strictly beat LRU under constraint", n)
+		}
+	}
+}
+
+// TestEagerBeladyMatchesEagerOrder verifies the pair executes all tasks
+// with the same totals as plain EAGER.
+func TestEagerBeladyMatchesEagerOrder(t *testing.T) {
+	inst := workload.Matmul2D(20)
+	a := run(t, sched.EagerStrategy(), inst, 2)
+	b := run(t, sched.Strategy{Label: "EAGER+Belady", New: sched.NewEagerBeladyPair()}, inst, 2)
+	if a.TotalFlops != b.TotalFlops {
+		t.Fatal("different work executed")
+	}
+	if b.GFlops < a.GFlops {
+		t.Fatalf("Belady slower than LRU: %.0f vs %.0f GFlop/s", b.GFlops, a.GFlops)
+	}
+}

@@ -1,0 +1,614 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// DARTSOptions selects the DARTS variants evaluated in the paper.
+type DARTSOptions struct {
+	// LUF enables the Least Used in the Future eviction policy
+	// (Algorithm 6) instead of LRU, including its revocation of planned
+	// tasks whose data gets evicted.
+	LUF bool
+	// ThreeInputs enables the "3inputs" refinement of the else branch
+	// (§V-E): when no single data load frees a task, prefer a data that
+	// frees as many tasks as possible with one additional load.
+	ThreeInputs bool
+	// Opti enables the "OPTI" search cutoff (§V-F): stop the data scan
+	// as soon as a data enabling at least one task is found.
+	Opti bool
+	// Threshold, when positive, bounds the number of candidate data
+	// examined per decision (§V-C, "DARTS+LUF+threshold").
+	Threshold int
+}
+
+func (o DARTSOptions) name() string {
+	n := "DARTS"
+	if o.LUF {
+		n += "+LUF"
+	}
+	if o.Opti {
+		n += "+OPTI"
+	}
+	if o.ThreeInputs {
+		n += "-3inputs"
+	}
+	if o.Threshold > 0 {
+		n += "+threshold"
+	}
+	return n
+}
+
+// DARTS implements Data-Aware Reactive Task Scheduling (§IV-D,
+// Algorithm 5). It is fully dynamic: whenever a GPU requests a task, DARTS
+// looks for the data whose loading would maximize the number of "free"
+// tasks (tasks computable without any further load), reserves those tasks
+// for the GPU in plannedTasks, and serves them one by one.
+//
+// DARTS must be created through NewDARTSPair so that its LUF eviction
+// policy (when enabled) shares its state.
+type DARTS struct {
+	opts DARTSOptions
+	inst *taskgraph.Instance
+	view sim.RuntimeView
+
+	// pool is the set of unprocessed tasks not yet reserved by any GPU.
+	poolSlice []taskgraph.TaskID
+	poolIndex []int32 // task -> index in poolSlice, -1 if absent
+
+	// activeDeg[d] counts pool tasks reading d; singles[d] counts pool
+	// tasks whose only input is d.
+	activeDeg []int64
+	singles   map[taskgraph.DataID]int64
+
+	// loaded is DARTS' per-GPU bookkeeping: the complement of the
+	// paper's dataNotInMem_k. A data is "loaded" once selected for or
+	// transferred to the GPU.
+	loaded      [][]bool // per GPU, indexed by DataID
+	loadedCount []int
+	loadedList  [][]taskgraph.DataID // iteration order; may contain stale entries
+
+	// sumDeg[k] = sum of activeDeg over data still in dataNotInMem_k:
+	// the cost of the naive full scan of Algorithm 5 line 4, charged to
+	// the simulated clock.
+	sumDeg []int64
+
+	planned [][]taskgraph.TaskID // plannedTasks_k
+	buffer  [][]taskgraph.TaskID // taskBuffer_k: popped, not completed
+
+	visited []int32 // per-task epoch marks for frontier scans
+	epoch   int32
+}
+
+// NewDARTSPair returns a builder producing a fresh DARTS scheduler and its
+// eviction policy for one run. When opts.LUF is false the returned policy
+// is nil and the caller should use LRU, matching the paper's plain DARTS.
+func NewDARTSPair(opts DARTSOptions) func() (sim.Scheduler, sim.EvictionPolicy) {
+	return func() (sim.Scheduler, sim.EvictionPolicy) {
+		d := &DARTS{opts: opts}
+		if opts.LUF {
+			return d, &LUF{d: d}
+		}
+		return d, nil
+	}
+}
+
+// Name returns the variant name, e.g. "DARTS+LUF-3inputs".
+func (s *DARTS) Name() string { return s.opts.name() }
+
+// Init fills the task pool and the per-GPU bookkeeping.
+func (s *DARTS) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.inst = inst
+	s.view = view
+	k := view.Platform().NumGPUs
+	m := inst.NumTasks()
+	n := inst.NumData()
+
+	s.poolSlice = make([]taskgraph.TaskID, m)
+	s.poolIndex = make([]int32, m)
+	for i := 0; i < m; i++ {
+		s.poolSlice[i] = taskgraph.TaskID(i)
+		s.poolIndex[i] = int32(i)
+	}
+	s.activeDeg = make([]int64, n)
+	s.singles = make(map[taskgraph.DataID]int64)
+	for _, t := range inst.Tasks() {
+		for _, d := range t.Inputs {
+			s.activeDeg[d]++
+		}
+		if len(t.Inputs) == 1 {
+			s.singles[t.Inputs[0]]++
+		}
+	}
+	var totalDeg int64
+	for _, deg := range s.activeDeg {
+		totalDeg += deg
+	}
+	s.loaded = make([][]bool, k)
+	s.loadedCount = make([]int, k)
+	s.loadedList = make([][]taskgraph.DataID, k)
+	s.sumDeg = make([]int64, k)
+	s.planned = make([][]taskgraph.TaskID, k)
+	s.buffer = make([][]taskgraph.TaskID, k)
+	for g := 0; g < k; g++ {
+		s.loaded[g] = make([]bool, n)
+		s.sumDeg[g] = totalDeg
+	}
+	s.visited = make([]int32, m)
+}
+
+func (s *DARTS) inPool(t taskgraph.TaskID) bool { return s.poolIndex[t] >= 0 }
+
+// removeFromPool takes t out of the shared pool, updating degree counters.
+func (s *DARTS) removeFromPool(t taskgraph.TaskID) {
+	i := s.poolIndex[t]
+	if i < 0 {
+		panic(fmt.Sprintf("sched: DARTS task %d not in pool", t))
+	}
+	last := len(s.poolSlice) - 1
+	moved := s.poolSlice[last]
+	s.poolSlice[i] = moved
+	s.poolIndex[moved] = i
+	s.poolSlice = s.poolSlice[:last]
+	s.poolIndex[t] = -1
+	in := s.inst.Inputs(t)
+	for _, d := range in {
+		s.activeDeg[d]--
+		for g := range s.loaded {
+			if !s.loaded[g][d] {
+				s.sumDeg[g]--
+			}
+		}
+	}
+	if len(in) == 1 {
+		if s.singles[in[0]]--; s.singles[in[0]] == 0 {
+			delete(s.singles, in[0])
+		}
+	}
+}
+
+// returnToPool puts a revoked planned task back in the shared pool.
+func (s *DARTS) returnToPool(t taskgraph.TaskID) {
+	if s.poolIndex[t] >= 0 {
+		return
+	}
+	s.poolIndex[t] = int32(len(s.poolSlice))
+	s.poolSlice = append(s.poolSlice, t)
+	in := s.inst.Inputs(t)
+	for _, d := range in {
+		s.activeDeg[d]++
+		for g := range s.loaded {
+			if !s.loaded[g][d] {
+				s.sumDeg[g]++
+			}
+		}
+	}
+	if len(in) == 1 {
+		s.singles[in[0]]++
+	}
+}
+
+// markLoaded records that gpu considers d loaded (selected or resident).
+func (s *DARTS) markLoaded(gpu int, d taskgraph.DataID) {
+	if s.loaded[gpu][d] {
+		return
+	}
+	s.loaded[gpu][d] = true
+	s.loadedCount[gpu]++
+	s.loadedList[gpu] = append(s.loadedList[gpu], d)
+	s.sumDeg[gpu] -= s.activeDeg[d]
+}
+
+// markUnloaded records that d left the memory of gpu.
+func (s *DARTS) markUnloaded(gpu int, d taskgraph.DataID) {
+	if !s.loaded[gpu][d] {
+		return
+	}
+	s.loaded[gpu][d] = false
+	s.loadedCount[gpu]--
+	s.sumDeg[gpu] += s.activeDeg[d]
+	// loadedList is compacted lazily during scans.
+}
+
+// missingInputs returns how many inputs of t are not loaded in the DARTS
+// view of gpu, and one of the missing data items.
+func (s *DARTS) missingInputs(gpu int, t taskgraph.TaskID) (int, taskgraph.DataID) {
+	missing := 0
+	miss := taskgraph.NoData
+	for _, d := range s.inst.Inputs(t) {
+		if !s.loaded[gpu][d] {
+			missing++
+			miss = d
+		}
+	}
+	return missing, miss
+}
+
+// PopTask implements Algorithm 5 for GPU gpu.
+func (s *DARTS) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if len(s.planned[gpu]) > 0 {
+		t := s.planned[gpu][0]
+		s.planned[gpu] = s.planned[gpu][1:]
+		s.buffer[gpu] = append(s.buffer[gpu], t)
+		s.view.Charge(1)
+		return t, true
+	}
+	if len(s.poolSlice) == 0 {
+		return taskgraph.NoTask, false
+	}
+	if dopt, ok := s.selectData(gpu); ok {
+		s.fillPlanned(gpu, dopt)
+		t := s.planned[gpu][0]
+		s.planned[gpu] = s.planned[gpu][1:]
+		s.buffer[gpu] = append(s.buffer[gpu], t)
+		return t, true
+	}
+	// else branch (line 13): no single load frees a task.
+	var t taskgraph.TaskID
+	if s.opts.ThreeInputs {
+		t = s.pickThreeInputs(gpu)
+	} else {
+		t = taskgraph.NoTask
+	}
+	if t == taskgraph.NoTask {
+		t = s.poolSlice[s.view.Rand().Intn(len(s.poolSlice))]
+		s.view.Charge(1)
+	}
+	s.removeFromPool(t)
+	for _, d := range s.inst.Inputs(t) {
+		s.markLoaded(gpu, d)
+	}
+	s.buffer[gpu] = append(s.buffer[gpu], t)
+	return t, true
+}
+
+// compactLoadedList drops stale entries from the loaded iteration order.
+func (s *DARTS) compactLoadedList(gpu int) []taskgraph.DataID {
+	list := s.loadedList[gpu]
+	if len(list) <= 2*s.loadedCount[gpu] {
+		return list
+	}
+	out := list[:0]
+	for _, d := range list {
+		if s.loaded[gpu][d] {
+			out = append(out, d)
+		}
+	}
+	s.loadedList[gpu] = out
+	return out
+}
+
+// selectData performs lines 4-11 of Algorithm 5: find the data of
+// dataNotInMem_gpu maximizing the number of freed tasks. It returns
+// ok=false when no data frees any task (nmax == 0).
+//
+// The candidate set is computed through the frontier of loaded data
+// (every data with n(D) > 0 is a missing input of a pool task whose other
+// inputs are loaded, or the sole input of a single-input task), which is
+// equivalent to the naive scan of the paper's pseudo-code. The cost
+// charged to the simulated clock is nevertheless the naive scan's
+// (sumDeg), since that is what the paper's implementation pays — its
+// variants OPTI and Threshold exist precisely to cut it.
+func (s *DARTS) selectData(gpu int) (taskgraph.DataID, bool) {
+	s.epoch++
+	counts := make(map[taskgraph.DataID]int64)
+	// Single-input tasks are free as soon as their data loads.
+	for d, c := range s.singles {
+		if !s.loaded[gpu][d] {
+			counts[d] += c
+		}
+	}
+	var scanOps int64
+	stopEarly := s.opts.Opti
+	list := s.compactLoadedList(gpu)
+scan:
+	for li := range list {
+		// OPTI stops at the first data enabling a task, so scan from the
+		// most recently loaded data: the first hit then extends the
+		// locality the GPU already built, instead of resurrecting the
+		// neighborhood of its oldest data.
+		r := list[li]
+		if stopEarly {
+			r = list[len(list)-1-li]
+		}
+		if !s.loaded[gpu][r] {
+			continue
+		}
+		for _, t := range s.inst.Consumers(r) {
+			if !s.inPool(t) || s.visited[t] == s.epoch {
+				continue
+			}
+			s.visited[t] = s.epoch
+			scanOps += int64(len(s.inst.Inputs(t)))
+			missing, miss := s.missingInputs(gpu, t)
+			if missing == 1 {
+				counts[miss]++
+				if stopEarly {
+					break scan
+				}
+			}
+		}
+	}
+	if len(counts) == 0 {
+		s.view.Charge(s.scanCharge(gpu, scanOps))
+		return taskgraph.NoData, false
+	}
+	keys := make([]taskgraph.DataID, 0, len(counts))
+	for d := range counts {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if s.opts.Threshold > 0 && len(keys) > s.opts.Threshold {
+		// Examine only Threshold candidates, chosen at random as the
+		// paper's bounded scan would encounter them.
+		rng := s.view.Rand()
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		keys = keys[:s.opts.Threshold]
+	}
+	// nmax and the candidate set (line 6-8).
+	var nmax int64
+	for _, d := range keys {
+		if counts[d] > nmax {
+			nmax = counts[d]
+		}
+	}
+	// Among data freeing nmax tasks, prefer the one useful to the most
+	// unprocessed tasks, breaking ties randomly (line 9).
+	best := taskgraph.NoData
+	var bestDeg int64 = -1
+	ties := 0
+	rng := s.view.Rand()
+	for _, d := range keys {
+		if counts[d] != nmax {
+			continue
+		}
+		switch deg := s.activeDeg[d]; {
+		case deg > bestDeg:
+			best, bestDeg, ties = d, deg, 1
+		case deg == bestDeg:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = d
+			}
+		}
+	}
+	s.view.Charge(s.scanCharge(gpu, scanOps))
+	return best, true
+}
+
+// scanCharge converts one selectData scan into charged operations,
+// following the paper's implementation costs: the plain algorithm scans
+// all of dataNotInMem (sumDeg), OPTI pays only the work actually done
+// before stopping, and Threshold pays the average candidate cost times
+// the bound.
+func (s *DARTS) scanCharge(gpu int, actualOps int64) int64 {
+	switch {
+	case s.opts.Opti:
+		return actualOps + 1
+	case s.opts.Threshold > 0:
+		notInMem := int64(s.inst.NumData() - s.loadedCount[gpu])
+		if notInMem <= 0 {
+			return actualOps + 1
+		}
+		avg := s.sumDeg[gpu] / notInMem
+		charge := int64(s.opts.Threshold) * (avg + 1)
+		if charge > s.sumDeg[gpu] {
+			charge = s.sumDeg[gpu]
+		}
+		return charge + 1
+	default:
+		return s.sumDeg[gpu] + 1
+	}
+}
+
+// fillPlanned reserves for gpu every pool task depending only on dopt and
+// already loaded data (line 10), and marks dopt as loaded (line 11).
+func (s *DARTS) fillPlanned(gpu int, dopt taskgraph.DataID) {
+	var free []taskgraph.TaskID
+	for _, t := range s.inst.Consumers(dopt) {
+		if !s.inPool(t) {
+			continue
+		}
+		ok := true
+		for _, d := range s.inst.Inputs(t) {
+			if d != dopt && !s.loaded[gpu][d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			free = append(free, t)
+		}
+	}
+	if len(free) == 0 {
+		// Races with revocation can empty the free set; fall back to any
+		// pool consumer of dopt, or a random pool task.
+		for _, t := range s.inst.Consumers(dopt) {
+			if s.inPool(t) {
+				free = []taskgraph.TaskID{t}
+				break
+			}
+		}
+		if len(free) == 0 {
+			free = []taskgraph.TaskID{s.poolSlice[s.view.Rand().Intn(len(s.poolSlice))]}
+		}
+	}
+	for _, t := range free {
+		s.removeFromPool(t)
+	}
+	s.planned[gpu] = append(s.planned[gpu], free...)
+	s.markLoaded(gpu, dopt)
+}
+
+// pickThreeInputs implements the 3inputs else branch: find the data D
+// maximizing the number of pool tasks that miss exactly D and one other
+// unloaded data on this GPU, and return one such task (NoTask if none).
+func (s *DARTS) pickThreeInputs(gpu int) taskgraph.TaskID {
+	counts := make(map[taskgraph.DataID]int64)
+	var ops int64
+	for _, t := range s.poolSlice {
+		ops += int64(len(s.inst.Inputs(t)))
+		missing := 0
+		var m1, m2 taskgraph.DataID = taskgraph.NoData, taskgraph.NoData
+		for _, d := range s.inst.Inputs(t) {
+			if !s.loaded[gpu][d] {
+				missing++
+				if missing == 1 {
+					m1 = d
+				} else if missing == 2 {
+					m2 = d
+				} else {
+					break
+				}
+			}
+		}
+		if missing == 2 {
+			counts[m1]++
+			counts[m2]++
+		}
+	}
+	s.view.Charge(ops)
+	if len(counts) == 0 {
+		return taskgraph.NoTask
+	}
+	keys := make([]taskgraph.DataID, 0, len(counts))
+	for d := range counts {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	best := keys[0]
+	for _, d := range keys[1:] {
+		if counts[d] > counts[best] {
+			best = d
+		}
+	}
+	// Return the first pool task missing exactly best and one other data.
+	for _, t := range s.inst.Consumers(best) {
+		if !s.inPool(t) {
+			continue
+		}
+		if missing, _ := s.missingInputs(gpu, t); missing == 2 {
+			return t
+		}
+	}
+	return taskgraph.NoTask
+}
+
+// TaskDone removes t from taskBuffer_gpu.
+func (s *DARTS) TaskDone(gpu int, t taskgraph.TaskID) {
+	buf := s.buffer[gpu]
+	for i := range buf {
+		if buf[i] == t {
+			s.buffer[gpu] = append(buf[:i], buf[i+1:]...)
+			return
+		}
+	}
+}
+
+// DataLoaded keeps the DARTS view in sync with data loaded by the runtime
+// (for example reloads of evicted inputs of buffered tasks).
+func (s *DARTS) DataLoaded(gpu int, d taskgraph.DataID) { s.markLoaded(gpu, d) }
+
+// DataEvicted pushes d back to dataNotInMem_gpu. Under LUF it also
+// removes the planned tasks depending on d (Algorithm 6 line 8), putting
+// them back in the shared pool.
+func (s *DARTS) DataEvicted(gpu int, d taskgraph.DataID) {
+	s.markUnloaded(gpu, d)
+	if !s.opts.LUF {
+		return
+	}
+	kept := s.planned[gpu][:0]
+	for _, t := range s.planned[gpu] {
+		uses := false
+		for _, in := range s.inst.Inputs(t) {
+			if in == d {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			s.returnToPool(t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	s.planned[gpu] = kept
+}
+
+// LUF is the Least Used in the Future eviction policy (Algorithm 6). It
+// reads the plannedTasks and taskBuffer of its paired DARTS scheduler:
+// prefer evicting a data used by no in-flight task and by the fewest
+// planned tasks; otherwise apply Belady's rule to the in-flight tasks.
+type LUF struct {
+	d *DARTS
+}
+
+// Name returns "LUF".
+func (p *LUF) Name() string { return "LUF" }
+
+// Init is a no-op; the paired DARTS scheduler owns all state.
+func (p *LUF) Init(inst *taskgraph.Instance, view sim.RuntimeView) {}
+
+// Loaded is a no-op.
+func (p *LUF) Loaded(gpu int, d taskgraph.DataID) {}
+
+// Used is a no-op.
+func (p *LUF) Used(gpu int, d taskgraph.DataID) {}
+
+// Victim implements Algorithm 6.
+func (p *LUF) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
+	s := p.d
+	// nb(D): first (and count of) uses in taskBuffer, in execution order.
+	nb := make(map[taskgraph.DataID]int64)
+	nextUse := make(map[taskgraph.DataID]int)
+	for i, t := range s.buffer[gpu] {
+		for _, d := range s.inst.Inputs(t) {
+			nb[d]++
+			if _, ok := nextUse[d]; !ok {
+				nextUse[d] = i
+			}
+		}
+	}
+	// np(D): uses in plannedTasks.
+	np := make(map[taskgraph.DataID]int64)
+	for _, t := range s.planned[gpu] {
+		for _, d := range s.inst.Inputs(t) {
+			np[d]++
+		}
+	}
+	best := taskgraph.NoData
+	var bestNp int64
+	for _, d := range candidates {
+		if nb[d] != 0 {
+			continue
+		}
+		if best == taskgraph.NoData || np[d] < bestNp {
+			best, bestNp = d, np[d]
+		}
+	}
+	if best != taskgraph.NoData {
+		return best
+	}
+	// All candidates are used by in-flight tasks: Belady on taskBuffer.
+	far := candidates[0]
+	farUse := nextUse[far]
+	for _, d := range candidates[1:] {
+		if nextUse[d] > farUse {
+			far, farUse = d, nextUse[d]
+		}
+	}
+	return far
+}
+
+// Evicted is a no-op; the paired scheduler handles eviction bookkeeping in
+// its DataEvicted hook.
+func (p *LUF) Evicted(gpu int, d taskgraph.DataID) {}
+
+var (
+	_ sim.Scheduler      = (*DARTS)(nil)
+	_ sim.EvictionPolicy = (*LUF)(nil)
+)

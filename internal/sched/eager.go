@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// Eager is the paper's baseline scheduler: GPUs pick up tasks on demand
+// from a single shared queue holding the tasks in submission order
+// ("the natural order, i.e. row major for matrix multiplications", §V-A).
+type Eager struct {
+	base
+	queue []taskgraph.TaskID
+	next  int
+}
+
+// NewEager returns a Factory for the EAGER baseline.
+func NewEager() Factory {
+	return func() sim.Scheduler { return &Eager{} }
+}
+
+// Name returns "EAGER".
+func (s *Eager) Name() string { return "EAGER" }
+
+// Init loads the shared queue with all tasks in submission order.
+func (s *Eager) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.queue = make([]taskgraph.TaskID, inst.NumTasks())
+	for i := range s.queue {
+		s.queue[i] = taskgraph.TaskID(i)
+	}
+	s.next = 0
+}
+
+// PopTask hands the next queued task to whichever GPU asks first.
+func (s *Eager) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if s.next >= len(s.queue) {
+		return taskgraph.NoTask, false
+	}
+	t := s.queue[s.next]
+	s.next++
+	return t, true
+}

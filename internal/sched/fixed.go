@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"fmt"
+
+	"memsched/internal/core"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// Fixed executes a precomputed schedule: each GPU processes exactly the
+// tasks of its core.Schedule queue, in order. It bridges the offline
+// model of §III and the runtime: an offline schedule (for example the
+// brute-force optimum, or one produced by an external tool) can be
+// replayed in the simulator with prefetching and a real eviction policy.
+type Fixed struct {
+	base
+	schedule *core.Schedule
+	next     []int
+}
+
+// NewFixed returns a Factory replaying schedule. Init panics if the
+// schedule does not cover the instance or has fewer queues than GPUs.
+func NewFixed(schedule *core.Schedule) Factory {
+	return func() sim.Scheduler {
+		return &Fixed{schedule: schedule}
+	}
+}
+
+// Name returns "fixed".
+func (s *Fixed) Name() string { return "fixed" }
+
+// Init validates the schedule against the instance and platform.
+func (s *Fixed) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	if err := s.schedule.Validate(inst); err != nil {
+		panic(fmt.Sprintf("sched: fixed schedule invalid: %v", err))
+	}
+	if len(s.schedule.Order) > view.Platform().NumGPUs {
+		panic(fmt.Sprintf("sched: fixed schedule uses %d GPUs, platform has %d",
+			len(s.schedule.Order), view.Platform().NumGPUs))
+	}
+	s.next = make([]int, len(s.schedule.Order))
+}
+
+// PopTask returns the next scheduled task of gpu.
+func (s *Fixed) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if gpu >= len(s.schedule.Order) || s.next[gpu] >= len(s.schedule.Order[gpu]) {
+		return taskgraph.NoTask, false
+	}
+	t := s.schedule.Order[gpu][s.next[gpu]]
+	s.next[gpu]++
+	return t, true
+}

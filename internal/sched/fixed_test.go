@@ -1,0 +1,143 @@
+package sched_test
+
+import (
+	"testing"
+
+	"memsched/internal/core"
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func TestFixedReplaysSchedule(t *testing.T) {
+	inst := workload.Matmul2D(6)
+	// Column-major on GPU 0, remainder on GPU 1.
+	s := &core.Schedule{Order: make([][]taskgraph.TaskID, 2)}
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 3; i++ {
+			s.Order[0] = append(s.Order[0], taskgraph.TaskID(i*6+j))
+		}
+		for i := 3; i < 6; i++ {
+			s.Order[1] = append(s.Order[1], taskgraph.TaskID(i*6+j))
+		}
+	}
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(2),
+		Scheduler:       sched.NewFixed(s)(),
+		Eviction:        memory.NewLRU(),
+		RecordTrace:     true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU[0].Tasks != 18 || res.GPU[1].Tasks != 18 {
+		t.Fatalf("task split %d/%d", res.GPU[0].Tasks, res.GPU[1].Tasks)
+	}
+	// Per-GPU start order must equal the given queues (in-order
+	// execution holds when tasks become ready in order).
+	var got [2][]taskgraph.TaskID
+	for _, ev := range res.Trace {
+		if ev.Kind == sim.TraceStart {
+			got[ev.GPU] = append(got[ev.GPU], ev.Task)
+		}
+	}
+	for k := 0; k < 2; k++ {
+		seen := map[taskgraph.TaskID]bool{}
+		for _, task := range got[k] {
+			seen[task] = true
+		}
+		for _, task := range s.Order[k] {
+			if !seen[task] {
+				t.Fatalf("gpu %d did not run task %d", k, task)
+			}
+		}
+	}
+}
+
+// TestFixedReplaysBruteForceOptimum closes the loop: the brute-force
+// optimal schedule of a tiny instance, replayed in the simulator with
+// FIFO eviction and a window of 1, must not load much more than the
+// offline optimum predicts.
+func TestFixedReplaysBruteForceOptimum(t *testing.T) {
+	b := taskgraph.NewBuilder("tiny")
+	const unit = 100
+	d := make([]taskgraph.DataID, 4)
+	for i := range d {
+		d[i] = b.AddData("d", unit)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddTask("t", 1e9, d[i], d[j])
+		}
+	}
+	inst := b.Build() // 6 tasks over 4 data
+	const mem = 4 * unit
+
+	best, err := core.BruteForce(inst, 1, mem, inst.NumTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(inst, sim.Config{
+		Platform: platform.Platform{
+			NumGPUs: 1, MemoryBytes: mem, GFlopsPerGPU: 1, BusBytesPerSecond: 1000,
+		},
+		Scheduler:       sched.NewFixed(best.Schedule)(),
+		Eviction:        memory.NewFIFO(),
+		WindowSize:      1,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The online run may pay a little for prefetch-window eviction
+	// mismatch, but must stay within 150% of the offline optimum.
+	if res.Loads > best.Loads*3/2 {
+		t.Fatalf("replay loaded %d, offline optimum %d", res.Loads, best.Loads)
+	}
+}
+
+func TestFixedValidation(t *testing.T) {
+	inst := workload.Matmul2D(3)
+	s := &core.Schedule{Order: [][]taskgraph.TaskID{{0, 1}}} // incomplete
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incomplete schedule accepted")
+		}
+	}()
+	_, _ = sim.Run(inst, sim.Config{
+		Platform:  platform.V100(1),
+		Scheduler: sched.NewFixed(s)(),
+		Eviction:  memory.NewLRU(),
+	})
+}
+
+// TestLoadsPerDataShowsEagerPathology quantifies §V-B: under EAGER at
+// n=40 on one GPU, the B columns are reloaded for almost every block-row
+// of A once memory is constrained, while the A rows load once each.
+func TestLoadsPerDataShowsEagerPathology(t *testing.T) {
+	n := 40
+	inst := workload.Matmul2D(n)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  platform.V100(1),
+		Scheduler: sched.NewEager()(),
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aLoads, bLoads int
+	for d := 0; d < n; d++ {
+		aLoads += res.LoadsPerData[d] // A rows are data 0..n-1
+		bLoads += res.LoadsPerData[n+d]
+	}
+	if aLoads > n+n/4 {
+		t.Fatalf("A rows loaded %d times, want ~%d", aLoads, n)
+	}
+	if bLoads < 5*n {
+		t.Fatalf("B columns loaded %d times, expected massive reloading", bLoads)
+	}
+}

@@ -1,0 +1,157 @@
+package sched_test
+
+import (
+	"testing"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// run executes inst under strat on a V100 platform with gpus GPUs,
+// checking trace invariants.
+func run(t *testing.T, strat sched.Strategy, inst *taskgraph.Instance, gpus int) *sim.Result {
+	t.Helper()
+	s, pol := strat.New()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(gpus),
+		Scheduler:       s,
+		Eviction:        ev,
+		Seed:            1,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", strat.Label, err)
+	}
+	return res
+}
+
+func allStrategies() []sched.Strategy {
+	return []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.HMetisRStrategy(true),
+		sched.HMetisRStrategy(false),
+		sched.MHFPStrategy(true),
+		sched.MHFPStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, ThreeInputs: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Opti: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true, Threshold: 10}),
+	}
+}
+
+// TestAllStrategiesAllWorkloads is the cross-product smoke test: every
+// strategy must complete every workload shape on 1, 2 and 4 GPUs with a
+// valid trace.
+func TestAllStrategiesAllWorkloads(t *testing.T) {
+	insts := []*taskgraph.Instance{
+		workload.Matmul2D(8),
+		workload.Matmul2DRandomized(8, 3),
+		workload.Matmul3D(4),
+		workload.Cholesky(6),
+		workload.Sparse2D(20, 0.1, 5),
+	}
+	for _, strat := range allStrategies() {
+		for _, inst := range insts {
+			for _, gpus := range []int{1, 2, 4} {
+				res := run(t, strat, inst, gpus)
+				if res.GFlops <= 0 {
+					t.Fatalf("%s on %s (%d GPUs): zero throughput", strat.Label, inst.Name(), gpus)
+				}
+			}
+		}
+	}
+}
+
+// TestAllStrategiesUnderMemoryPressure exercises eviction paths: at n=40
+// one input matrix no longer fits a single 500 MB GPU.
+func TestAllStrategiesUnderMemoryPressure(t *testing.T) {
+	inst := workload.Matmul2D(40)
+	for _, strat := range allStrategies() {
+		res := run(t, strat, inst, 1)
+		if res.Evictions == 0 {
+			t.Errorf("%s: expected evictions at n=40 on one GPU", strat.Label)
+		}
+	}
+}
+
+// TestDARTSLUFBeatsPlainDARTSUnderPressure checks the paper's headline
+// single-GPU result (Figures 3-4): under memory constraint, DARTS with the
+// LUF eviction policy transfers less data than DARTS with LRU.
+func TestDARTSLUFBeatsPlainDARTSUnderPressure(t *testing.T) {
+	inst := workload.Matmul2D(50)
+	plain := run(t, sched.DARTSStrategy(sched.DARTSOptions{}), inst, 1)
+	luf := run(t, sched.DARTSStrategy(sched.DARTSOptions{LUF: true}), inst, 1)
+	if luf.BytesTransferred >= plain.BytesTransferred {
+		t.Fatalf("DARTS+LUF transferred %d B, plain DARTS %d B: LUF should transfer less",
+			luf.BytesTransferred, plain.BytesTransferred)
+	}
+	if luf.GFlops <= plain.GFlops {
+		t.Fatalf("DARTS+LUF %.0f GFlop/s vs plain DARTS %.0f GFlop/s: LUF should be faster",
+			luf.GFlops, plain.GFlops)
+	}
+}
+
+// TestEagerPathologyAppears checks that EAGER collapses once matrix B no
+// longer fits (the LRU pathology of §V-B), while DARTS+LUF stays healthy.
+func TestEagerPathologyAppears(t *testing.T) {
+	inst := workload.Matmul2D(50)
+	eager := run(t, sched.EagerStrategy(), inst, 1)
+	luf := run(t, sched.DARTSStrategy(sched.DARTSOptions{LUF: true}), inst, 1)
+	if float64(eager.BytesTransferred) < 1.5*float64(luf.BytesTransferred) {
+		t.Fatalf("EAGER %d B vs DARTS+LUF %d B: pathological reloads missing",
+			eager.BytesTransferred, luf.BytesTransferred)
+	}
+}
+
+// TestLoadBalanceMultiGPU checks Objective 1: on a uniform workload no
+// GPU should process more than twice the fair share of tasks.
+func TestLoadBalanceMultiGPU(t *testing.T) {
+	inst := workload.Matmul2D(16)
+	for _, strat := range allStrategies() {
+		res := run(t, strat, inst, 4)
+		fair := inst.NumTasks() / 4
+		for k, g := range res.GPU {
+			if g.Tasks > 2*fair {
+				t.Errorf("%s: gpu %d ran %d tasks (fair share %d)", strat.Label, k, g.Tasks, fair)
+			}
+		}
+	}
+}
+
+// TestSchedulersDeterministic verifies that two runs with the same seed
+// produce identical results.
+func TestSchedulersDeterministic(t *testing.T) {
+	inst := workload.Matmul2D(20)
+	for _, strat := range allStrategies() {
+		a := run(t, strat, inst, 2)
+		b := run(t, strat, inst, 2)
+		if a.Makespan != b.Makespan || a.Loads != b.Loads || a.Evictions != b.Evictions {
+			t.Errorf("%s: nondeterministic (makespan %v vs %v, loads %d vs %d)",
+				strat.Label, a.Makespan, b.Makespan, a.Loads, b.Loads)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := sched.ByName("darts+luf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "DARTS+LUF" {
+		t.Fatalf("got %q", s.Label)
+	}
+	if _, err := sched.ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}

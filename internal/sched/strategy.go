@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memsched/internal/sim"
+)
+
+// Strategy couples a scheduler builder with its eviction policy builder.
+// A nil policy means the strategy uses the default LRU (every strategy of
+// the paper except DARTS+LUF).
+type Strategy struct {
+	// Label is the display name used on the paper's figures.
+	Label string
+	// New builds a fresh scheduler (and eviction policy, or nil for
+	// LRU) for one simulation run.
+	New func() (sim.Scheduler, sim.EvictionPolicy)
+}
+
+func simple(label string, f Factory) Strategy {
+	return Strategy{Label: label, New: func() (sim.Scheduler, sim.EvictionPolicy) { return f(), nil }}
+}
+
+// EagerStrategy returns the EAGER baseline.
+func EagerStrategy() Strategy { return simple("EAGER", NewEager()) }
+
+// DMDARStrategy returns StarPU's DMDAR scheduler.
+func DMDARStrategy() Strategy { return simple("DMDAR", NewDMDAR(0)) }
+
+// HMetisRStrategy returns hMETIS+R; chargeCost selects whether the
+// partitioning time is charged ("hMETIS+R" vs "hMETIS+R no part. time").
+func HMetisRStrategy(chargeCost bool) Strategy {
+	f := NewHMetisR(chargeCost, 0)
+	label := "hMETIS+R"
+	if !chargeCost {
+		label = "hMETIS+R no part. time"
+	}
+	return simple(label, f)
+}
+
+// MHFPStrategy returns mHFP; chargeCost selects whether the packing time
+// is charged ("mHFP" vs "mHFP no sched. time").
+func MHFPStrategy(chargeCost bool) Strategy {
+	f := NewMHFP(chargeCost, 0)
+	label := "mHFP"
+	if !chargeCost {
+		label = "mHFP no sched. time"
+	}
+	return simple(label, f)
+}
+
+// DARTSStrategy returns the DARTS variant described by opts.
+func DARTSStrategy(opts DARTSOptions) Strategy {
+	pair := NewDARTSPair(opts)
+	return Strategy{Label: opts.name(), New: pair}
+}
+
+// All returns every strategy of the paper under its figure label,
+// for CLI listing.
+func All() []Strategy {
+	return []Strategy{
+		EagerStrategy(),
+		DMDARStrategy(),
+		HMetisRStrategy(true),
+		HMetisRStrategy(false),
+		MHFPStrategy(true),
+		MHFPStrategy(false),
+		DARTSStrategy(DARTSOptions{}),
+		DARTSStrategy(DARTSOptions{LUF: true}),
+		DARTSStrategy(DARTSOptions{LUF: true, ThreeInputs: true}),
+		DARTSStrategy(DARTSOptions{LUF: true, Opti: true}),
+		DARTSStrategy(DARTSOptions{LUF: true, Opti: true, ThreeInputs: true}),
+		DARTSStrategy(DARTSOptions{LUF: true, Threshold: 10}),
+	}
+}
+
+// ByName resolves a strategy by its label (case-insensitive). It returns
+// an error listing the known labels on failure.
+func ByName(name string) (Strategy, error) {
+	for _, s := range All() {
+		if strings.EqualFold(s.Label, name) {
+			return s, nil
+		}
+	}
+	known := make([]string, 0)
+	for _, s := range All() {
+		known = append(known, s.Label)
+	}
+	sort.Strings(known)
+	return Strategy{}, fmt.Errorf("sched: unknown strategy %q (known: %s)", name, strings.Join(known, ", "))
+}

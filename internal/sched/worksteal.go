@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// WorkStealing is a locality-aware work-stealing scheduler in the spirit
+// of XKaapi's strategies, which the paper's related work cites as the
+// main alternative school ("efforts have been made to favor data locality
+// by implementing and extending ideas from theoretical studies on data
+// locality for work stealing", §II-c). Tasks are dealt to per-GPU deques
+// in contiguous submission blocks; owners serve their own deque with the
+// Ready rule, and an idle GPU steals the tasks whose inputs are most
+// available in its own memory from the most loaded victim.
+//
+// It is the "locality by stealing" baseline to the paper's "locality by
+// partitioning or planning" strategies.
+type WorkStealing struct {
+	base
+	readyWindow int
+	stealWindow int
+	queues      [][]taskgraph.TaskID
+	view        sim.RuntimeView
+}
+
+// NewWorkStealing returns a Factory for the work-stealing baseline.
+// readyWindow bounds the owner's Ready scan (0 selects
+// DefaultReadyWindow); stealWindow bounds how many victim tasks a thief
+// examines for locality (0 selects 64).
+func NewWorkStealing(readyWindow, stealWindow int) Factory {
+	return func() sim.Scheduler {
+		if readyWindow == 0 {
+			readyWindow = DefaultReadyWindow
+		}
+		if stealWindow == 0 {
+			stealWindow = 64
+		}
+		return &WorkStealing{readyWindow: readyWindow, stealWindow: stealWindow}
+	}
+}
+
+// Name returns "WS-locality".
+func (s *WorkStealing) Name() string { return "WS-locality" }
+
+// Init deals the tasks to the GPUs in contiguous submission blocks, the
+// natural initial split of a work-stealing runtime.
+func (s *WorkStealing) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.view = view
+	k := view.Platform().NumGPUs
+	s.queues = make([][]taskgraph.TaskID, k)
+	m := inst.NumTasks()
+	for g := 0; g < k; g++ {
+		lo := g * m / k
+		hi := (g + 1) * m / k
+		q := make([]taskgraph.TaskID, 0, hi-lo)
+		for t := lo; t < hi; t++ {
+			q = append(q, taskgraph.TaskID(t))
+		}
+		s.queues[g] = q
+	}
+}
+
+// PopTask serves the local deque with Ready; when empty it steals the
+// locality-best tasks from the most loaded victim.
+func (s *WorkStealing) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if len(s.queues[gpu]) == 0 && !s.steal(gpu) {
+		return taskgraph.NoTask, false
+	}
+	i := readyPick(s.view, gpu, s.queues[gpu], s.readyWindow, false)
+	if i < 0 {
+		return taskgraph.NoTask, false
+	}
+	t := s.queues[gpu][i]
+	s.queues[gpu] = removeAt(s.queues[gpu], i)
+	return t, true
+}
+
+// steal moves up to half of the most loaded victim's tail into the
+// thief's deque, preferring (within a bounded scan) the tasks whose
+// inputs are already available on the thief.
+func (s *WorkStealing) steal(thief int) bool {
+	victim, load := -1, 1
+	for g := range s.queues {
+		if g != thief && len(s.queues[g]) > load {
+			victim, load = g, len(s.queues[g])
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	want := load / 2
+	q := s.queues[victim]
+	// Score the tail window by availability on the thief.
+	scan := s.stealWindow
+	if scan > len(q) {
+		scan = len(q)
+	}
+	type scored struct {
+		idx     int
+		missing int
+	}
+	cands := make([]scored, 0, scan)
+	var ops int64
+	for i := len(q) - scan; i < len(q); i++ {
+		cands = append(cands, scored{idx: i, missing: s.view.MissingInputs(thief, q[i])})
+		ops += int64(len(s.view.Instance().Inputs(q[i])))
+	}
+	s.view.Charge(ops)
+	// Selection by missing count, stable on index: move the best `want`.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].missing < cands[i].missing {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if want > len(cands) {
+		want = len(cands)
+	}
+	take := make(map[int]bool, want)
+	for _, c := range cands[:want] {
+		take[c.idx] = true
+	}
+	var stolen, kept []taskgraph.TaskID
+	for i, t := range q {
+		if take[i] {
+			stolen = append(stolen, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	s.queues[victim] = kept
+	s.queues[thief] = append(s.queues[thief], stolen...)
+	return len(stolen) > 0
+}
+
+// WorkStealingStrategy wraps NewWorkStealing as a Strategy.
+func WorkStealingStrategy() Strategy {
+	return simple("WS-locality", NewWorkStealing(0, 0))
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"memsched/internal/platform"
+	"memsched/internal/taskgraph"
+)
+
+// Analysis summarizes a recorded trace: how well transfers overlapped
+// computation, how loaded the shared bus was, and how idle each GPU sat.
+// The paper repeatedly argues through this lens (e.g. §V-C d: DARTS+LUF
+// sometimes moves more bytes than DMDAR yet wins because "the overlap
+// between calculations and transfers is effective").
+type Analysis struct {
+	// Makespan is the trace duration.
+	Makespan time.Duration
+	// BusBusy is the total time the shared host bus was transferring.
+	BusBusy time.Duration
+	// BusUtilization is BusBusy / Makespan.
+	BusUtilization float64
+	// GPUBusy is the per-GPU total kernel time.
+	GPUBusy []time.Duration
+	// GPUIdle is the per-GPU idle time (makespan minus busy).
+	GPUIdle []time.Duration
+	// OverlappedTransfer is the bus-busy time during which at least one
+	// GPU was computing: transfer cost actually hidden by computation.
+	OverlappedTransfer time.Duration
+	// ExposedTransfer is bus-busy time with every GPU idle: transfer
+	// cost paid on the critical path.
+	ExposedTransfer time.Duration
+	// InputBytesServed is the total input footprint of all executed
+	// tasks (bytes of data read, counting re-reads of resident data).
+	InputBytesServed int64
+	// ReuseFactor is InputBytesServed divided by the bytes actually
+	// moved: how many task reads each transferred byte served. The
+	// whole point of the paper's schedulers is to push it up.
+	ReuseFactor float64
+}
+
+// Analyze computes an Analysis from a result with a recorded trace.
+func Analyze(inst *taskgraph.Instance, plat platform.Platform, res *Result) (*Analysis, error) {
+	if len(res.Trace) == 0 {
+		return nil, fmt.Errorf("sim: Analyze requires a recorded trace")
+	}
+	a := &Analysis{
+		Makespan: res.Makespan,
+		GPUBusy:  make([]time.Duration, plat.NumGPUs),
+		GPUIdle:  make([]time.Duration, plat.NumGPUs),
+	}
+	type span struct{ from, to time.Duration }
+	var busSpans, computeSpans []span
+
+	// Reconstruct compute spans from START/END pairs and transfer spans
+	// by walking loads backwards (a host load at time t occupied the bus
+	// for TransferDuration(size) ending at t).
+	running := make(map[int]time.Duration, plat.NumGPUs)
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case TraceStart:
+			running[ev.GPU] = ev.At
+		case TraceEnd:
+			from := running[ev.GPU]
+			computeSpans = append(computeSpans, span{from, ev.At})
+			a.GPUBusy[ev.GPU] += ev.At - from
+		case TraceLoad:
+			dur := plat.TransferDuration(inst.Data(ev.Data).Size)
+			busSpans = append(busSpans, span{ev.At - dur, ev.At})
+			a.BusBusy += dur
+		}
+	}
+	for k := range a.GPUIdle {
+		a.GPUIdle[k] = res.Makespan - a.GPUBusy[k]
+	}
+	if res.Makespan > 0 {
+		a.BusUtilization = a.BusBusy.Seconds() / res.Makespan.Seconds()
+	}
+	for _, ev := range res.Trace {
+		if ev.Kind == TraceStart {
+			a.InputBytesServed += inst.TaskFootprint(ev.Task)
+		}
+	}
+	if moved := res.BytesTransferred + res.PeerBytesTransferred; moved > 0 {
+		a.ReuseFactor = float64(a.InputBytesServed) / float64(moved)
+	}
+
+	// Sweep the merged span boundaries to split bus time into overlapped
+	// (some GPU computing) and exposed segments.
+	type edge struct {
+		at      time.Duration
+		compute int // +1/-1
+		bus     int
+	}
+	edges := make([]edge, 0, 2*(len(busSpans)+len(computeSpans)))
+	for _, s := range computeSpans {
+		edges = append(edges, edge{at: s.from, compute: 1}, edge{at: s.to, compute: -1})
+	}
+	for _, s := range busSpans {
+		edges = append(edges, edge{at: s.from, bus: 1}, edge{at: s.to, bus: -1})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	var computing, busing int
+	var last time.Duration
+	for _, e := range edges {
+		if busing > 0 {
+			seg := e.at - last
+			if computing > 0 {
+				a.OverlappedTransfer += seg
+			} else {
+				a.ExposedTransfer += seg
+			}
+		}
+		last = e.at
+		computing += e.compute
+		busing += e.bus
+	}
+	return a, nil
+}
+
+// String renders the analysis as a short report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %v, bus busy %v (%.0f%%), transfers overlapped %v / exposed %v, reuse factor %.1f\n",
+		a.Makespan, a.BusBusy, 100*a.BusUtilization, a.OverlappedTransfer, a.ExposedTransfer, a.ReuseFactor)
+	for k := range a.GPUBusy {
+		fmt.Fprintf(&b, "gpu %d: busy %v, idle %v\n", k, a.GPUBusy[k], a.GPUIdle[k])
+	}
+	return b.String()
+}
+
+// Timeline renders a coarse text Gantt chart of the trace: one row per
+// GPU ('#' while computing) plus one for the shared bus ('=' while
+// transferring), over width columns.
+func Timeline(inst *taskgraph.Instance, plat platform.Platform, res *Result, width int) string {
+	if len(res.Trace) == 0 || width <= 0 || res.Makespan <= 0 {
+		return ""
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at) * int64(width) / int64(res.Makespan))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	rows := make([][]byte, plat.NumGPUs+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	running := make(map[int]time.Duration, plat.NumGPUs)
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case TraceStart:
+			running[ev.GPU] = ev.At
+		case TraceEnd:
+			for c := col(running[ev.GPU]); c <= col(ev.At); c++ {
+				rows[ev.GPU][c] = '#'
+			}
+		case TraceLoad:
+			dur := plat.TransferDuration(inst.Data(ev.Data).Size)
+			for c := col(ev.At - dur); c <= col(ev.At); c++ {
+				rows[plat.NumGPUs][c] = '='
+			}
+		}
+	}
+	var b strings.Builder
+	for k := 0; k < plat.NumGPUs; k++ {
+		fmt.Fprintf(&b, "gpu%d |%s|\n", k, rows[k])
+	}
+	fmt.Fprintf(&b, "bus  |%s|\n", rows[plat.NumGPUs])
+	return b.String()
+}

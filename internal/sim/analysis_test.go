@@ -1,0 +1,106 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+func runTraced(t *testing.T, inst *taskgraph.Instance, queues [][]taskgraph.TaskID, gpus int, mem int64) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(inst, sim.Config{
+		Platform:    tinyPlatform(gpus, mem),
+		Scheduler:   &listSched{queues: queues},
+		Eviction:    memory.NewLRU(),
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzeOverlap(t *testing.T) {
+	// Two tasks, disjoint inputs: transfer 0 runs with no compute
+	// (exposed), transfer 1 runs while task 0 computes (overlapped).
+	b := taskgraph.NewBuilder("ov")
+	d0 := b.AddData("d0", 10)
+	d1 := b.AddData("d1", 10)
+	b.AddTask("t0", 1e9, d0)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+	res := runTraced(t, inst, [][]taskgraph.TaskID{{0, 1}}, 1, 1000)
+
+	a, err := sim.Analyze(inst, tinyPlatform(1, 1000), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BusBusy != 200*time.Millisecond {
+		t.Fatalf("bus busy = %v", a.BusBusy)
+	}
+	if a.ExposedTransfer != 100*time.Millisecond {
+		t.Fatalf("exposed = %v, want 100ms (the first transfer)", a.ExposedTransfer)
+	}
+	if a.OverlappedTransfer != 100*time.Millisecond {
+		t.Fatalf("overlapped = %v, want 100ms (the second transfer)", a.OverlappedTransfer)
+	}
+	if a.GPUBusy[0] != 2*time.Second {
+		t.Fatalf("gpu busy = %v", a.GPUBusy[0])
+	}
+	if a.GPUIdle[0] != res.Makespan-2*time.Second {
+		t.Fatalf("gpu idle = %v", a.GPUIdle[0])
+	}
+	if !strings.Contains(a.String(), "bus busy") {
+		t.Fatalf("report: %q", a.String())
+	}
+}
+
+func TestAnalyzeRequiresTrace(t *testing.T) {
+	inst := chain(2)
+	res := &sim.Result{}
+	if _, err := sim.Analyze(inst, tinyPlatform(1, 100), res); err == nil {
+		t.Fatal("expected error without trace")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	inst := chain(3)
+	res := runTraced(t, inst, [][]taskgraph.TaskID{{0, 1, 2}}, 1, 1000)
+	tl := sim.Timeline(inst, tinyPlatform(1, 1000), res, 40)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 2 { // gpu0 + bus
+		t.Fatalf("timeline:\n%s", tl)
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("no compute marks:\n%s", tl)
+	}
+	if !strings.Contains(lines[1], "=") {
+		t.Fatalf("no bus marks:\n%s", tl)
+	}
+	if sim.Timeline(inst, tinyPlatform(1, 1000), &sim.Result{}, 40) != "" {
+		t.Fatal("timeline without trace should be empty")
+	}
+}
+
+func TestAnalyzeReuseFactor(t *testing.T) {
+	// Ten chain tasks all read the shared item S plus a private item:
+	// input bytes served = 10 tasks x 20 B = 200 B; bytes moved = 110 B
+	// (11 loads of 10 B) with ample memory -> reuse factor ~1.82.
+	inst := chain(10)
+	res := runTraced(t, inst, [][]taskgraph.TaskID{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, 1, 1000)
+	a, err := sim.Analyze(inst, tinyPlatform(1, 1000), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InputBytesServed != 200 {
+		t.Fatalf("served = %d", a.InputBytesServed)
+	}
+	want := 200.0 / 110.0
+	if a.ReuseFactor < want-0.01 || a.ReuseFactor > want+0.01 {
+		t.Fatalf("reuse = %g, want %g", a.ReuseFactor, want)
+	}
+}

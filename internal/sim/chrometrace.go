@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memsched/internal/platform"
+	"memsched/internal/taskgraph"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, or ui.perfetto.dev).
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Cat   string  `json:"cat,omitempty"`
+}
+
+// WriteChromeTrace exports a recorded trace in the Chrome trace-event JSON
+// format: one timeline row per GPU (kernels), one for the shared bus
+// (host transfers), one per NVLink channel, plus instant eviction marks.
+// Open the output in chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platform, res *Result) error {
+	if len(res.Trace) == 0 {
+		return fmt.Errorf("sim: WriteChromeTrace requires a recorded trace")
+	}
+	const (
+		tidBus    = 1000
+		tidNVBase = 2000
+	)
+	us := func(d int64) float64 { return float64(d) / 1e3 }
+	events := make([]chromeEvent, 0, len(res.Trace))
+	running := make(map[int]int64, plat.NumGPUs)
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case TraceStart:
+			running[ev.GPU] = int64(ev.At)
+		case TraceEnd:
+			from := running[ev.GPU]
+			events = append(events, chromeEvent{
+				Name:  inst.Task(ev.Task).Name,
+				Phase: "X",
+				TS:    us(from),
+				Dur:   us(int64(ev.At) - from),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "compute",
+			})
+		case TraceLoad:
+			dur := plat.TransferDuration(inst.Data(ev.Data).Size)
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("%s -> gpu%d", inst.Data(ev.Data).Name, ev.GPU),
+				Phase: "X",
+				TS:    us(int64(ev.At) - int64(dur)),
+				Dur:   us(int64(dur)),
+				PID:   0,
+				TID:   tidBus,
+				Cat:   "transfer",
+			})
+		case TracePeerLoad:
+			dur := plat.PeerTransferDuration(inst.Data(ev.Data).Size)
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("%s -> gpu%d (peer)", inst.Data(ev.Data).Name, ev.GPU),
+				Phase: "X",
+				TS:    us(int64(ev.At) - int64(dur)),
+				Dur:   us(int64(dur)),
+				PID:   0,
+				TID:   tidNVBase + ev.GPU,
+				Cat:   "nvlink",
+			})
+		case TraceEvict:
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("evict %s", inst.Data(ev.Data).Name),
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "evict",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"memsched/internal/memory"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	inst := chain(3)
+	res := runTraced(t, inst, [][]taskgraph.TaskID{{0, 1, 2}}, 1, 1000)
+
+	var buf bytes.Buffer
+	if err := sim.WriteChromeTrace(&buf, inst, tinyPlatform(1, 1000), res); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+			Cat   string  `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var computes, transfers int
+	for _, e := range out.TraceEvents {
+		switch e.Cat {
+		case "compute":
+			computes++
+			if e.Dur <= 0 {
+				t.Fatalf("compute with non-positive duration: %+v", e)
+			}
+		case "transfer":
+			transfers++
+			if e.TS < 0 {
+				t.Fatalf("transfer starts before zero: %+v", e)
+			}
+		}
+	}
+	if computes != 3 || transfers != 4 {
+		t.Fatalf("got %d computes, %d transfers", computes, transfers)
+	}
+}
+
+func TestWriteChromeTraceRequiresTrace(t *testing.T) {
+	inst := chain(1)
+	var buf bytes.Buffer
+	if err := sim.WriteChromeTrace(&buf, inst, tinyPlatform(1, 100), &sim.Result{}); err == nil {
+		t.Fatal("expected error without trace")
+	}
+	_ = memory.NewLRU() // keep import in sync with helpers
+}

@@ -1,0 +1,408 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// listSched serves a fixed per-GPU list of tasks in order; nil-safe hooks.
+type listSched struct {
+	queues [][]taskgraph.TaskID
+	charge int64 // ops charged per pop
+	view   sim.RuntimeView
+}
+
+func (s *listSched) Name() string { return "list" }
+func (s *listSched) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.view = view
+}
+func (s *listSched) PopTask(gpu int) (taskgraph.TaskID, bool) {
+	if s.charge > 0 {
+		s.view.Charge(s.charge)
+	}
+	if gpu >= len(s.queues) || len(s.queues[gpu]) == 0 {
+		return taskgraph.NoTask, false
+	}
+	t := s.queues[gpu][0]
+	s.queues[gpu] = s.queues[gpu][1:]
+	return t, true
+}
+func (s *listSched) TaskDone(gpu int, t taskgraph.TaskID)    {}
+func (s *listSched) DataLoaded(gpu int, d taskgraph.DataID)  {}
+func (s *listSched) DataEvicted(gpu int, d taskgraph.DataID) {}
+
+// tinyPlatform returns a platform with easy round numbers: 1 GFlop/s per
+// GPU, 100 B/s bus, no latencies.
+func tinyPlatform(gpus int, mem int64) platform.Platform {
+	return platform.Platform{
+		NumGPUs:           gpus,
+		MemoryBytes:       mem,
+		GFlopsPerGPU:      1,
+		BusBytesPerSecond: 100,
+	}
+}
+
+// chain builds m tasks each reading one private data item of 10 bytes
+// plus one shared item.
+func chain(m int) *taskgraph.Instance {
+	b := taskgraph.NewBuilder("chain")
+	shared := b.AddData("S", 10)
+	for i := 0; i < m; i++ {
+		d := b.AddData("D", 10)
+		b.AddTask("T", 1e9, shared, d) // 1 second of compute each
+	}
+	return b.Build()
+}
+
+func TestBusIsSharedAndFIFO(t *testing.T) {
+	// Two GPUs each run one independent task with one 10-byte input
+	// (0.1 s transfer). The second GPU's transfer must wait for the
+	// first: completions at 1.1 s and 1.2 s.
+	b := taskgraph.NewBuilder("two")
+	d0 := b.AddData("d0", 10)
+	d1 := b.AddData("d1", 10)
+	b.AddTask("t0", 1e9, d0)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(2, 1000),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0}, {1}}},
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1200 * time.Millisecond
+	if res.Makespan != want {
+		t.Fatalf("makespan = %v, want %v (serialized bus)", res.Makespan, want)
+	}
+}
+
+func TestTransfersOverlapCompute(t *testing.T) {
+	// One GPU, two tasks with disjoint 10-byte inputs. The second
+	// transfer overlaps the first task: makespan = 0.1 + 1 + 1 = 2.1 s,
+	// not 0.1 + 1 + 0.1 + 1.
+	b := taskgraph.NewBuilder("overlap")
+	d0 := b.AddData("d0", 10)
+	d1 := b.AddData("d1", 10)
+	b.AddTask("t0", 1e9, d0)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 1000),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1}}},
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2100*time.Millisecond {
+		t.Fatalf("makespan = %v, want 2.1s (prefetch overlap)", res.Makespan)
+	}
+}
+
+func TestWindowOnePrefetchesOneAhead(t *testing.T) {
+	// The window counts tasks waiting to start: with window 1 the next
+	// task is popped when the current one starts, so a single transfer
+	// still overlaps compute (as a real worker with one prefetch slot).
+	b := taskgraph.NewBuilder("nooverlap")
+	d0 := b.AddData("d0", 10)
+	d1 := b.AddData("d1", 10)
+	b.AddTask("t0", 1e9, d0)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:   tinyPlatform(1, 1000),
+		Scheduler:  &listSched{queues: [][]taskgraph.TaskID{{0, 1}}},
+		Eviction:   memory.NewLRU(),
+		WindowSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2100*time.Millisecond {
+		t.Fatalf("makespan = %v, want 2.1s (one-deep prefetch)", res.Makespan)
+	}
+}
+
+func TestMemoryPressurePrefetchVersusLRU(t *testing.T) {
+	// Memory of 60 bytes holds six 10-byte items; the window keeps the
+	// shared item plus up to five private inputs alive. The compulsory
+	// load count is 11 (each item once). Under LRU the prefetch/eviction
+	// conflict of the paper appears even here: freshly prefetched (but
+	// not yet used) inputs carry older stamps than the just-used ones,
+	// so LRU evicts exactly the data the window is about to need and the
+	// runtime reloads it. FIFO, which evicts by load time, reaches the
+	// compulsory minimum on this access pattern.
+	inst := chain(10)
+	queues := func() [][]taskgraph.TaskID {
+		return [][]taskgraph.TaskID{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	}
+	lru, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 60),
+		Scheduler:       &listSched{queues: queues()},
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 60),
+		Scheduler:       &listSched{queues: queues()},
+		Eviction:        memory.NewFIFO(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Loads != 11 {
+		t.Fatalf("FIFO loads = %d, want the compulsory 11", fifo.Loads)
+	}
+	if lru.Loads <= fifo.Loads {
+		t.Fatalf("LRU loads = %d, expected reload churn above FIFO's %d", lru.Loads, fifo.Loads)
+	}
+	if lru.Evictions == 0 || fifo.Evictions == 0 {
+		t.Fatal("expected evictions under memory pressure")
+	}
+}
+
+func TestSchedulerCostDelaysStart(t *testing.T) {
+	// One task, one input of 10 bytes, 0.1 s transfer, 1 s compute.
+	// The pop charges 1e9 ops at 1 ns each = 1 s of scheduling time, so
+	// the task may only start at t=1s (after its 0.1s transfer is long
+	// done): makespan 2 s.
+	b := taskgraph.NewBuilder("cost")
+	d := b.AddData("d", 10)
+	b.AddTask("t", 1e9, d)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0}}, charge: 1e9},
+		Eviction:  memory.NewLRU(),
+		NsPerOp:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2*time.Second {
+		t.Fatalf("makespan = %v, want 2s (1s sched + 1s compute)", res.Makespan)
+	}
+	if res.DynamicCost < time.Second {
+		t.Fatalf("dynamic cost = %v", res.DynamicCost)
+	}
+	// With NsPerOp = 0 the same charge is free.
+	res, err = sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0}}, charge: 1e9},
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 1100*time.Millisecond {
+		t.Fatalf("makespan = %v, want 1.1s with free scheduling", res.Makespan)
+	}
+	if res.ChargedOps == 0 {
+		t.Fatal("charged ops should still be recorded")
+	}
+}
+
+// staticSched charges a static cost in Init.
+type staticSched struct {
+	listSched
+	staticOps int64
+}
+
+func (s *staticSched) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.listSched.Init(inst, view)
+	view.ChargeStatic(s.staticOps)
+}
+
+func TestStaticCostDelaysEverything(t *testing.T) {
+	b := taskgraph.NewBuilder("static")
+	d := b.AddData("d", 10)
+	b.AddTask("t", 1e9, d)
+	inst := b.Build()
+
+	s := &staticSched{staticOps: 5e8} // 0.5 s at 1 ns/op
+	s.queues = [][]taskgraph.TaskID{{0}}
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 100),
+		Scheduler: s,
+		Eviction:  memory.NewLRU(),
+		NsPerOp:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticCost != 500*time.Millisecond {
+		t.Fatalf("static cost = %v", res.StaticCost)
+	}
+	if res.Makespan != 1500*time.Millisecond {
+		t.Fatalf("makespan = %v, want 1.5s", res.Makespan)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	// A scheduler that never hands out the (only) task stalls the run.
+	b := taskgraph.NewBuilder("stall")
+	d := b.AddData("d", 10)
+	b.AddTask("t", 1e9, d)
+	inst := b.Build()
+
+	_, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{}}},
+		Eviction:  memory.NewLRU(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want stall detection", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	inst := chain(2)
+	base := sim.Config{
+		Platform:  tinyPlatform(1, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1}}},
+		Eviction:  memory.NewLRU(),
+	}
+	if _, err := sim.Run(nil, base); err == nil {
+		t.Error("nil instance accepted")
+	}
+	c := base
+	c.Scheduler = nil
+	if _, err := sim.Run(inst, c); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	c = base
+	c.Eviction = nil
+	if _, err := sim.Run(inst, c); err == nil {
+		t.Error("nil eviction accepted")
+	}
+	c = base
+	c.WindowSize = -1
+	if _, err := sim.Run(inst, c); err == nil {
+		t.Error("negative window accepted")
+	}
+	c = base
+	c.Platform.MemoryBytes = 25 // cannot hold two task footprints (2x20)
+	if _, err := sim.Run(inst, c); err == nil {
+		t.Error("insufficient memory accepted")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	inst := chain(3)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:    tinyPlatform(1, 1000),
+		Scheduler:   &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}}},
+		Eviction:    memory.NewLRU(),
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends, loads := 0, 0, 0
+	for _, e := range res.Trace {
+		switch e.Kind {
+		case sim.TraceStart:
+			starts++
+		case sim.TraceEnd:
+			ends++
+		case sim.TraceLoad:
+			loads++
+		}
+		if e.String() == "" {
+			t.Fatal("empty trace formatting")
+		}
+	}
+	if starts != 3 || ends != 3 || loads != 4 {
+		t.Fatalf("trace counts: %d starts, %d ends, %d loads", starts, ends, loads)
+	}
+	// Without RecordTrace the trace is dropped.
+	res, err = sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 1000),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}}},
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace kept without RecordTrace")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	inst := chain(5)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 1000),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2, 3, 4}}},
+		Eviction:  memory.NewLRU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFlops != 5e9 {
+		t.Errorf("total flops = %g", res.TotalFlops)
+	}
+	if res.BytesTransferred != 60 { // 6 data items of 10 bytes
+		t.Errorf("bytes = %d", res.BytesTransferred)
+	}
+	if res.GPU[0].Tasks != 5 {
+		t.Errorf("gpu tasks = %d", res.GPU[0].Tasks)
+	}
+	if res.GPU[0].BusyTime != 5*time.Second {
+		t.Errorf("busy = %v", res.GPU[0].BusyTime)
+	}
+	wantGF := 5.0 / res.Makespan.Seconds()
+	if diff := res.GFlops - wantGF; diff < -0.01 || diff > 0.01 {
+		t.Errorf("gflops = %g, want %g", res.GFlops, wantGF)
+	}
+	if !strings.Contains(res.String(), "chain") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestEvictedInputOfBufferedTaskIsReloaded(t *testing.T) {
+	// The LRU pathology: a window task's prefetched input can be
+	// evicted before the task runs; the runtime must re-fetch it when
+	// the task reaches the head (ensureHeadFetches).
+	b := taskgraph.NewBuilder("refetch")
+	var ds []taskgraph.DataID
+	for i := 0; i < 6; i++ {
+		ds = append(ds, b.AddData("d", 10))
+	}
+	// Tasks alternate over 6 data with memory for only 3: plenty of
+	// churn with a window of 4.
+	order := []int{0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5}
+	var q []taskgraph.TaskID
+	for _, d := range order {
+		q = append(q, b.AddTask("t", 1e8, ds[d]))
+	}
+	inst := b.Build()
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 30),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{q}},
+		Eviction:        memory.NewFIFO(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads <= 6 {
+		t.Fatalf("loads = %d, expected reloads under churn", res.Loads)
+	}
+}

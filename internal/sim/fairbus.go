@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"time"
+
+	"memsched/internal/taskgraph"
+)
+
+// Fair-share bus model: all in-flight host transfers progress
+// concurrently, each receiving bandwidth/n. This approximates the
+// fluid-flow contention model of network simulators such as SimGrid,
+// which the paper's simulated experiments rely on. The FIFO model
+// (busEnqueue/busStartNext in engine.go) remains the default.
+
+// fairTransfer is one in-flight transfer under the fair-share model.
+type fairTransfer struct {
+	req       fetchReq
+	remaining float64 // bytes still to move, including the latency cost
+}
+
+type fairBusState struct {
+	active     []fairTransfer
+	lastUpdate time.Duration
+	gen        int64 // invalidates scheduled completion checks
+}
+
+// fairEnqueue adds a transfer under the fair-share model. The fixed
+// per-transfer latency is folded into an equivalent byte count so that a
+// lone transfer takes exactly TransferDuration(size).
+func (e *engine) fairEnqueue(req fetchReq) {
+	e.fairAdvance()
+	latencyBytes := e.plat.TransferLatency.Seconds() * e.plat.BusBytesPerSecond
+	bytes := req.bytes
+	if !req.writeback {
+		bytes = e.inst.Data(req.data).Size
+	}
+	size := float64(bytes) + latencyBytes
+	e.fair.active = append(e.fair.active, fairTransfer{req: req, remaining: size})
+	e.fairReschedule()
+}
+
+// fairAdvance progresses every in-flight transfer to the current time.
+func (e *engine) fairAdvance() {
+	elapsed := e.now - e.fair.lastUpdate
+	e.fair.lastUpdate = e.now
+	n := len(e.fair.active)
+	if n == 0 || elapsed <= 0 {
+		return
+	}
+	share := elapsed.Seconds() * e.plat.BusBytesPerSecond / float64(n)
+	for i := range e.fair.active {
+		e.fair.active[i].remaining -= share
+	}
+}
+
+// fairReschedule posts a completion check for the earliest-finishing
+// transfer, invalidating any previously scheduled check.
+func (e *engine) fairReschedule() {
+	e.fair.gen++
+	n := len(e.fair.active)
+	if n == 0 {
+		return
+	}
+	minRemaining := e.fair.active[0].remaining
+	for _, tr := range e.fair.active[1:] {
+		if tr.remaining < minRemaining {
+			minRemaining = tr.remaining
+		}
+	}
+	if minRemaining < 0 {
+		minRemaining = 0
+	}
+	sec := minRemaining * float64(n) / e.plat.BusBytesPerSecond
+	// Round up and advance at least one nanosecond: posting the check at
+	// the current instant would re-run it with zero elapsed time and no
+	// progress, looping forever.
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	e.post(event{at: e.now + d, kind: evFairCheck, task: taskgraph.NoTask, data: taskgraph.NoData, gen: e.fair.gen})
+}
+
+// fairCheck handles a completion-check event: stale generations are
+// ignored; otherwise finished transfers are delivered and the next check
+// scheduled.
+func (e *engine) fairCheck(gen int64) {
+	if gen != e.fair.gen {
+		return
+	}
+	e.fairAdvance()
+	const eps = 0.5 // bytes; transfers within half a byte are complete
+	kept := e.fair.active[:0]
+	var done []fetchReq
+	for _, tr := range e.fair.active {
+		if tr.remaining <= eps {
+			done = append(done, tr.req)
+		} else {
+			kept = append(kept, tr)
+		}
+	}
+	e.fair.active = kept
+	for _, req := range done {
+		if req.writeback {
+			t := taskgraph.TaskID(req.data)
+			e.gpus[req.gpu].stats.BytesOut += e.inst.Task(t).OutputBytes
+			e.record(TraceEvent{At: e.now, Kind: TraceWriteBack, GPU: req.gpu, Task: t, Data: taskgraph.NoData})
+			continue
+		}
+		e.hostArrived(req.gpu, req.data)
+	}
+	e.fairReschedule()
+}

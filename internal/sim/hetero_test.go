@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func TestHeterogeneousDurations(t *testing.T) {
+	p := platform.Heterogeneous(10000, 20000)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakGFlops() != 30000 {
+		t.Fatalf("peak = %g", p.PeakGFlops())
+	}
+	f := 1e12 // 1 TFlop
+	d0 := p.TaskDurationOn(0, f)
+	d1 := p.TaskDurationOn(1, f)
+	if d0 < 99*time.Millisecond || d0 > 101*time.Millisecond {
+		t.Fatalf("gpu0 duration %v", d0)
+	}
+	if d1 < 49*time.Millisecond || d1 > 51*time.Millisecond {
+		t.Fatalf("gpu1 duration %v", d1)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	p := platform.V100(2)
+	p.GFlopsPerGPUList = []float64{1000} // wrong length
+	if p.Validate() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	p.GFlopsPerGPUList = []float64{1000, -1}
+	if p.Validate() == nil {
+		t.Fatal("negative throughput accepted")
+	}
+}
+
+// TestEagerFollowsSpeedOnHeterogeneousGPUs: with a shared on-demand
+// queue, the 3x faster GPU must execute roughly 3x the tasks.
+func TestEagerFollowsSpeedOnHeterogeneousGPUs(t *testing.T) {
+	inst := workload.Matmul2D(16)
+	p := platform.Heterogeneous(4000, 12000)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        p,
+		Scheduler:       sched.NewEager()(),
+		Eviction:        memory.NewLRU(),
+		Seed:            1,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := res.GPU[0].Tasks, res.GPU[1].Tasks
+	ratio := float64(fast) / float64(slow)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("fast/slow task ratio %.2f (tasks %d vs %d), want ~3", ratio, fast, slow)
+	}
+}
+
+// TestDMDARBalancesByCompletionTime: the DMDA allocation predicts
+// completion times per GPU, so it must also skew work toward the fast
+// GPU.
+func TestDMDARBalancesByCompletionTime(t *testing.T) {
+	inst := workload.Matmul2D(16)
+	p := platform.Heterogeneous(4000, 12000)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        p,
+		Scheduler:       sched.NewDMDAR(0)(),
+		Eviction:        memory.NewLRU(),
+		Seed:            1,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := res.GPU[0].Tasks, res.GPU[1].Tasks
+	if fast <= slow {
+		t.Fatalf("DMDA gave the fast GPU %d tasks, the slow one %d", fast, slow)
+	}
+	// Both GPUs finish within 25% of the makespan of each other.
+	gap := res.Makespan - res.GPU[0].BusyTime
+	if res.GPU[1].BusyTime < res.GPU[0].BusyTime {
+		gap = res.Makespan - res.GPU[1].BusyTime
+	}
+	if gap > res.Makespan/2 {
+		t.Fatalf("imbalanced heterogenous run: makespan %v, busy %v / %v",
+			res.Makespan, res.GPU[0].BusyTime, res.GPU[1].BusyTime)
+	}
+	_ = taskgraph.NoTask
+}

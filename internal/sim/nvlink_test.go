@@ -1,0 +1,119 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func nvPlatform(gpus int, mem int64) platform.Platform {
+	p := tinyPlatform(gpus, mem)
+	p.NVLinkBytesPerSecond = 1000 // 10x the host bus
+	return p
+}
+
+func TestNVLinkUsedForPeerResidentData(t *testing.T) {
+	// Two GPUs, one shared 10-byte item. GPU 0 loads it from the host;
+	// GPU 1's copy must come over NVLink (0.01 s instead of 0.1 s) once
+	// it is resident on GPU 0.
+	b := taskgraph.NewBuilder("peer")
+	d := b.AddData("d", 10)
+	b.AddTask("t0", 1e9, d)
+	b.AddTask("t1", 1e9, d)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        nvPlatform(2, 1000),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}, {1}}},
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := res.GPU[0].PeerLoads + res.GPU[1].PeerLoads
+	if peer != 1 {
+		t.Fatalf("peer loads = %d, want 1", peer)
+	}
+	if res.PeerBytesTransferred != 10 {
+		t.Fatalf("peer bytes = %d", res.PeerBytesTransferred)
+	}
+	// Host bus moved the data only once.
+	if res.BytesTransferred != 10 {
+		t.Fatalf("host bytes = %d, want 10", res.BytesTransferred)
+	}
+	// GPU 1: peer transfer at 0.1s..0.11s, compute 1s: done at 1.11s.
+	if res.Makespan != 1110*time.Millisecond {
+		t.Fatalf("makespan = %v, want 1.11s", res.Makespan)
+	}
+}
+
+func TestNVLinkDisabledUsesHostBus(t *testing.T) {
+	b := taskgraph.NewBuilder("nopeer")
+	d := b.AddData("d", 10)
+	b.AddTask("t0", 1e9, d)
+	b.AddTask("t1", 1e9, d)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(2, 1000),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}, {1}}},
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeerBytesTransferred != 0 {
+		t.Fatalf("peer bytes = %d without NVLink", res.PeerBytesTransferred)
+	}
+	if res.BytesTransferred != 20 {
+		t.Fatalf("host bytes = %d, want 20 (both copies from host)", res.BytesTransferred)
+	}
+}
+
+func TestNVLinkRelievesSharedBus(t *testing.T) {
+	// On the memory-constrained 2D product with 4 GPUs, many B columns
+	// are resident on some GPU when another needs them: NVLink must
+	// shift a good share of traffic off the host bus and not slow
+	// anything down.
+	inst := workload.Matmul2D(40)
+	base := platform.V100(4)
+	nv := platform.V100NVLink(4)
+
+	run := func(p platform.Platform) *sim.Result {
+		s, pol := sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+		var ev sim.EvictionPolicy = pol
+		if ev == nil {
+			ev = memory.NewLRU()
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Platform:        p,
+			Scheduler:       s,
+			Eviction:        ev,
+			Seed:            1,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(base)
+	linked := run(nv)
+	if linked.PeerBytesTransferred == 0 {
+		t.Fatal("NVLink unused on a sharing-heavy workload")
+	}
+	if linked.BytesTransferred >= plain.BytesTransferred {
+		t.Fatalf("host traffic did not drop: %d vs %d", linked.BytesTransferred, plain.BytesTransferred)
+	}
+	if linked.Makespan > plain.Makespan*11/10 {
+		t.Fatalf("NVLink slowed the run down: %v vs %v", linked.Makespan, plain.Makespan)
+	}
+}

@@ -1,0 +1,76 @@
+package sim_test
+
+import (
+	"testing"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+func TestSmokeEagerMatmul2D(t *testing.T) {
+	inst := workload.Matmul2D(10)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(1),
+		Scheduler:       sched.NewEager()(),
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFlops <= 0 || res.GFlops > platform.V100(1).PeakGFlops() {
+		t.Fatalf("implausible throughput %g", res.GFlops)
+	}
+	// 20 data items of 14.7456 MB fit in 500 MB: each must be loaded
+	// exactly once.
+	if res.Loads != 20 {
+		t.Fatalf("got %d loads, want 20 (everything fits)", res.Loads)
+	}
+	if res.Evictions != 0 {
+		t.Fatalf("got %d evictions, want 0", res.Evictions)
+	}
+	t.Log(res)
+}
+
+func TestSmokeDMDARTwoGPUs(t *testing.T) {
+	inst := workload.Matmul2D(12)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(2),
+		Scheduler:       sched.NewDMDAR(0)(),
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU[0].Tasks == 0 || res.GPU[1].Tasks == 0 {
+		t.Fatalf("load imbalance: %+v", res.GPU)
+	}
+	t.Log(res)
+}
+
+func TestSmokeMemoryConstrained(t *testing.T) {
+	// At n=40, matrix B alone (590 MB) exceeds the 500 MB memory: the
+	// EAGER+LRU pathology of §V-B must appear (reloads of B every row),
+	// and the trace must stay valid.
+	inst := workload.Matmul2D(40)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(1),
+		Scheduler:       sched.NewEager()(),
+		Eviction:        memory.NewLRU(),
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("expected evictions under memory pressure")
+	}
+	if res.Loads <= inst.NumData() {
+		t.Fatalf("expected reloads: %d loads for %d data", res.Loads, inst.NumData())
+	}
+	t.Log(res)
+}

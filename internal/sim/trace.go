@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+
+	"memsched/internal/platform"
+	"memsched/internal/taskgraph"
+)
+
+// CheckTrace replays the trace of a result and verifies the model
+// invariants of §III of the paper:
+//
+//   - the memory bound |L(k,i)| <= M (in bytes) holds at all times;
+//   - a task starts only when all its inputs are resident on its GPU;
+//   - a data item is never loaded while already resident, and never
+//     evicted while absent;
+//   - a GPU runs at most one task at a time;
+//   - every task runs exactly once, and the aggregate counters of the
+//     result match the trace.
+//
+// It returns the first violation found, or nil.
+func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) error {
+	if len(res.Trace) == 0 {
+		return fmt.Errorf("sim: CheckTrace called without a recorded trace")
+	}
+	type gpuCheck struct {
+		resident  map[taskgraph.DataID]bool
+		bytes     int64
+		running   taskgraph.TaskID
+		loads     int
+		bytesIn   int64
+		peerLoads int
+		peerBytes int64
+		bytesOut  int64
+		evicts    int
+		tasks     int
+	}
+	gpus := make([]gpuCheck, plat.NumGPUs)
+	for k := range gpus {
+		gpus[k] = gpuCheck{resident: make(map[taskgraph.DataID]bool), running: taskgraph.NoTask}
+	}
+	ran := make([]bool, inst.NumTasks())
+	last := res.Trace[0].At
+	for i, ev := range res.Trace {
+		if ev.At < last {
+			return fmt.Errorf("trace[%d]: time goes backwards (%v after %v)", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.GPU < 0 || ev.GPU >= len(gpus) {
+			return fmt.Errorf("trace[%d]: invalid gpu %d", i, ev.GPU)
+		}
+		g := &gpus[ev.GPU]
+		switch ev.Kind {
+		case TraceLoad, TracePeerLoad:
+			if g.resident[ev.Data] {
+				return fmt.Errorf("trace[%d]: data %d loaded on gpu %d while already resident", i, ev.Data, ev.GPU)
+			}
+			if ev.Kind == TracePeerLoad && !plat.HasNVLink() {
+				return fmt.Errorf("trace[%d]: peer load without NVLink", i)
+			}
+			g.resident[ev.Data] = true
+			g.bytes += inst.Data(ev.Data).Size
+			g.loads++
+			if ev.Kind == TracePeerLoad {
+				g.peerLoads++
+				g.peerBytes += inst.Data(ev.Data).Size
+			} else {
+				g.bytesIn += inst.Data(ev.Data).Size
+			}
+			if g.bytes > plat.MemoryBytes {
+				return fmt.Errorf("trace[%d]: gpu %d memory overflow: %d > %d bytes", i, ev.GPU, g.bytes, plat.MemoryBytes)
+			}
+		case TraceEvict:
+			if !g.resident[ev.Data] {
+				return fmt.Errorf("trace[%d]: data %d evicted from gpu %d while not resident", i, ev.Data, ev.GPU)
+			}
+			delete(g.resident, ev.Data)
+			g.bytes -= inst.Data(ev.Data).Size
+			g.evicts++
+		case TraceStart:
+			if g.running != taskgraph.NoTask {
+				return fmt.Errorf("trace[%d]: gpu %d starts task %d while running %d", i, ev.GPU, ev.Task, g.running)
+			}
+			if ran[ev.Task] {
+				return fmt.Errorf("trace[%d]: task %d started twice", i, ev.Task)
+			}
+			for _, d := range inst.Inputs(ev.Task) {
+				if !g.resident[d] {
+					return fmt.Errorf("trace[%d]: task %d starts on gpu %d without input %d resident", i, ev.Task, ev.GPU, d)
+				}
+			}
+			g.running = ev.Task
+			ran[ev.Task] = true
+		case TraceEnd:
+			if g.running != ev.Task {
+				return fmt.Errorf("trace[%d]: gpu %d ends task %d but running is %d", i, ev.GPU, ev.Task, g.running)
+			}
+			g.running = taskgraph.NoTask
+			g.tasks++
+		case TraceWriteBack:
+			if inst.Task(ev.Task).OutputBytes <= 0 {
+				return fmt.Errorf("trace[%d]: write-back for task %d without output", i, ev.Task)
+			}
+			if !ran[ev.Task] {
+				return fmt.Errorf("trace[%d]: write-back for task %d before it ran", i, ev.Task)
+			}
+			g.bytesOut += inst.Task(ev.Task).OutputBytes
+		default:
+			return fmt.Errorf("trace[%d]: unknown kind %d", i, ev.Kind)
+		}
+	}
+	for t := range ran {
+		if !ran[t] {
+			return fmt.Errorf("task %d never executed", t)
+		}
+	}
+	for k := range gpus {
+		g := &gpus[k]
+		if g.running != taskgraph.NoTask {
+			return fmt.Errorf("gpu %d still running task %d at end of trace", k, g.running)
+		}
+		s := res.GPU[k]
+		if g.loads != s.Loads || g.evicts != s.Evictions || g.tasks != s.Tasks || g.bytesIn != s.BytesIn ||
+			g.peerLoads != s.PeerLoads || g.peerBytes != s.PeerBytesIn || g.bytesOut != s.BytesOut {
+			return fmt.Errorf("gpu %d counters mismatch: trace (loads %d, evicts %d, tasks %d, bytes %d, peer %d/%d) vs result (%d, %d, %d, %d, %d/%d)",
+				k, g.loads, g.evicts, g.tasks, g.bytesIn, g.peerLoads, g.peerBytes,
+				s.Loads, s.Evictions, s.Tasks, s.BytesIn, s.PeerLoads, s.PeerBytesIn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func seqQueue(m int) []taskgraph.TaskID {
+	q := make([]taskgraph.TaskID, m)
+	for i := range q {
+		q[i] = taskgraph.TaskID(i)
+	}
+	return q
+}
+
+func TestWriteBackOccupiesBus(t *testing.T) {
+	// One task: input 10 B (0.1 s), compute 1 s, output 20 B (0.2 s).
+	// Makespan counts only task completion (1.1 s), but the write-back
+	// must be accounted and a second GPU's input transfer queued behind
+	// it must be delayed.
+	b := taskgraph.NewBuilder("wb")
+	d := b.AddData("d", 10)
+	b.AddTaskWithOutput("t", 1e9, 20, d)
+	inst := b.Build()
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 100),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}}},
+		Eviction:        memory.NewLRU(),
+		RecordTrace:     true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWrittenBack != 20 {
+		t.Fatalf("written back = %d, want 20", res.BytesWrittenBack)
+	}
+	if res.GPU[0].BytesOut != 20 {
+		t.Fatalf("gpu bytes out = %d", res.GPU[0].BytesOut)
+	}
+	var wb time.Duration
+	for _, ev := range res.Trace {
+		if ev.Kind == sim.TraceWriteBack {
+			wb = ev.At
+		}
+	}
+	if wb != 1300*time.Millisecond { // 1.1 completion + 0.2 write
+		t.Fatalf("write-back finished at %v, want 1.3s", wb)
+	}
+}
+
+func TestWriteBackContendsWithLoads(t *testing.T) {
+	// Three tasks on one GPU with a window of 1: t2 is popped only when
+	// t0 completes, so its input transfer queues behind t0's large
+	// write-back (2 s of bus). The output-free twin finishes earlier by
+	// roughly that exposed write time.
+	build := func(out int64) *taskgraph.Instance {
+		b := taskgraph.NewBuilder("wbc")
+		d0 := b.AddData("d0", 10)
+		d1 := b.AddData("d1", 10)
+		d2 := b.AddData("d2", 10)
+		b.AddTaskWithOutput("t0", 1e9, out, d0)
+		b.AddTask("t1", 1e9, d1)
+		b.AddTask("t2", 1e9, d2)
+		return b.Build()
+	}
+	run := func(inst *taskgraph.Instance) *sim.Result {
+		res, err := sim.Run(inst, sim.Config{
+			Platform:        tinyPlatform(1, 1000),
+			Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}}},
+			Eviction:        memory.NewLRU(),
+			WindowSize:      1,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(build(200)) // 2 s of write-back
+	without := run(build(0))
+	if with.Makespan <= without.Makespan {
+		t.Fatalf("write-back did not contend: %v vs %v", with.Makespan, without.Makespan)
+	}
+}
+
+func TestWriteBackFairShare(t *testing.T) {
+	inst := workload.Matmul2DWithOutputs(8)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        platform.V100(1),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{seqQueue(inst.NumTasks())}},
+		Eviction:        memory.NewLRU(),
+		BusModel:        sim.BusFairShare,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(inst.NumTasks()) * int64(workload.TileBytes)
+	if res.BytesWrittenBack != want {
+		t.Fatalf("written back %d, want %d", res.BytesWrittenBack, want)
+	}
+}

@@ -1,0 +1,87 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonInstance is the on-disk schema of an instance.
+type jsonInstance struct {
+	Name  string     `json:"name"`
+	Data  []jsonData `json:"data"`
+	Tasks []jsonTask `json:"tasks"`
+}
+
+type jsonData struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+type jsonTask struct {
+	Name        string   `json:"name"`
+	Flops       float64  `json:"flops"`
+	Inputs      []DataID `json:"inputs"`
+	OutputBytes int64    `json:"outputBytes,omitempty"`
+}
+
+// WriteJSON serializes the instance. The format is stable: data and tasks
+// appear in id (submission) order, so ReadJSON(WriteJSON(x)) reproduces x
+// exactly.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	out := jsonInstance{Name: in.name}
+	out.Data = make([]jsonData, len(in.data))
+	for i, d := range in.data {
+		out.Data[i] = jsonData{Name: d.Name, Size: d.Size}
+	}
+	out.Tasks = make([]jsonTask, len(in.tasks))
+	for i, t := range in.tasks {
+		out.Tasks[i] = jsonTask{Name: t.Name, Flops: t.Flops, Inputs: t.Inputs, OutputBytes: t.OutputBytes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes an instance written by WriteJSON, validating it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var in jsonInstance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("taskgraph: decoding instance: %w", err)
+	}
+	if len(in.Tasks) == 0 {
+		return nil, fmt.Errorf("taskgraph: instance %q has no tasks", in.Name)
+	}
+	b := NewBuilder(in.Name)
+	for _, d := range in.Data {
+		if d.Size <= 0 {
+			return nil, fmt.Errorf("taskgraph: data %q has size %d", d.Name, d.Size)
+		}
+		b.AddData(d.Name, d.Size)
+	}
+	for _, t := range in.Tasks {
+		if t.Flops <= 0 || len(t.Inputs) == 0 || t.OutputBytes < 0 {
+			return nil, fmt.Errorf("taskgraph: task %q invalid (flops %g, %d inputs, output %d)", t.Name, t.Flops, len(t.Inputs), t.OutputBytes)
+		}
+		for _, d := range t.Inputs {
+			if d < 0 || int(d) >= len(in.Data) {
+				return nil, fmt.Errorf("taskgraph: task %q references unknown data %d", t.Name, d)
+			}
+		}
+		seen := make(map[DataID]bool, len(t.Inputs))
+		for _, d := range t.Inputs {
+			if seen[d] {
+				return nil, fmt.Errorf("taskgraph: task %q lists data %d twice", t.Name, d)
+			}
+			seen[d] = true
+		}
+		b.AddTaskWithOutput(t.Name, t.Flops, t.OutputBytes, t.Inputs...)
+	}
+	inst := b.Build()
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

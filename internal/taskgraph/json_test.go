@@ -1,0 +1,79 @@
+package taskgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := buildSmall(t)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.NumTasks() != orig.NumTasks() || back.NumData() != orig.NumData() {
+		t.Fatalf("shape mismatch: %s vs %s", back.Name(), orig.Name())
+	}
+	for i := 0; i < orig.NumTasks(); i++ {
+		a, b := orig.Task(TaskID(i)), back.Task(TaskID(i))
+		if a.Name != b.Name || a.Flops != b.Flops || len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Inputs {
+			if a.Inputs[j] != b.Inputs[j] {
+				t.Fatalf("task %d input %d differs", i, j)
+			}
+		}
+	}
+	for i := 0; i < orig.NumData(); i++ {
+		a, b := orig.Data(DataID(i)), back.Data(DataID(i))
+		if a.Name != b.Name || a.Size != b.Size {
+			t.Fatalf("data %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{",
+		"unknown field": `{"name":"x","bogus":1,"data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":1,"inputs":[0]}]}`,
+		"no tasks":      `{"name":"x","data":[{"name":"d","size":1}],"tasks":[]}`,
+		"bad size":      `{"name":"x","data":[{"name":"d","size":0}],"tasks":[{"name":"t","flops":1,"inputs":[0]}]}`,
+		"bad flops":     `{"name":"x","data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":0,"inputs":[0]}]}`,
+		"no inputs":     `{"name":"x","data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":1,"inputs":[]}]}`,
+		"bad input":     `{"name":"x","data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":1,"inputs":[3]}]}`,
+		"dup input":     `{"name":"x","data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":1,"inputs":[0,0]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONRoundTripOutputs(t *testing.T) {
+	b := NewBuilder("out")
+	d := b.AddData("d", 10)
+	b.AddTaskWithOutput("t", 1e9, 77, d)
+	orig := b.Build()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Task(0).OutputBytes != 77 {
+		t.Fatalf("output bytes = %d after round trip", back.Task(0).OutputBytes)
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"name":"x","data":[{"name":"d","size":1}],"tasks":[{"name":"t","flops":1,"inputs":[0],"outputBytes":-5}]}`)); err == nil {
+		t.Fatal("negative output accepted")
+	}
+}

@@ -1,0 +1,345 @@
+// Package taskgraph defines the bipartite task/data graph at the heart of
+// the scheduling problem studied by Gonthier, Marchal and Thibault
+// (IPDPS 2022): a set of independent tasks T = {T1..Tm} sharing input data
+// D = {D1..Dn}, with an edge (Ti, Dj) whenever task Ti reads data Dj.
+//
+// Instances are immutable once built. Builders validate the graph and
+// precompute the reverse (data -> consumers) adjacency that every scheduler
+// in this repository relies on.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DataID identifies a data item (an input block) within an Instance.
+type DataID int32
+
+// TaskID identifies a task within an Instance. TaskIDs are dense and
+// correspond to submission order: task 0 is submitted first.
+type TaskID int32
+
+// NoData is the sentinel for "no data item".
+const NoData DataID = -1
+
+// NoTask is the sentinel for "no task".
+const NoTask TaskID = -1
+
+// Data is one input block. All schedulers treat data as read-only
+// (the paper ignores task outputs; see §I of the paper).
+type Data struct {
+	// ID is the dense index of this data item.
+	ID DataID
+	// Name is a human-readable label such as "A[3]" or "B[7]".
+	Name string
+	// Size is the footprint in bytes when resident on an accelerator.
+	Size int64
+}
+
+// Task is one unit of computation. Tasks are independent of each other:
+// the only coupling between tasks is through shared input data.
+type Task struct {
+	// ID is the dense index of this task; it equals the submission rank.
+	ID TaskID
+	// Name is a human-readable label such as "C[2,5]" or "GEMM(4,2,1)".
+	Name string
+	// Flops is the amount of computation, used to derive the kernel
+	// duration on a given platform.
+	Flops float64
+	// Inputs lists the data read by this task, without duplicates.
+	Inputs []DataID
+	// OutputBytes is the size of the result this task writes back to
+	// host memory after completion (0 for none). The paper's model
+	// ignores outputs because "the output data is most often much
+	// smaller than the input data and can be transferred concurrently
+	// with data input" (§I), but notes the extension is easy; write-back
+	// transfers contend for the shared bus without occupying GPU memory.
+	OutputBytes int64
+}
+
+// Instance is an immutable problem instance: tasks in submission order,
+// data items, and the data -> consumers reverse adjacency.
+type Instance struct {
+	name      string
+	tasks     []Task
+	data      []Data
+	consumers [][]TaskID // indexed by DataID, ascending TaskID order
+}
+
+// Name returns the label given to the instance by its builder
+// (for example "matmul2d(N=10)").
+func (in *Instance) Name() string { return in.name }
+
+// NumTasks returns the number of tasks m.
+func (in *Instance) NumTasks() int { return len(in.tasks) }
+
+// NumData returns the number of data items n.
+func (in *Instance) NumData() int { return len(in.data) }
+
+// Task returns the task with the given id. The returned value shares the
+// Inputs slice with the instance; callers must not mutate it.
+func (in *Instance) Task(id TaskID) Task { return in.tasks[id] }
+
+// Data returns the data item with the given id.
+func (in *Instance) Data(id DataID) Data { return in.data[id] }
+
+// Tasks returns all tasks in submission order. Callers must not mutate the
+// returned slice or the Inputs slices it contains.
+func (in *Instance) Tasks() []Task { return in.tasks }
+
+// AllData returns all data items. Callers must not mutate the returned slice.
+func (in *Instance) AllData() []Data { return in.data }
+
+// Consumers returns the tasks reading data d, in ascending TaskID order.
+// Callers must not mutate the returned slice.
+func (in *Instance) Consumers(d DataID) []TaskID { return in.consumers[d] }
+
+// Inputs returns the input data of task t. Callers must not mutate the
+// returned slice.
+func (in *Instance) Inputs(t TaskID) []DataID { return in.tasks[t].Inputs }
+
+// TotalFlops returns the sum of task flops, the numerator of the GFlop/s
+// throughput metric used throughout the paper's evaluation.
+func (in *Instance) TotalFlops() float64 {
+	var s float64
+	for i := range in.tasks {
+		s += in.tasks[i].Flops
+	}
+	return s
+}
+
+// WorkingSetBytes returns the total footprint of all distinct data items,
+// the x-axis of every figure in the paper.
+func (in *Instance) WorkingSetBytes() int64 {
+	var s int64
+	for i := range in.data {
+		s += in.data[i].Size
+	}
+	return s
+}
+
+// MaxInputs returns the largest number of inputs of any task (2 for the 2D
+// and 3D matrix products, 2 for the Cholesky kernels used here).
+func (in *Instance) MaxInputs() int {
+	m := 0
+	for i := range in.tasks {
+		if len(in.tasks[i].Inputs) > m {
+			m = len(in.tasks[i].Inputs)
+		}
+	}
+	return m
+}
+
+// MaxDataSize returns the size in bytes of the largest data item.
+func (in *Instance) MaxDataSize() int64 {
+	var m int64
+	for i := range in.data {
+		if in.data[i].Size > m {
+			m = in.data[i].Size
+		}
+	}
+	return m
+}
+
+// TaskFootprint returns the total size in bytes of the inputs of task t.
+func (in *Instance) TaskFootprint(t TaskID) int64 {
+	var s int64
+	for _, d := range in.tasks[t].Inputs {
+		s += in.data[d].Size
+	}
+	return s
+}
+
+// SharedInputs returns the number of data items read by both a and b.
+func (in *Instance) SharedInputs(a, b TaskID) int {
+	n := 0
+	for _, da := range in.tasks[a].Inputs {
+		for _, db := range in.tasks[b].Inputs {
+			if da == db {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Builder assembles an Instance. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	name  string
+	tasks []Task
+	data  []Data
+	built bool
+}
+
+// NewBuilder returns a Builder for an instance with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddData registers a data item of the given size and returns its id.
+// It panics if size is not positive.
+func (b *Builder) AddData(name string, size int64) DataID {
+	if size <= 0 {
+		panic(fmt.Sprintf("taskgraph: data %q has non-positive size %d", name, size))
+	}
+	id := DataID(len(b.data))
+	b.data = append(b.data, Data{ID: id, Name: name, Size: size})
+	return id
+}
+
+// AddTask registers a task reading the given inputs and returns its id.
+// Submission order is the order of AddTask calls. It panics on an unknown
+// or duplicated input, an empty input list, or non-positive flops.
+func (b *Builder) AddTask(name string, flops float64, inputs ...DataID) TaskID {
+	return b.AddTaskWithOutput(name, flops, 0, inputs...)
+}
+
+// AddTaskWithOutput registers a task that additionally writes
+// outputBytes back to host memory on completion. It panics on a negative
+// output size or on any AddTask validation failure.
+func (b *Builder) AddTaskWithOutput(name string, flops float64, outputBytes int64, inputs ...DataID) TaskID {
+	if outputBytes < 0 {
+		panic(fmt.Sprintf("taskgraph: task %q has negative output %d", name, outputBytes))
+	}
+	if flops <= 0 {
+		panic(fmt.Sprintf("taskgraph: task %q has non-positive flops %g", name, flops))
+	}
+	if len(inputs) == 0 {
+		panic(fmt.Sprintf("taskgraph: task %q has no inputs", name))
+	}
+	seen := make(map[DataID]bool, len(inputs))
+	for _, d := range inputs {
+		if d < 0 || int(d) >= len(b.data) {
+			panic(fmt.Sprintf("taskgraph: task %q references unknown data %d", name, d))
+		}
+		if seen[d] {
+			panic(fmt.Sprintf("taskgraph: task %q lists data %d twice", name, d))
+		}
+		seen[d] = true
+	}
+	id := TaskID(len(b.tasks))
+	in := make([]DataID, len(inputs))
+	copy(in, inputs)
+	b.tasks = append(b.tasks, Task{ID: id, Name: name, Flops: flops, Inputs: in, OutputBytes: outputBytes})
+	return id
+}
+
+// Build finalizes the instance. The builder must not be reused afterwards.
+// It panics if the instance has no tasks.
+func (b *Builder) Build() *Instance {
+	if b.built {
+		panic("taskgraph: Build called twice")
+	}
+	if len(b.tasks) == 0 {
+		panic(fmt.Sprintf("taskgraph: instance %q has no tasks", b.name))
+	}
+	b.built = true
+	consumers := make([][]TaskID, len(b.data))
+	for i := range b.tasks {
+		for _, d := range b.tasks[i].Inputs {
+			consumers[d] = append(consumers[d], b.tasks[i].ID)
+		}
+	}
+	for d := range consumers {
+		sort.Slice(consumers[d], func(i, j int) bool { return consumers[d][i] < consumers[d][j] })
+	}
+	return &Instance{name: b.name, tasks: b.tasks, data: b.data, consumers: consumers}
+}
+
+// Validate checks internal consistency of an instance (dense ids, sorted
+// consumer lists matching the forward edges). It is used by tests and by
+// tools that deserialize instances.
+func (in *Instance) Validate() error {
+	for i := range in.tasks {
+		if in.tasks[i].ID != TaskID(i) {
+			return fmt.Errorf("task %d has id %d", i, in.tasks[i].ID)
+		}
+		if len(in.tasks[i].Inputs) == 0 {
+			return fmt.Errorf("task %d has no inputs", i)
+		}
+		for _, d := range in.tasks[i].Inputs {
+			if d < 0 || int(d) >= len(in.data) {
+				return fmt.Errorf("task %d references unknown data %d", i, d)
+			}
+		}
+	}
+	for i := range in.data {
+		if in.data[i].ID != DataID(i) {
+			return fmt.Errorf("data %d has id %d", i, in.data[i].ID)
+		}
+		if in.data[i].Size <= 0 {
+			return fmt.Errorf("data %d has non-positive size", i)
+		}
+	}
+	edges := 0
+	for d := range in.consumers {
+		for j := 1; j < len(in.consumers[d]); j++ {
+			if in.consumers[d][j-1] >= in.consumers[d][j] {
+				return fmt.Errorf("consumers of data %d not strictly sorted", d)
+			}
+		}
+		edges += len(in.consumers[d])
+	}
+	fwd := 0
+	for i := range in.tasks {
+		fwd += len(in.tasks[i].Inputs)
+	}
+	if fwd != edges {
+		return fmt.Errorf("edge count mismatch: %d forward vs %d reverse", fwd, edges)
+	}
+	return nil
+}
+
+// Summary condenses the sharing structure of an instance: how many tasks
+// read each data item drives how much reuse any scheduler can hope for.
+type Summary struct {
+	// Tasks, Data and Edges are the sizes of the bipartite graph.
+	Tasks, Data, Edges int
+	// WorkingSetBytes is the total distinct-data footprint.
+	WorkingSetBytes int64
+	// TotalFlops is the total computation.
+	TotalFlops float64
+	// MaxInputs is the largest task arity.
+	MaxInputs int
+	// MinConsumers, AvgConsumers and MaxConsumers describe data sharing
+	// (how many tasks read a data item).
+	MinConsumers int
+	AvgConsumers float64
+	MaxConsumers int
+}
+
+// Summarize computes the instance's Summary.
+func (in *Instance) Summarize() Summary {
+	s := Summary{
+		Tasks:           in.NumTasks(),
+		Data:            in.NumData(),
+		WorkingSetBytes: in.WorkingSetBytes(),
+		TotalFlops:      in.TotalFlops(),
+		MaxInputs:       in.MaxInputs(),
+		MinConsumers:    int(^uint(0) >> 1),
+	}
+	for d := range in.data {
+		c := len(in.consumers[d])
+		s.Edges += c
+		if c < s.MinConsumers {
+			s.MinConsumers = c
+		}
+		if c > s.MaxConsumers {
+			s.MaxConsumers = c
+		}
+	}
+	if s.Data > 0 {
+		s.AvgConsumers = float64(s.Edges) / float64(s.Data)
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d tasks, %d data (%.1f MB), %d edges, <=%d inputs/task, consumers/data min %d avg %.1f max %d, %.1f GFlop",
+		s.Tasks, s.Data, float64(s.WorkingSetBytes)/1e6, s.Edges, s.MaxInputs,
+		s.MinConsumers, s.AvgConsumers, s.MaxConsumers, s.TotalFlops/1e9)
+}

@@ -1,0 +1,195 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Instance {
+	t.Helper()
+	b := NewBuilder("small")
+	d0 := b.AddData("D0", 100)
+	d1 := b.AddData("D1", 200)
+	d2 := b.AddData("D2", 300)
+	b.AddTask("T0", 1e9, d0, d1)
+	b.AddTask("T1", 2e9, d1)
+	b.AddTask("T2", 3e9, d1, d2)
+	inst := b.Build()
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBuilderBasics(t *testing.T) {
+	inst := buildSmall(t)
+	if inst.Name() != "small" {
+		t.Errorf("name = %q", inst.Name())
+	}
+	if inst.NumTasks() != 3 || inst.NumData() != 3 {
+		t.Fatalf("got %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	if got := inst.TotalFlops(); got != 6e9 {
+		t.Errorf("total flops = %g", got)
+	}
+	if got := inst.WorkingSetBytes(); got != 600 {
+		t.Errorf("working set = %d", got)
+	}
+	if got := inst.MaxInputs(); got != 2 {
+		t.Errorf("max inputs = %d", got)
+	}
+	if got := inst.MaxDataSize(); got != 300 {
+		t.Errorf("max data size = %d", got)
+	}
+	if got := inst.TaskFootprint(0); got != 300 {
+		t.Errorf("footprint(T0) = %d", got)
+	}
+	if got := inst.TaskFootprint(2); got != 500 {
+		t.Errorf("footprint(T2) = %d", got)
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	inst := buildSmall(t)
+	cons := inst.Consumers(1) // D1 read by all three tasks
+	if len(cons) != 3 {
+		t.Fatalf("D1 consumers = %v", cons)
+	}
+	for i := 1; i < len(cons); i++ {
+		if cons[i-1] >= cons[i] {
+			t.Fatalf("consumers not sorted: %v", cons)
+		}
+	}
+	if got := inst.Consumers(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("D0 consumers = %v", got)
+	}
+}
+
+func TestSharedInputs(t *testing.T) {
+	inst := buildSmall(t)
+	if got := inst.SharedInputs(0, 2); got != 1 {
+		t.Errorf("shared(T0,T2) = %d, want 1 (D1)", got)
+	}
+	if got := inst.SharedInputs(0, 0); got != 2 {
+		t.Errorf("shared(T0,T0) = %d, want 2", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic(t, "zero-size data", func() {
+		NewBuilder("x").AddData("d", 0)
+	})
+	mustPanic(t, "negative-size data", func() {
+		NewBuilder("x").AddData("d", -5)
+	})
+	mustPanic(t, "no inputs", func() {
+		b := NewBuilder("x")
+		b.AddData("d", 1)
+		b.AddTask("t", 1)
+	})
+	mustPanic(t, "zero flops", func() {
+		b := NewBuilder("x")
+		d := b.AddData("d", 1)
+		b.AddTask("t", 0, d)
+	})
+	mustPanic(t, "unknown data", func() {
+		b := NewBuilder("x")
+		b.AddData("d", 1)
+		b.AddTask("t", 1, DataID(7))
+	})
+	mustPanic(t, "duplicate input", func() {
+		b := NewBuilder("x")
+		d := b.AddData("d", 1)
+		b.AddTask("t", 1, d, d)
+	})
+	mustPanic(t, "empty build", func() {
+		NewBuilder("x").Build()
+	})
+	mustPanic(t, "double build", func() {
+		b := NewBuilder("x")
+		d := b.AddData("d", 1)
+		b.AddTask("t", 1, d)
+		b.Build()
+		b.Build()
+	})
+}
+
+func TestBuilderCopiesInputs(t *testing.T) {
+	b := NewBuilder("x")
+	d0 := b.AddData("d0", 1)
+	d1 := b.AddData("d1", 1)
+	in := []DataID{d0, d1}
+	b.AddTask("t", 1, in...)
+	in[0] = d1 // must not affect the built task
+	inst := b.Build()
+	if inst.Inputs(0)[0] != d0 {
+		t.Fatal("builder aliased the caller's input slice")
+	}
+}
+
+// TestEdgeCountProperty: for random instances, the forward edge count
+// (sum of input degrees) equals the reverse edge count (sum of consumer
+// list lengths), and Validate accepts the instance.
+func TestEdgeCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nData := 1 + rng.Intn(20)
+		nTasks := 1 + rng.Intn(40)
+		b := NewBuilder("prop")
+		ids := make([]DataID, nData)
+		for i := range ids {
+			ids[i] = b.AddData("d", int64(1+rng.Intn(1000)))
+		}
+		fwd := 0
+		for i := 0; i < nTasks; i++ {
+			k := 1 + rng.Intn(nData)
+			perm := rng.Perm(nData)[:k]
+			in := make([]DataID, k)
+			for j, p := range perm {
+				in[j] = ids[p]
+			}
+			b.AddTask("t", float64(1+rng.Intn(100)), in...)
+			fwd += k
+		}
+		inst := b.Build()
+		if inst.Validate() != nil {
+			return false
+		}
+		rev := 0
+		for d := 0; d < inst.NumData(); d++ {
+			rev += len(inst.Consumers(DataID(d)))
+		}
+		return rev == fwd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	inst := buildSmall(t)
+	s := inst.Summarize()
+	if s.Tasks != 3 || s.Data != 3 || s.Edges != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MinConsumers != 1 || s.MaxConsumers != 3 {
+		t.Fatalf("consumers %+v", s)
+	}
+	if s.AvgConsumers < 1.66 || s.AvgConsumers > 1.67 {
+		t.Fatalf("avg %g", s.AvgConsumers)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"memsched/internal/taskgraph"
+)
+
+func TestMatmul2DShape(t *testing.T) {
+	inst := Matmul2D(5)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTasks() != 25 || inst.NumData() != 10 {
+		t.Fatalf("got %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	// The paper's 5x5 point has a 140 MB working set (10 x 14.7456 MB =
+	// 147.5 MB with exact tile arithmetic).
+	if ws := inst.WorkingSetBytes(); ws != 10*Data2DBytes {
+		t.Fatalf("working set %d", ws)
+	}
+	// Each task reads one row of A and one column of B.
+	for _, task := range inst.Tasks() {
+		if len(task.Inputs) != 2 {
+			t.Fatalf("task %s has %d inputs", task.Name, len(task.Inputs))
+		}
+		a := inst.Data(task.Inputs[0]).Name
+		bb := inst.Data(task.Inputs[1]).Name
+		if !strings.HasPrefix(a, "A[") || !strings.HasPrefix(bb, "B[") {
+			t.Fatalf("task %s reads %s, %s", task.Name, a, bb)
+		}
+	}
+	// Row-major submission: first n tasks all read A[0].
+	for i := 0; i < 5; i++ {
+		if inst.Data(inst.Inputs(taskgraph.TaskID(i))[0]).Name != "A[0]" {
+			t.Fatalf("task %d not in row 0", i)
+		}
+	}
+	// Every data has exactly n consumers.
+	for d := 0; d < inst.NumData(); d++ {
+		if len(inst.Consumers(taskgraph.DataID(d))) != 5 {
+			t.Fatalf("data %d has %d consumers", d, len(inst.Consumers(taskgraph.DataID(d))))
+		}
+	}
+}
+
+func TestMatmul2DRandomizedIsPermutation(t *testing.T) {
+	a := Matmul2D(8)
+	b := Matmul2DRandomized(8, 123)
+	if a.NumTasks() != b.NumTasks() || a.NumData() != b.NumData() {
+		t.Fatal("randomized variant changed the instance size")
+	}
+	names := map[string]bool{}
+	for _, task := range a.Tasks() {
+		names[task.Name] = true
+	}
+	same := 0
+	for i, task := range b.Tasks() {
+		if !names[task.Name] {
+			t.Fatalf("task %s not in dense set", task.Name)
+		}
+		if a.Task(taskgraph.TaskID(i)).Name == task.Name {
+			same++
+		}
+	}
+	if same == a.NumTasks() {
+		t.Fatal("randomized order equals natural order")
+	}
+	// Determinism per seed.
+	c := Matmul2DRandomized(8, 123)
+	for i := range b.Tasks() {
+		if b.Task(taskgraph.TaskID(i)).Name != c.Task(taskgraph.TaskID(i)).Name {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+}
+
+func TestMatmul3DShape(t *testing.T) {
+	inst := Matmul3D(4)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTasks() != 64 || inst.NumData() != 32 {
+		t.Fatalf("got %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	for _, task := range inst.Tasks() {
+		if len(task.Inputs) != 2 {
+			t.Fatalf("task %s has %d inputs", task.Name, len(task.Inputs))
+		}
+		if task.Flops != Flops3D {
+			t.Fatalf("task %s flops %g", task.Name, task.Flops)
+		}
+	}
+	// Each tile of A and B is read by exactly n tasks.
+	for d := 0; d < inst.NumData(); d++ {
+		if got := len(inst.Consumers(taskgraph.DataID(d))); got != 4 {
+			t.Fatalf("data %d consumers = %d", d, got)
+		}
+	}
+}
+
+func TestCholeskyShape(t *testing.T) {
+	n := 6
+	inst := Cholesky(n)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumData() != n*(n+1)/2 {
+		t.Fatalf("data = %d, want %d tiles", inst.NumData(), n*(n+1)/2)
+	}
+	// Kernel counts: n POTRF, n(n-1)/2 TRSM, n(n-1)/2 SYRK,
+	// sum_{k} (n-k-1)(n-k-2)/2 GEMM.
+	wantGemm := 0
+	for k := 0; k < n; k++ {
+		r := n - k - 1
+		wantGemm += r * (r - 1) / 2
+	}
+	counts := map[string]int{}
+	for _, task := range inst.Tasks() {
+		kind := task.Name[:strings.Index(task.Name, "(")]
+		counts[kind]++
+		switch kind {
+		case "POTRF":
+			if len(task.Inputs) != 1 {
+				t.Fatalf("%s has %d inputs", task.Name, len(task.Inputs))
+			}
+		case "TRSM", "SYRK":
+			if len(task.Inputs) != 2 {
+				t.Fatalf("%s has %d inputs", task.Name, len(task.Inputs))
+			}
+		case "GEMM":
+			if len(task.Inputs) != 3 {
+				t.Fatalf("%s has %d inputs", task.Name, len(task.Inputs))
+			}
+		default:
+			t.Fatalf("unknown kernel %q", kind)
+		}
+	}
+	if counts["POTRF"] != n || counts["TRSM"] != n*(n-1)/2 ||
+		counts["SYRK"] != n*(n-1)/2 || counts["GEMM"] != wantGemm {
+		t.Fatalf("kernel counts = %v", counts)
+	}
+}
+
+func TestSparse2DKeepsAllData(t *testing.T) {
+	dense := Matmul2D(30)
+	sparse := Sparse2D(30, 0.02, 7)
+	if sparse.NumData() != dense.NumData() {
+		t.Fatal("sparse variant dropped data items")
+	}
+	if sparse.WorkingSetBytes() != dense.WorkingSetBytes() {
+		t.Fatal("sparse working set differs from dense")
+	}
+	if sparse.NumTasks() >= dense.NumTasks()/10 {
+		t.Fatalf("sparse kept %d of %d tasks", sparse.NumTasks(), dense.NumTasks())
+	}
+	if sparse.NumTasks() == 0 {
+		t.Fatal("sparse kept no tasks")
+	}
+}
+
+func TestSparse2DDensityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := Sparse2D(50, 0.1, seed)
+		// Expect roughly 250 tasks; allow a wide band.
+		return inst.NumTasks() > 100 && inst.NumTasks() < 450 && inst.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetMatchesPaperAxis(t *testing.T) {
+	// Paper: 5x5 tasks ~ 140 MB, 300x300 ~ 8400 MB (Figure 3's x axis).
+	ws5 := float64(Matmul2D(5).WorkingSetBytes()) / 1e6
+	if ws5 < 140 || ws5 > 150 {
+		t.Errorf("ws(5) = %.1f MB, paper says ~140", ws5)
+	}
+	ws300 := 60.0 * ws5 // linear in n
+	if ws300 < 8400 || ws300 > 8900 {
+		t.Errorf("ws(300) = %.1f MB, paper says ~8400", ws300)
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	inst := Random(30, 10, 3, 5)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTasks() != 30 || inst.NumData() != 10 {
+		t.Fatalf("got %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	if inst.MaxInputs() > 3 {
+		t.Fatalf("max inputs %d", inst.MaxInputs())
+	}
+	// maxInputs capped at nData.
+	inst = Random(5, 2, 10, 5)
+	if inst.MaxInputs() > 2 {
+		t.Fatalf("max inputs %d with 2 data", inst.MaxInputs())
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"matmul2d":  func() { Matmul2D(0) },
+		"rand":      func() { Matmul2DRandomized(-1, 0) },
+		"matmul3d":  func() { Matmul3D(0) },
+		"cholesky":  func() { Cholesky(0) },
+		"sparse":    func() { Sparse2D(10, 0, 0) },
+		"sparse>1":  func() { Sparse2D(10, 1.5, 0) },
+		"randomGen": func() { Random(0, 1, 1, 0) },
+	} {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestMatmul2DCustom(t *testing.T) {
+	inst := Matmul2DCustom(6, 8)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTasks() != 36 || inst.NumData() != 12 {
+		t.Fatalf("shape: %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	// k=8 doubles both the data size and the task flops of the default.
+	def := Matmul2D(6)
+	if inst.Data(0).Size != 2*def.Data(0).Size {
+		t.Fatalf("size %d vs default %d", inst.Data(0).Size, def.Data(0).Size)
+	}
+	if inst.Task(0).Flops != 2*def.Task(0).Flops {
+		t.Fatalf("flops %g vs default %g", inst.Task(0).Flops, def.Task(0).Flops)
+	}
+	// kTiles=4 must reproduce the paper's scenario exactly.
+	same := Matmul2DCustom(6, 4)
+	if same.Data(0).Size != def.Data(0).Size || same.Task(0).Flops != def.Task(0).Flops {
+		t.Fatal("kTiles=4 differs from Matmul2D")
+	}
+}
+
+func TestMatmul3DSummed(t *testing.T) {
+	inst := Matmul3DSummed(3)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTasks() != 27 || inst.NumData() != 27 {
+		t.Fatalf("shape: %d tasks, %d data", inst.NumTasks(), inst.NumData())
+	}
+	for _, task := range inst.Tasks() {
+		if len(task.Inputs) != 3 {
+			t.Fatalf("task %s has %d inputs, want 3", task.Name, len(task.Inputs))
+		}
+	}
+	// Each C tile is read by n tasks (the k-chain), like A and B tiles.
+	for d := 18; d < 27; d++ {
+		if got := len(inst.Consumers(taskgraph.DataID(d))); got != 3 {
+			t.Fatalf("C tile %d consumers = %d", d, got)
+		}
+	}
+}

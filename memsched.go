@@ -1,0 +1,254 @@
+// Package memsched is a Go reproduction of "Memory-Aware Scheduling of
+// Tasks Sharing Data on Multiple GPUs with Dynamic Runtime Systems"
+// (Gonthier, Marchal, Thibault — IPDPS 2022).
+//
+// It provides:
+//
+//   - a model of independent tasks sharing input data (bipartite
+//     task/data graphs) and generators for the paper's workloads (2D, 3D
+//     and sparse matrix products, Cholesky task sets);
+//   - a deterministic discrete-event simulator of a multi-GPU machine
+//     (bounded GPU memories, one shared PCI bus) driven by a StarPU-like
+//     runtime with prefetching and pluggable eviction;
+//   - the paper's five scheduling strategies — EAGER, DMDAR, hMETIS+R
+//     (with a from-scratch multilevel hypergraph partitioner), mHFP, and
+//     DARTS with its LUF eviction policy and 3inputs/OPTI/threshold
+//     variants;
+//   - an experiment harness regenerating every figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	inst := memsched.Matmul2D(50)
+//	res, err := memsched.Run(inst, memsched.DARTSLUF(), memsched.V100(2))
+//	if err != nil { ... }
+//	fmt.Printf("%.0f GFlop/s, %d MB moved\n", res.GFlops, res.BytesTransferred/1e6)
+package memsched
+
+import (
+	"io"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// Core model types.
+type (
+	// Instance is an immutable set of independent tasks sharing input
+	// data (a bipartite task/data graph).
+	Instance = taskgraph.Instance
+	// Builder assembles custom instances; see NewBuilder.
+	Builder = taskgraph.Builder
+	// TaskID identifies a task of an Instance.
+	TaskID = taskgraph.TaskID
+	// DataID identifies a data item of an Instance.
+	DataID = taskgraph.DataID
+	// Platform describes the simulated machine.
+	Platform = platform.Platform
+	// Result is the outcome of one simulation run.
+	Result = sim.Result
+	// GPUStats holds the per-GPU counters of a Result.
+	GPUStats = sim.GPUStats
+	// TraceEvent is one entry of a recorded simulation trace.
+	TraceEvent = sim.TraceEvent
+	// Strategy couples a scheduler with its eviction policy.
+	Strategy = sched.Strategy
+	// DARTSOptions selects DARTS variants (LUF, 3inputs, OPTI,
+	// threshold).
+	DARTSOptions = sched.DARTSOptions
+	// Scheduler is the extension interface for custom scheduling
+	// strategies; see the examples/custom-scheduler program.
+	Scheduler = sim.Scheduler
+	// EvictionPolicy is the extension interface for custom eviction
+	// policies.
+	EvictionPolicy = sim.EvictionPolicy
+	// RuntimeView is the runtime state visible to schedulers and
+	// eviction policies.
+	RuntimeView = sim.RuntimeView
+	// Analysis summarizes transfer/compute overlap in a recorded trace.
+	Analysis = sim.Analysis
+)
+
+// NewBuilder starts a custom instance with the given name.
+func NewBuilder(name string) *Builder { return taskgraph.NewBuilder(name) }
+
+// V100 returns the paper's platform: n Tesla V100 GPUs with memory
+// limited to 500 MB, sharing a 12 GB/s PCI bus.
+func V100(n int) Platform { return platform.V100(n) }
+
+// V100Unlimited returns the same platform with the full 32 GB per GPU.
+func V100Unlimited(n int) Platform { return platform.V100Unlimited(n) }
+
+// V100NVLink returns the V100 platform with the NVLink extension enabled:
+// data resident on a peer GPU is copied GPU-to-GPU instead of over the
+// shared PCI bus (the future work of the paper's SVI).
+func V100NVLink(n int) Platform { return platform.V100NVLink(n) }
+
+// CPUDisk returns the out-of-core scenario of the paper's introduction:
+// several CPUs with restricted private memories sharing a disk link.
+func CPUDisk(numCPUs int) Platform { return platform.CPUDisk(numCPUs) }
+
+// Heterogeneous returns the V100 platform with one GPU per argument, each
+// with its own sustained throughput in GFlop/s (the heterogeneity the
+// model of SIII extends to and DMDA was designed for).
+func Heterogeneous(gflops ...float64) Platform { return platform.Heterogeneous(gflops...) }
+
+// Workload generators (see internal/workload for the exact shapes).
+
+// Matmul2D builds the n x n blocked 2D matrix product of the paper.
+func Matmul2D(n int) *Instance { return workload.Matmul2D(n) }
+
+// Matmul2DRandomized is Matmul2D with a shuffled submission order.
+func Matmul2DRandomized(n int, seed int64) *Instance {
+	return workload.Matmul2DRandomized(n, seed)
+}
+
+// Matmul3D builds the n^3-task 3D blocked matrix product.
+func Matmul3D(n int) *Instance { return workload.Matmul3D(n) }
+
+// Cholesky builds the task set of an n x n tiled Cholesky decomposition
+// with dependencies removed.
+func Cholesky(n int) *Instance { return workload.Cholesky(n) }
+
+// Sparse2D builds the sparse 2D product keeping fraction keep of the
+// tasks.
+func Sparse2D(n int, keep float64, seed int64) *Instance {
+	return workload.Sparse2D(n, keep, seed)
+}
+
+// Matmul2DWithOutputs is Matmul2D with each task writing its C tile back
+// to host memory (the output extension the paper's SI sets aside).
+func Matmul2DWithOutputs(n int) *Instance { return workload.Matmul2DWithOutputs(n) }
+
+// Strategies of the paper.
+
+// Eager returns the EAGER baseline (shared queue, natural order).
+func Eager() Strategy { return sched.EagerStrategy() }
+
+// DMDAR returns StarPU's deque-model data-aware scheduler with Ready
+// reordering.
+func DMDAR() Strategy { return sched.DMDARStrategy() }
+
+// HMetisR returns hMETIS+R: hypergraph partitioning + Ready + task
+// stealing. chargePartitionTime selects whether the partitioning cost is
+// charged to the simulated clock.
+func HMetisR(chargePartitionTime bool) Strategy {
+	return sched.HMetisRStrategy(chargePartitionTime)
+}
+
+// MHFP returns multi-GPU Hierarchical Fair Packing. chargePackingTime
+// selects whether the packing cost is charged.
+func MHFP(chargePackingTime bool) Strategy { return sched.MHFPStrategy(chargePackingTime) }
+
+// DARTS returns the plain DARTS scheduler (with LRU eviction).
+func DARTS() Strategy { return sched.DARTSStrategy(DARTSOptions{}) }
+
+// DARTSLUF returns DARTS with the LUF eviction policy, the paper's
+// headline strategy.
+func DARTSLUF() Strategy { return sched.DARTSStrategy(DARTSOptions{LUF: true}) }
+
+// DARTSWith returns the DARTS variant selected by opts.
+func DARTSWith(opts DARTSOptions) Strategy { return sched.DARTSStrategy(opts) }
+
+// EagerBelady returns EAGER paired with a Belady oracle eviction policy,
+// the optimal eviction for the EAGER task order (used as an ablation
+// anchor).
+func EagerBelady() Strategy {
+	return Strategy{Label: "EAGER+Belady", New: sched.NewEagerBeladyPair()}
+}
+
+// StrategyByName resolves a strategy by its figure label, e.g.
+// "DARTS+LUF" or "hMETIS+R no part. time".
+func StrategyByName(name string) (Strategy, error) { return sched.ByName(name) }
+
+// Custom builds a Strategy from a user scheduler (and optional eviction
+// policy; nil selects LRU). The builder is invoked once per Run.
+func Custom(label string, build func() (Scheduler, EvictionPolicy)) Strategy {
+	return Strategy{Label: label, New: build}
+}
+
+// Options tunes a Run.
+type Options struct {
+	// WindowSize is the per-GPU prefetch window depth (default 4).
+	WindowSize int
+	// Seed drives tie-breaking randomness (default 0).
+	Seed int64
+	// NsPerOp charges scheduler decisions to the simulated clock at
+	// this rate (default 0: scheduling is free, as in the paper's
+	// simulation figures). Use DefaultNsPerOp for the paper's
+	// real-execution figures.
+	NsPerOp float64
+	// RecordTrace keeps the full event log in the Result.
+	RecordTrace bool
+	// CheckInvariants validates the run's trace (implies RecordTrace).
+	CheckInvariants bool
+	// BusModel selects the host-bus contention model: BusFIFO (default)
+	// or BusFairShare.
+	BusModel BusModel
+}
+
+// BusModel selects the host-bus contention model of a Run.
+type BusModel = sim.BusModel
+
+// Bus contention models.
+const (
+	// BusFIFO serializes host transfers in request order.
+	BusFIFO = sim.BusFIFO
+	// BusFairShare splits the bus bandwidth among in-flight transfers,
+	// as fluid-flow simulators like the paper's SimGrid do.
+	BusFairShare = sim.BusFairShare
+)
+
+// DefaultNsPerOp is the cost-model rate used by the paper-reproduction
+// experiments that charge scheduling time.
+const DefaultNsPerOp = sim.DefaultNsPerOp
+
+// Analyze summarizes a run with a recorded trace: bus utilization,
+// per-GPU idle time, and how much transfer time was hidden behind
+// computation (the lens of the paper's §V-C discussion).
+func Analyze(inst *Instance, plat Platform, res *Result) (*Analysis, error) {
+	return sim.Analyze(inst, plat, res)
+}
+
+// Timeline renders a text Gantt chart (one row per GPU plus the shared
+// bus) of a recorded trace, width columns wide.
+func Timeline(inst *Instance, plat Platform, res *Result, width int) string {
+	return sim.Timeline(inst, plat, res, width)
+}
+
+// ReadInstanceJSON loads an instance serialized by Instance.WriteJSON.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) { return taskgraph.ReadJSON(r) }
+
+// WriteChromeTrace exports a recorded trace in the Chrome trace-event
+// JSON format (chrome://tracing, ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, inst *Instance, plat Platform, res *Result) error {
+	return sim.WriteChromeTrace(w, inst, plat, res)
+}
+
+// Run simulates inst under the given strategy and platform.
+func Run(inst *Instance, strat Strategy, plat Platform, opts ...Options) (*Result, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	s, pol := strat.New()
+	var ev EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	return sim.Run(inst, sim.Config{
+		Platform:        plat,
+		Scheduler:       s,
+		Eviction:        ev,
+		WindowSize:      o.WindowSize,
+		Seed:            o.Seed,
+		NsPerOp:         o.NsPerOp,
+		RecordTrace:     o.RecordTrace,
+		CheckInvariants: o.CheckInvariants,
+		BusModel:        o.BusModel,
+	})
+}

@@ -1,0 +1,217 @@
+package memsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"memsched"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	inst := memsched.Matmul2D(12)
+	res, err := memsched.Run(inst, memsched.DARTSLUF(), memsched.V100(2), memsched.Options{
+		Seed:            3,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GFlops <= 0 || res.Loads == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestPublicAPIAllWorkloads(t *testing.T) {
+	insts := []*memsched.Instance{
+		memsched.Matmul2D(6),
+		memsched.Matmul2DRandomized(6, 1),
+		memsched.Matmul3D(3),
+		memsched.Cholesky(5),
+		memsched.Sparse2D(15, 0.2, 1),
+	}
+	for _, inst := range insts {
+		res, err := memsched.Run(inst, memsched.DMDAR(), memsched.V100(2))
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name(), err)
+		}
+		if res.GFlops <= 0 {
+			t.Fatalf("%s: zero throughput", inst.Name())
+		}
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	inst := memsched.Matmul2D(8)
+	strategies := []memsched.Strategy{
+		memsched.Eager(),
+		memsched.EagerBelady(),
+		memsched.DMDAR(),
+		memsched.HMetisR(true),
+		memsched.HMetisR(false),
+		memsched.MHFP(true),
+		memsched.MHFP(false),
+		memsched.DARTS(),
+		memsched.DARTSLUF(),
+		memsched.DARTSWith(memsched.DARTSOptions{LUF: true, Opti: true}),
+	}
+	for _, s := range strategies {
+		if _, err := memsched.Run(inst, s, memsched.V100(2), memsched.Options{Seed: 1}); err != nil {
+			t.Fatalf("%s: %v", s.Label, err)
+		}
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	s, err := memsched.StrategyByName("mHFP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "mHFP" {
+		t.Fatalf("label = %q", s.Label)
+	}
+}
+
+func TestCustomBuilderAndTrace(t *testing.T) {
+	inst := memsched.Matmul2D(10)
+	res, err := memsched.Run(inst, memsched.Eager(), memsched.V100(1), memsched.Options{
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	a, err := memsched.Analyze(inst, memsched.V100(1), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BusBusy <= 0 || a.BusUtilization <= 0 {
+		t.Fatalf("analysis: %+v", a)
+	}
+	if tl := memsched.Timeline(inst, memsched.V100(1), res, 60); tl == "" {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestInstanceJSONThroughFacade(t *testing.T) {
+	inst := memsched.Cholesky(4)
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := memsched.ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != inst.NumTasks() {
+		t.Fatalf("%d tasks after round trip, want %d", back.NumTasks(), inst.NumTasks())
+	}
+}
+
+func TestBuilderThroughFacade(t *testing.T) {
+	b := memsched.NewBuilder("custom")
+	d0 := b.AddData("x", 1000)
+	d1 := b.AddData("y", 1000)
+	b.AddTask("t0", 1e9, d0, d1)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+	plat := memsched.Platform{
+		NumGPUs: 1, MemoryBytes: 10_000, GFlopsPerGPU: 1, BusBytesPerSecond: 1e6,
+	}
+	res, err := memsched.Run(inst, memsched.Eager(), plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads != 2 {
+		t.Fatalf("loads = %d", res.Loads)
+	}
+}
+
+func TestNVLinkThroughFacade(t *testing.T) {
+	inst := memsched.Matmul2D(20)
+	plain, err := memsched.Run(inst, memsched.DARTSLUF(), memsched.V100(2), memsched.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := memsched.Run(inst, memsched.DARTSLUF(), memsched.V100NVLink(2), memsched.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.PeerBytesTransferred == 0 {
+		t.Skip("no peer traffic at this size")
+	}
+	if nv.BytesTransferred > plain.BytesTransferred {
+		t.Fatalf("NVLink increased host traffic: %d > %d", nv.BytesTransferred, plain.BytesTransferred)
+	}
+}
+
+func TestOfflineAPIThroughFacade(t *testing.T) {
+	b := memsched.NewBuilder("tiny")
+	d0 := b.AddData("d0", 100)
+	d1 := b.AddData("d1", 100)
+	d2 := b.AddData("d2", 100)
+	b.AddTask("t0", 1e9, d0, d1)
+	b.AddTask("t1", 1e9, d1, d2)
+	b.AddTask("t2", 1e9, d0, d2)
+	inst := b.Build()
+
+	sched, loads, err := memsched.OptimalSchedule(inst, 1, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 3 {
+		t.Fatalf("optimal loads = %d, want 3 (everything fits)", loads)
+	}
+	ev, err := memsched.EvaluateSchedule(inst, sched, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Loads != loads {
+		t.Fatalf("re-evaluation %d != %d", ev.Loads, loads)
+	}
+	// The runtime needs room for two task footprints (running + head).
+	plat := memsched.Platform{NumGPUs: 1, MemoryBytes: 400, GFlopsPerGPU: 1, BusBytesPerSecond: 1e6}
+	res, err := memsched.Run(inst, memsched.Replay(sched), plat, memsched.Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads < loads {
+		t.Fatalf("replay loaded %d, below the offline optimum %d", res.Loads, loads)
+	}
+}
+
+func TestLoadsPerDataExposed(t *testing.T) {
+	inst := memsched.Matmul2D(6)
+	res, err := memsched.Run(inst, memsched.Eager(), memsched.V100(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.LoadsPerData {
+		total += c
+	}
+	if total != res.Loads {
+		t.Fatalf("per-data loads sum %d != total %d", total, res.Loads)
+	}
+}
+
+func TestReproduceFigureAPI(t *testing.T) {
+	ids := memsched.FigureIDs()
+	if len(ids) != 9 {
+		t.Fatalf("figure ids: %v", ids)
+	}
+	rows, err := memsched.ReproduceFigure("fig9", memsched.ReproduceOptions{MaxN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if memsched.FormatFigureTable(rows, "gflops") == "" {
+		t.Fatal("empty table")
+	}
+	if _, err := memsched.ReproduceFigure("fig99", memsched.ReproduceOptions{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

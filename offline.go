@@ -1,0 +1,45 @@
+package memsched
+
+import (
+	"memsched/internal/core"
+	"memsched/internal/sched"
+)
+
+// Schedule is an explicit task order per GPU (the paper's sigma), used by
+// the offline model of §III and by the Replay strategy.
+type Schedule = core.Schedule
+
+// ScheduleEval holds the offline objectives of a schedule: the number of
+// load operations (Objective 2) under optimal eviction and the maximum
+// tasks per GPU (Objective 1).
+type ScheduleEval = core.Eval
+
+// EvaluateSchedule computes the offline objectives of a schedule with
+// memoryBytes per GPU, deriving the optimal eviction sets with Belady's
+// rule as the paper does (§III).
+func EvaluateSchedule(inst *Instance, s *Schedule, memoryBytes int64) (*ScheduleEval, error) {
+	return core.Evaluate(inst, s, memoryBytes, core.Belady)
+}
+
+// OptimalSchedule exhaustively solves the Bi-Obj-Multi-GPU-Task-Scheduling
+// problem (Definition 1) for tiny instances (at most 9 tasks): it returns
+// a schedule minimizing the total loads subject to at most maxTasksPerGPU
+// tasks per GPU. The problem is NP-complete (Theorem 1); this exists to
+// anchor heuristics in tests and experiments.
+func OptimalSchedule(inst *Instance, gpus int, memoryBytes int64, maxTasksPerGPU int) (*Schedule, int, error) {
+	res, err := core.BruteForce(inst, gpus, memoryBytes, maxTasksPerGPU)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Loads, nil
+}
+
+// Replay returns a strategy executing the given schedule verbatim: each
+// GPU processes exactly its queue, in order, with the runtime handling
+// prefetch and eviction. It bridges offline schedules (including those of
+// external tools) into the simulator.
+func Replay(s *Schedule) Strategy {
+	return Strategy{Label: "fixed", New: func() (Scheduler, EvictionPolicy) {
+		return sched.NewFixed(s)(), nil
+	}}
+}

@@ -1,0 +1,108 @@
+// Package schedtest is a conformance suite for custom scheduling
+// strategies and eviction policies built against the memsched extension
+// interfaces. It drives a strategy through the same checks the built-in
+// strategies pass: completing every workload shape on several GPU counts,
+// producing valid traces (memory bound respected, inputs resident at task
+// start, each task exactly once), determinism per seed, surviving memory
+// pressure, tolerating tiny prefetch windows, and behaving under the
+// dependency gate.
+//
+// Usage, in your own test file:
+//
+//	func TestMyScheduler(t *testing.T) {
+//	    strat := memsched.Custom("mine", func() (memsched.Scheduler, memsched.EvictionPolicy) {
+//	        return &mySched{}, nil
+//	    })
+//	    schedtest.Conformance(t, strat)
+//	}
+package schedtest
+
+import (
+	"testing"
+
+	"memsched"
+)
+
+// Conformance runs the full conformance suite against strat as named
+// subtests of t. The strategy's builder is invoked once per simulation,
+// so strategies must be single-use (as documented on memsched.Strategy).
+func Conformance(t *testing.T, strat memsched.Strategy) {
+	t.Helper()
+	t.Run("workloads", func(t *testing.T) { checkWorkloads(t, strat) })
+	t.Run("memory-pressure", func(t *testing.T) { checkMemoryPressure(t, strat) })
+	t.Run("determinism", func(t *testing.T) { checkDeterminism(t, strat) })
+	t.Run("tiny-window", func(t *testing.T) { checkTinyWindow(t, strat) })
+	t.Run("load-balance", func(t *testing.T) { checkLoadBalance(t, strat) })
+	t.Run("dependencies", func(t *testing.T) { checkDependencies(t, strat) })
+}
+
+func runChecked(t *testing.T, strat memsched.Strategy, inst *memsched.Instance, plat memsched.Platform, opt memsched.Options) *memsched.Result {
+	t.Helper()
+	opt.CheckInvariants = true
+	res, err := memsched.Run(inst, strat, plat, opt)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", strat.Label, inst.Name(), err)
+	}
+	return res
+}
+
+func checkWorkloads(t *testing.T, strat memsched.Strategy) {
+	insts := []*memsched.Instance{
+		memsched.Matmul2D(8),
+		memsched.Matmul2DRandomized(8, 5),
+		memsched.Matmul3D(4),
+		memsched.Cholesky(6),
+		memsched.Sparse2D(20, 0.1, 5),
+	}
+	for _, inst := range insts {
+		for _, gpus := range []int{1, 2, 4} {
+			res := runChecked(t, strat, inst, memsched.V100(gpus), memsched.Options{Seed: 1})
+			if res.GFlops <= 0 {
+				t.Fatalf("%s on %s (%d GPUs): no throughput", strat.Label, inst.Name(), gpus)
+			}
+		}
+	}
+}
+
+func checkMemoryPressure(t *testing.T, strat memsched.Strategy) {
+	inst := memsched.Matmul2D(40) // B alone exceeds one 500 MB memory
+	res := runChecked(t, strat, inst, memsched.V100(1), memsched.Options{Seed: 1})
+	if res.Evictions == 0 {
+		t.Fatalf("%s: no evictions under 2.4x memory oversubscription", strat.Label)
+	}
+}
+
+func checkDeterminism(t *testing.T, strat memsched.Strategy) {
+	inst := memsched.Matmul2D(15)
+	a := runChecked(t, strat, inst, memsched.V100(2), memsched.Options{Seed: 7})
+	b := runChecked(t, strat, inst, memsched.V100(2), memsched.Options{Seed: 7})
+	if a.Makespan != b.Makespan || a.Loads != b.Loads || a.Evictions != b.Evictions {
+		t.Fatalf("%s: two runs with seed 7 differ (makespan %v vs %v, loads %d vs %d)",
+			strat.Label, a.Makespan, b.Makespan, a.Loads, b.Loads)
+	}
+}
+
+func checkTinyWindow(t *testing.T, strat memsched.Strategy) {
+	inst := memsched.Matmul2D(10)
+	runChecked(t, strat, inst, memsched.V100(2), memsched.Options{Seed: 1, WindowSize: 1})
+}
+
+func checkLoadBalance(t *testing.T, strat memsched.Strategy) {
+	inst := memsched.Matmul2D(16)
+	res := runChecked(t, strat, inst, memsched.V100(4), memsched.Options{Seed: 1})
+	fair := inst.NumTasks() / 4
+	for k, g := range res.GPU {
+		if g.Tasks > 2*fair {
+			t.Fatalf("%s: gpu %d ran %d tasks (fair share %d)", strat.Label, k, g.Tasks, fair)
+		}
+	}
+}
+
+func checkDependencies(t *testing.T, strat memsched.Strategy) {
+	inst, deps := memsched.CholeskyDAG(6)
+	gated := memsched.WithDependencies(deps, strat)
+	res := runChecked(t, gated, inst, memsched.V100(2), memsched.Options{Seed: 1})
+	if res.GFlops <= 0 {
+		t.Fatalf("%s: gated run produced no throughput", strat.Label)
+	}
+}

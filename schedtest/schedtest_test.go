@@ -1,0 +1,40 @@
+package schedtest_test
+
+import (
+	"testing"
+
+	"memsched"
+	"memsched/schedtest"
+)
+
+// roundRobin is the minimal custom scheduler of the package docs: a
+// shared queue served in submission order, like EAGER.
+type roundRobin struct {
+	next int
+	m    int
+}
+
+func (s *roundRobin) Name() string { return "round-robin" }
+func (s *roundRobin) Init(inst *memsched.Instance, view memsched.RuntimeView) {
+	s.m = inst.NumTasks()
+}
+func (s *roundRobin) PopTask(gpu int) (memsched.TaskID, bool) {
+	if s.next >= s.m {
+		return -1, false
+	}
+	t := memsched.TaskID(s.next)
+	s.next++
+	return t, true
+}
+func (s *roundRobin) TaskDone(gpu int, t memsched.TaskID)    {}
+func (s *roundRobin) DataLoaded(gpu int, d memsched.DataID)  {}
+func (s *roundRobin) DataEvicted(gpu int, d memsched.DataID) {}
+
+// TestConformanceCustomScheduler is the exact usage the package comment
+// advertises: a user-written scheduler passed through the suite.
+func TestConformanceCustomScheduler(t *testing.T) {
+	strat := memsched.Custom("round-robin", func() (memsched.Scheduler, memsched.EvictionPolicy) {
+		return &roundRobin{}, nil
+	})
+	schedtest.Conformance(t, strat)
+}
