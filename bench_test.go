@@ -85,6 +85,31 @@ func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12", 150, "DARTS+LUF") }
 // BenchmarkFig13 regenerates Figure 13 (sparse, no memory limit).
 func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13", 150, "DARTS+LUF") }
 
+// BenchmarkFigureRunParallel measures the experiment harness itself: the
+// same trimmed Figure 3 sweep run through the parallel cell runner with
+// 1, 2 and 4 workers. Rows are identical across worker counts (see
+// TestWorkersConformance in internal/expr); only wall time changes. On a
+// 4-core machine the 4-worker run completes the sweep about 2-3x faster
+// than the sequential one (the sweep's longest single cell bounds the
+// speedup); on a single-core machine the variants tie.
+func BenchmarkFigureRunParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		b.Run("workers-"+itoa(w), func(b *testing.B) {
+			f, err := expr.ByID("fig3")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(expr.RunOptions{Quick: true, MaxN: 42, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchOne runs one (instance, strategy, platform) combo per iteration
 // and reports its throughput and traffic.
 func benchOne(b *testing.B, inst *memsched.Instance, strat memsched.Strategy, plat memsched.Platform, opt memsched.Options) {

@@ -11,14 +11,20 @@
 //	paperbench -quick           # a third of the sweep points
 //	paperbench -maxn 100        # cap workload sizes
 //	paperbench -out results     # output directory for CSV files
+//	paperbench -workers 8       # fan runs across 8 workers
+//	paperbench -cpuprofile p.out  # write a pprof CPU profile
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"memsched/internal/expr"
 	"memsched/internal/metrics"
@@ -26,16 +32,34 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "run only this figure (fig3...fig13); empty runs all")
-		quick     = flag.Bool("quick", false, "run a reduced sweep")
-		maxN      = flag.Int("maxn", 0, "skip sweep points with N above this bound")
-		outDir    = flag.String("out", "results", "directory for CSV output")
-		verbose   = flag.Bool("v", false, "print one line per run")
-		replicas  = flag.Int("replicas", 1, "seeds averaged per cell (the paper uses 10)")
-		plot      = flag.Bool("plot", false, "render each figure as an ASCII chart as well")
-		ablations = flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
+		fig        = flag.String("fig", "", "run only this figure (fig3...fig13); empty runs all")
+		quick      = flag.Bool("quick", false, "run a reduced sweep")
+		maxN       = flag.Int("maxn", 0, "skip sweep points with N above this bound")
+		outDir     = flag.String("out", "results", "directory for CSV output")
+		verbose    = flag.Bool("v", false, "print one line per run")
+		replicas   = flag.Int("replicas", 1, "seeds averaged per cell (the paper uses 10)")
+		plot       = flag.Bool("plot", false, "render each figure as an ASCII chart as well")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS); figures also overlap up to this bound")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
 
 	if *ablations {
 		runAblations(*outDir)
@@ -55,39 +79,88 @@ func main() {
 		os.Exit(1)
 	}
 
-	for _, f := range figures {
-		opt := expr.RunOptions{Quick: *quick, MaxN: *maxN, Replicas: *replicas}
-		if *verbose {
-			opt.Progress = os.Stderr
-		}
-		rows, err := f.Run(opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", f.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
-		fmt.Printf("   reference: %s\n\n", f.RefLines())
-		for _, m := range f.Metrics {
-			fmt.Println(metrics.FormatTable(rows, m))
-			if *plot {
-				fmt.Println(metrics.Plot(rows, m, 72, 18))
-			}
-		}
-		printHeadlines(f.ID, rows)
-
-		name := strings.ReplaceAll(f.ID, "+", "_") + ".csv"
-		out, err := os.Create(filepath.Join(*outDir, name))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := metrics.WriteCSV(out, rows); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		out.Close()
-		fmt.Println()
+	// Figures overlap across a bounded pool so a slow multi-GPU sweep
+	// does not leave the machine idle, while each figure also fans its
+	// own (point, strategy, replica) cells via RunOptions.Workers.
+	// Output is buffered per figure and printed in paper order.
+	figWorkers := *workers
+	if figWorkers <= 0 {
+		figWorkers = runtime.GOMAXPROCS(0)
 	}
+	if figWorkers > len(figures) {
+		figWorkers = len(figures)
+	}
+	type figResult struct {
+		out bytes.Buffer
+		err error
+	}
+	results := make([]figResult, len(figures))
+	sem := make(chan struct{}, figWorkers)
+	var wg sync.WaitGroup
+	for i, f := range figures {
+		wg.Add(1)
+		go func(i int, f *expr.Figure) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i].err = runFigure(f, &results[i].out, *outDir, expr.RunOptions{
+				Quick:    *quick,
+				MaxN:     *maxN,
+				Replicas: *replicas,
+				Workers:  *workers,
+			}, *verbose, *plot)
+		}(i, f)
+	}
+	wg.Wait()
+
+	failed := false
+	for i, f := range figures {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.ID, results[i].err)
+			failed = true
+			continue
+		}
+		os.Stdout.Write(results[i].out.Bytes())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runFigure executes one experiment, rendering its tables into out and
+// writing its CSV under outDir.
+func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot bool) error {
+	if verbose {
+		opt.Progress = os.Stderr
+	}
+	rows, err := f.Run(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(out, "   reference: %s\n\n", f.RefLines())
+	for _, m := range f.Metrics {
+		fmt.Fprintln(out, metrics.FormatTable(rows, m))
+		if plot {
+			fmt.Fprintln(out, metrics.Plot(rows, m, 72, 18))
+		}
+	}
+	printHeadlines(out, f.ID, rows)
+
+	name := strings.ReplaceAll(f.ID, "+", "_") + ".csv"
+	csvFile, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteCSV(csvFile, rows); err != nil {
+		csvFile.Close()
+		return err
+	}
+	if err := csvFile.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
 }
 
 // runAblations executes the DESIGN.md §6 studies and prints one table
@@ -132,7 +205,7 @@ func runAblations(outDir string) {
 
 // printHeadlines restates the paper's headline claims for the experiments
 // that carry one, with our measured value.
-func printHeadlines(id string, rows []metrics.Row) {
+func printHeadlines(out *bytes.Buffer, id string, rows []metrics.Row) {
 	type claim struct {
 		a, b  string
 		paper string
@@ -153,6 +226,6 @@ func printHeadlines(id string, rows []metrics.Row) {
 	if n == 0 {
 		return
 	}
-	fmt.Printf("headline: %s vs %s: %+.1f%% GFlop/s on average over %d points (%s)\n",
+	fmt.Fprintf(out, "headline: %s vs %s: %+.1f%% GFlop/s on average over %d points (%s)\n",
 		c.a, c.b, gain, n, c.paper)
 }

@@ -29,7 +29,13 @@ type ReproduceOptions struct {
 	MaxN int
 	// Replicas averages each cell over this many seeds (0 or 1 = one).
 	Replicas int
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers bounds how many (point, strategy, replica) cells run
+	// concurrently; 0 uses all available cores. Results are identical
+	// for any worker count.
+	Workers int
+	// Progress, when non-nil, receives one line per completed
+	// (point, strategy) row; with Workers > 1 lines arrive in
+	// completion order.
 	Progress io.Writer
 }
 
@@ -45,6 +51,7 @@ func ReproduceFigure(id string, opt ReproduceOptions) ([]FigureRow, error) {
 		Quick:    opt.Quick,
 		MaxN:     opt.MaxN,
 		Replicas: opt.Replicas,
+		Workers:  opt.Workers,
 		Progress: opt.Progress,
 	})
 }

@@ -12,6 +12,9 @@ func TestAblationsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations are slow")
 	}
+	if raceEnabled {
+		t.Skip("slow single-threaded sweep; skipped under -race")
+	}
 	byID := map[string]map[string]float64{}
 	for _, a := range expr.Ablations() {
 		rows, err := a.Run()

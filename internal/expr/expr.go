@@ -7,6 +7,9 @@ package expr
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"memsched/internal/memory"
 	"memsched/internal/metrics"
@@ -56,7 +59,10 @@ type RunOptions struct {
 	MaxN int
 	// Quick keeps only every third point plus the last.
 	Quick bool
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed
+	// (point, strategy) row. With Workers > 1 the lines arrive in
+	// completion order rather than sweep order, but each line is
+	// written whole (they are serialized through a single goroutine).
 	Progress io.Writer
 	// CheckInvariants validates every trace (slower).
 	CheckInvariants bool
@@ -64,9 +70,22 @@ type RunOptions struct {
 	// seeds (the paper averages 10 iterations per result). 0 or 1 runs
 	// a single seed.
 	Replicas int
+	// Workers bounds how many (point, strategy, replica) cells run
+	// concurrently. 0 selects runtime.GOMAXPROCS(0); 1 runs strictly
+	// sequentially. Every cell is an independent deterministic
+	// simulation on its own Instance, and rows are assembled in sweep
+	// order, so the result is identical for any worker count.
+	Workers int
 }
 
-// Run executes the experiment and returns one row per (point, strategy).
+// Run executes the experiment and returns one row per (point, strategy),
+// in sweep order (points in sweep order, strategies in legend order).
+//
+// The (point, strategy, replica) cells are independent simulations; Run
+// fans them across Workers goroutines. Each worker builds its own
+// Instance for its cell, so no mutable state is shared between cells:
+// results are byte-identical for any worker count (see
+// TestWorkersConformance).
 func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	points := f.Points
 	if opt.Quick {
@@ -82,45 +101,151 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var rows []metrics.Row
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// One row per (point, strategy) cell, in sweep order.
+	type rowSpec struct {
+		point Point
+		strat sched.Strategy
+	}
+	var specs []rowSpec
 	for _, p := range points {
 		if opt.MaxN > 0 && p.N > opt.MaxN {
 			continue
 		}
-		inst := p.Build()
 		for _, strat := range f.Strategies {
-			var row metrics.Row
-			for r := 0; r < reps; r++ {
-				res, err := RunOne(inst, strat, f.Platform, f.NsPerOp, f.Seed+int64(r), opt.CheckInvariants)
+			specs = append(specs, rowSpec{point: p, strat: strat})
+		}
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	numJobs := len(specs) * reps
+	if workers > numJobs {
+		workers = numJobs
+	}
+
+	rows := make([]metrics.Row, len(specs))
+	cells := make([][]metrics.Row, len(specs)) // per-replica results
+	remaining := make([]int32, len(specs))     // replicas left per row
+	for i := range cells {
+		cells[i] = make([]metrics.Row, reps)
+		remaining[i] = int32(reps)
+	}
+	runErrs := make([]error, numJobs)
+	aggErrs := make([]error, len(specs))
+
+	// Progress lines from concurrent workers are serialized through one
+	// channel so each line reaches the writer whole.
+	var progCh chan string
+	var progWG sync.WaitGroup
+	if opt.Progress != nil {
+		progCh = make(chan string, workers)
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			for line := range progCh {
+				io.WriteString(opt.Progress, line)
+			}
+		}()
+	}
+
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					continue
+				}
+				ri, rep := j/reps, j%reps
+				sp := specs[ri]
+				inst := sp.point.Build()
+				res, err := RunOne(inst, sp.strat, f.Platform, f.NsPerOp, f.Seed+int64(rep), opt.CheckInvariants)
 				if err != nil {
-					return nil, fmt.Errorf("%s: %s on %s: %w", f.ID, strat.Label, inst.Name(), err)
+					runErrs[j] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
+					failed.Store(true)
+					continue
 				}
-				one := metrics.FromResult(f.ID, res)
-				if r == 0 {
-					row = one
-				} else {
-					row.GFlops += one.GFlops
-					row.TransferredMB += one.TransferredMB
-					row.MakespanMS += one.MakespanMS
-					row.Loads += one.Loads
-					row.Evictions += one.Evictions
+				cells[ri][rep] = metrics.FromResult(f.ID, res)
+				if atomic.AddInt32(&remaining[ri], -1) != 0 {
+					continue
+				}
+				// Last replica of this row: aggregate and report.
+				row, err := aggregateReplicas(cells[ri])
+				if err != nil {
+					aggErrs[ri] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
+					failed.Store(true)
+					continue
+				}
+				rows[ri] = row
+				if progCh != nil {
+					progCh <- fmt.Sprintf("%s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
+						f.ID, row.WorkingSetMB, sp.strat.Label, row.GFlops, row.TransferredMB)
 				}
 			}
-			if reps > 1 {
-				row.GFlops /= float64(reps)
-				row.TransferredMB /= float64(reps)
-				row.MakespanMS /= float64(reps)
-				row.Loads /= reps
-				row.Evictions /= reps
-			}
-			rows = append(rows, row)
-			if opt.Progress != nil {
-				fmt.Fprintf(opt.Progress, "%s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
-					f.ID, row.WorkingSetMB, strat.Label, row.GFlops, row.TransferredMB)
-			}
+		}()
+	}
+	for j := 0; j < numJobs; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	if progCh != nil {
+		close(progCh)
+		progWG.Wait()
+	}
+
+	for _, err := range runErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range aggErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// aggregateReplicas folds the per-seed rows of one (point, strategy)
+// cell into the figure row: metric fields are averaged, static fields
+// (workload identity, working set, GPU count) must agree across seeds.
+// Loads and Evictions keep the historical integer average.
+func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
+	row := reps[0]
+	for _, one := range reps[1:] {
+		if one.Figure != row.Figure || one.Workload != row.Workload ||
+			one.WorkingSetMB != row.WorkingSetMB ||
+			one.Scheduler != row.Scheduler || one.GPUs != row.GPUs {
+			return metrics.Row{}, fmt.Errorf(
+				"expr: replica rows disagree on static fields: %+v vs %+v", row, one)
+		}
+		row.GFlops += one.GFlops
+		row.TransferredMB += one.TransferredMB
+		row.MakespanMS += one.MakespanMS
+		row.StaticMS += one.StaticMS
+		row.DynamicMS += one.DynamicMS
+		row.Loads += one.Loads
+		row.Evictions += one.Evictions
+	}
+	if n := len(reps); n > 1 {
+		row.GFlops /= float64(n)
+		row.TransferredMB /= float64(n)
+		row.MakespanMS /= float64(n)
+		row.StaticMS /= float64(n)
+		row.DynamicMS /= float64(n)
+		row.Loads /= n
+		row.Evictions /= n
+	}
+	return row, nil
 }
 
 // RunOne executes a single (instance, strategy) pair on plat.

@@ -11,6 +11,9 @@ import (
 // paper's qualitative results on one GPU: under memory constraint (B no
 // longer fits, ws > 1000 MB), DARTS+LUF beats DMDAR, which beats EAGER.
 func TestFig3QuickShapes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("slow single-threaded sweep; skipped under -race")
+	}
 	f := expr.Fig3And4()
 	f.Points = f.Points[len(f.Points)-3:] // the most constrained points
 	rows, err := f.Run(expr.RunOptions{})

@@ -1,0 +1,159 @@
+package expr_test
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/workload"
+)
+
+// TestWorkersConformance is the parallel-runner conformance suite: for
+// every figure of the paper, a sequential run (Workers: 1) and a fanned
+// run (Workers: 8) must produce identical rows — same values, same
+// sweep order. Each cell is an independent deterministic simulation, so
+// any divergence means the runner leaked state between cells.
+func TestWorkersConformance(t *testing.T) {
+	for _, f := range expr.AllFigures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			f.Points = f.Points[:1]
+			opt := expr.RunOptions{Replicas: 2}
+			opt.Workers = 1
+			seq, err := f.Run(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Workers = 8
+			par, err := f.Run(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("Workers:1 and Workers:8 rows differ:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestFig3ParallelDeterministic runs a trimmed Figure 3 sweep with four
+// workers and compares it to the sequential baseline. Under `go test
+// -race` this doubles as the Instance-immutability check: the workers
+// run concurrent simulations whose schedulers may only read the shared
+// problem structures.
+func TestFig3ParallelDeterministic(t *testing.T) {
+	run := func(workers int) ([]metrics.Row, string) {
+		f := expr.Fig3And4()
+		f.Points = f.Points[:4]
+		var progress bytes.Buffer
+		rows, err := f.Run(expr.RunOptions{Workers: workers, Replicas: 2, Progress: &progress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, progress.String()
+	}
+	seq, seqProg := run(1)
+	par, parProg := run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel rows differ from sequential baseline:\nseq: %+v\npar: %+v", seq, par)
+	}
+	// Progress lines may arrive in completion order, but every row must
+	// report exactly one whole line.
+	seqLines := strings.Split(strings.TrimSuffix(seqProg, "\n"), "\n")
+	parLines := strings.Split(strings.TrimSuffix(parProg, "\n"), "\n")
+	if len(parLines) != len(seq) || len(seqLines) != len(seq) {
+		t.Fatalf("progress lines: sequential %d, parallel %d, want %d", len(seqLines), len(parLines), len(seq))
+	}
+	sort.Strings(seqLines)
+	sort.Strings(parLines)
+	if !reflect.DeepEqual(seqLines, parLines) {
+		t.Fatalf("parallel progress lines differ from sequential set")
+	}
+}
+
+// TestSharedInstanceConcurrentRuns runs many simulations concurrently on
+// ONE shared Instance (the expr runner builds per-cell instances; this
+// test deliberately shares) and checks same-seed runs agree. With -race
+// it verifies the documented read-only contract of taskgraph.Instance
+// and the goroutine-safety of sim.Run across independent runs.
+func TestSharedInstanceConcurrentRuns(t *testing.T) {
+	inst := workload.Matmul2D(15)
+	strat := sched.DARTSStrategy(sched.DARTSOptions{LUF: true})
+	f := expr.Fig3And4()
+	results := make([]*sim.Result, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := expr.RunOne(inst, strat, f.Platform, f.NsPerOp, int64(i%2), false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < len(results); i++ {
+		if results[i] == nil || results[i%2] == nil {
+			t.Fatal("missing result")
+		}
+		if results[i].GFlops != results[i%2].GFlops || results[i].Loads != results[i%2].Loads {
+			t.Errorf("run %d diverged from same-seed run %d: %.1f/%d vs %.1f/%d GFlops/loads",
+				i, i%2, results[i].GFlops, results[i].Loads, results[i%2].GFlops, results[i%2].Loads)
+		}
+	}
+}
+
+// TestReplicasAggregation pins the replica-averaging semantics: a
+// Replicas: 3 run must equal the field-by-field average of the three
+// single-seed runs, including the scheduling-cost columns that were
+// historically taken from replica 0 only, and the static fields must
+// come through unchanged.
+func TestReplicasAggregation(t *testing.T) {
+	base := func(seed int64) []metrics.Row {
+		f := expr.Fig3And4()
+		f.Points = f.Points[:1]
+		f.Strategies = f.Strategies[:2] // EAGER, DMDAR
+		f.Seed = seed
+		rows, err := f.Run(expr.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	singles := [][]metrics.Row{base(1), base(2), base(3)}
+
+	f := expr.Fig3And4()
+	f.Points = f.Points[:1]
+	f.Strategies = f.Strategies[:2]
+	f.Seed = 1
+	avg, err := f.Run(expr.RunOptions{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg) != len(singles[0]) {
+		t.Fatalf("rows: %d vs %d", len(avg), len(singles[0]))
+	}
+	for i, row := range avg {
+		want := singles[0][i]
+		want.GFlops = (singles[0][i].GFlops + singles[1][i].GFlops + singles[2][i].GFlops) / 3
+		want.TransferredMB = (singles[0][i].TransferredMB + singles[1][i].TransferredMB + singles[2][i].TransferredMB) / 3
+		want.MakespanMS = (singles[0][i].MakespanMS + singles[1][i].MakespanMS + singles[2][i].MakespanMS) / 3
+		want.StaticMS = (singles[0][i].StaticMS + singles[1][i].StaticMS + singles[2][i].StaticMS) / 3
+		want.DynamicMS = (singles[0][i].DynamicMS + singles[1][i].DynamicMS + singles[2][i].DynamicMS) / 3
+		want.Loads = (singles[0][i].Loads + singles[1][i].Loads + singles[2][i].Loads) / 3
+		want.Evictions = (singles[0][i].Evictions + singles[1][i].Evictions + singles[2][i].Evictions) / 3
+		if !reflect.DeepEqual(row, want) {
+			t.Errorf("row %d: aggregated %+v, want average %+v", i, row, want)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package expr_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The slow single-threaded shape checks skip themselves under
+// -race (see skipIfSlowUnderRace): race instrumentation multiplies their
+// runtime past the package timeout without adding coverage, while the
+// fast parallel-runner tests keep exercising every concurrent path.
+const raceEnabled = true

@@ -12,6 +12,21 @@ import (
 // regression tests for the reproduction itself; run with -short to skip
 // them.
 
+// skipIfSlowUnderRace skips the slowest figure sweeps in -short mode and
+// under the race detector, where instrumentation makes these
+// single-threaded numeric checks 10-20x slower without exercising any
+// concurrency they do not already cover; the parallel-runner tests in
+// parallel_test.go and the small shape tests stay enabled under -race.
+func skipIfSlowUnderRace(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure shapes are slow")
+	}
+	if raceEnabled {
+		t.Skip("slow single-threaded sweep; skipped under -race")
+	}
+}
+
 // runFig executes a figure restricted to its maxN largest retained point
 // set and indexes GFlop/s by (workingSet, scheduler).
 func runFig(t *testing.T, id string, maxN int) map[float64]map[string]float64 {
@@ -79,9 +94,7 @@ func TestShapeFig3(t *testing.T) {
 }
 
 func TestShapeFig5(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig5", 85)
 	for _, ws := range lastPoints(cells, 2) {
 		c := cells[ws]
@@ -91,9 +104,7 @@ func TestShapeFig5(t *testing.T) {
 }
 
 func TestShapeFig6(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig6", 85)
 	for _, ws := range lastPoints(cells, 2) {
 		c := cells[ws]
@@ -104,9 +115,7 @@ func TestShapeFig6(t *testing.T) {
 }
 
 func TestShapeFig8(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig8", 110)
 	for _, ws := range lastPoints(cells, 2) {
 		c := cells[ws]
@@ -116,9 +125,7 @@ func TestShapeFig8(t *testing.T) {
 }
 
 func TestShapeFig9(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig9", 60)
 	for _, ws := range lastPoints(cells, 2) {
 		c := cells[ws]
@@ -131,9 +138,7 @@ func TestShapeFig9(t *testing.T) {
 }
 
 func TestShapeFig10(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig10", 27)
 	for _, ws := range lastPoints(cells, 1) {
 		c := cells[ws]
@@ -143,9 +148,7 @@ func TestShapeFig10(t *testing.T) {
 }
 
 func TestShapeFig11(t *testing.T) {
-	if testing.Short() {
-		t.Skip("figure shapes are slow")
-	}
+	skipIfSlowUnderRace(t)
 	cells := runFig(t, "fig11", 40)
 	for _, ws := range lastPoints(cells, 1) {
 		c := cells[ws]

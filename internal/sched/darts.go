@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"memsched/internal/sim"
 	"memsched/internal/taskgraph"
@@ -82,6 +82,19 @@ type DARTS struct {
 
 	visited []int32 // per-task epoch marks for frontier scans
 	epoch   int32
+
+	// Per-decision scratch, reused across pops. The naive implementation
+	// allocated a map plus a sort.Slice closure on every PopTask; these
+	// arrays use the same epoch trick as visited so a pop only touches
+	// the data it actually examines. candList holds the data touched this
+	// decision; sorting it ascending reproduces the map-key sort of the
+	// naive version byte for byte (counts are order-independent sums, and
+	// the threshold shuffle and tie-break consume the RNG identically on
+	// the same sorted candidate order).
+	candCount []int64            // per-data freed-task counts
+	candMark  []int32            // epoch marks for candCount
+	candList  []taskgraph.DataID // data touched this decision
+	freeList  []taskgraph.TaskID // fillPlanned scratch
 }
 
 // NewDARTSPair returns a builder producing a fresh DARTS scheduler and its
@@ -139,6 +152,20 @@ func (s *DARTS) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
 		s.sumDeg[g] = totalDeg
 	}
 	s.visited = make([]int32, m)
+	s.candCount = make([]int64, n)
+	s.candMark = make([]int32, n)
+	s.candList = make([]taskgraph.DataID, 0, 64)
+}
+
+// bump adds c to the scratch count of d for the current decision epoch,
+// registering d in candList on first touch.
+func (s *DARTS) bump(d taskgraph.DataID, c int64) {
+	if s.candMark[d] != s.epoch {
+		s.candMark[d] = s.epoch
+		s.candCount[d] = 0
+		s.candList = append(s.candList, d)
+	}
+	s.candCount[d] += c
 }
 
 func (s *DARTS) inPool(t taskgraph.TaskID) bool { return s.poolIndex[t] >= 0 }
@@ -295,11 +322,11 @@ func (s *DARTS) compactLoadedList(gpu int) []taskgraph.DataID {
 // variants OPTI and Threshold exist precisely to cut it.
 func (s *DARTS) selectData(gpu int) (taskgraph.DataID, bool) {
 	s.epoch++
-	counts := make(map[taskgraph.DataID]int64)
+	s.candList = s.candList[:0]
 	// Single-input tasks are free as soon as their data loads.
 	for d, c := range s.singles {
 		if !s.loaded[gpu][d] {
-			counts[d] += c
+			s.bump(d, c)
 		}
 	}
 	var scanOps int64
@@ -326,22 +353,19 @@ scan:
 			scanOps += int64(len(s.inst.Inputs(t)))
 			missing, miss := s.missingInputs(gpu, t)
 			if missing == 1 {
-				counts[miss]++
+				s.bump(miss, 1)
 				if stopEarly {
 					break scan
 				}
 			}
 		}
 	}
-	if len(counts) == 0 {
+	if len(s.candList) == 0 {
 		s.view.Charge(s.scanCharge(gpu, scanOps))
 		return taskgraph.NoData, false
 	}
-	keys := make([]taskgraph.DataID, 0, len(counts))
-	for d := range counts {
-		keys = append(keys, d)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := s.candList
+	slices.Sort(keys)
 	if s.opts.Threshold > 0 && len(keys) > s.opts.Threshold {
 		// Examine only Threshold candidates, chosen at random as the
 		// paper's bounded scan would encounter them.
@@ -352,8 +376,8 @@ scan:
 	// nmax and the candidate set (line 6-8).
 	var nmax int64
 	for _, d := range keys {
-		if counts[d] > nmax {
-			nmax = counts[d]
+		if s.candCount[d] > nmax {
+			nmax = s.candCount[d]
 		}
 	}
 	// Among data freeing nmax tasks, prefer the one useful to the most
@@ -363,7 +387,7 @@ scan:
 	ties := 0
 	rng := s.view.Rand()
 	for _, d := range keys {
-		if counts[d] != nmax {
+		if s.candCount[d] != nmax {
 			continue
 		}
 		switch deg := s.activeDeg[d]; {
@@ -408,7 +432,7 @@ func (s *DARTS) scanCharge(gpu int, actualOps int64) int64 {
 // fillPlanned reserves for gpu every pool task depending only on dopt and
 // already loaded data (line 10), and marks dopt as loaded (line 11).
 func (s *DARTS) fillPlanned(gpu int, dopt taskgraph.DataID) {
-	var free []taskgraph.TaskID
+	free := s.freeList[:0]
 	for _, t := range s.inst.Consumers(dopt) {
 		if !s.inPool(t) {
 			continue
@@ -429,18 +453,19 @@ func (s *DARTS) fillPlanned(gpu int, dopt taskgraph.DataID) {
 		// pool consumer of dopt, or a random pool task.
 		for _, t := range s.inst.Consumers(dopt) {
 			if s.inPool(t) {
-				free = []taskgraph.TaskID{t}
+				free = append(free, t)
 				break
 			}
 		}
 		if len(free) == 0 {
-			free = []taskgraph.TaskID{s.poolSlice[s.view.Rand().Intn(len(s.poolSlice))]}
+			free = append(free, s.poolSlice[s.view.Rand().Intn(len(s.poolSlice))])
 		}
 	}
 	for _, t := range free {
 		s.removeFromPool(t)
 	}
 	s.planned[gpu] = append(s.planned[gpu], free...)
+	s.freeList = free[:0]
 	s.markLoaded(gpu, dopt)
 }
 
@@ -448,7 +473,8 @@ func (s *DARTS) fillPlanned(gpu int, dopt taskgraph.DataID) {
 // maximizing the number of pool tasks that miss exactly D and one other
 // unloaded data on this GPU, and return one such task (NoTask if none).
 func (s *DARTS) pickThreeInputs(gpu int) taskgraph.TaskID {
-	counts := make(map[taskgraph.DataID]int64)
+	s.epoch++
+	s.candList = s.candList[:0]
 	var ops int64
 	for _, t := range s.poolSlice {
 		ops += int64(len(s.inst.Inputs(t)))
@@ -467,22 +493,19 @@ func (s *DARTS) pickThreeInputs(gpu int) taskgraph.TaskID {
 			}
 		}
 		if missing == 2 {
-			counts[m1]++
-			counts[m2]++
+			s.bump(m1, 1)
+			s.bump(m2, 1)
 		}
 	}
 	s.view.Charge(ops)
-	if len(counts) == 0 {
+	if len(s.candList) == 0 {
 		return taskgraph.NoTask
 	}
-	keys := make([]taskgraph.DataID, 0, len(counts))
-	for d := range counts {
-		keys = append(keys, d)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := s.candList
+	slices.Sort(keys)
 	best := keys[0]
 	for _, d := range keys[1:] {
-		if counts[d] > counts[best] {
+		if s.candCount[d] > s.candCount[best] {
 			best = d
 		}
 	}

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"testing"
+
+	"memsched/internal/workload"
+)
+
+// BenchmarkDARTSPop measures the DARTS scheduling decision itself: one
+// op drains the full task pool of a 2D product through PopTask on two
+// GPUs, exercising selectData (Algorithm 5 lines 4-11) once per planning
+// round. The decision sits on the critical path of every simulated task,
+// so allocs/op here translate directly into harness wall time.
+func BenchmarkDARTSPop(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		opts DARTSOptions
+	}{
+		{"plain", DARTSOptions{}},
+		{"luf", DARTSOptions{LUF: true}},
+		{"luf-opti", DARTSOptions{LUF: true, Opti: true}},
+		{"luf-3inputs", DARTSOptions{LUF: true, ThreeInputs: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			inst := workload.Matmul2D(30) // 900 tasks, 60 data
+			pair := NewDARTSPair(c.opts)
+			pops := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := newFakeView(inst, 2)
+				s, _ := pair()
+				s.Init(inst, v)
+				for {
+					_, ok0 := s.PopTask(0)
+					_, ok1 := s.PopTask(1)
+					if !ok0 && !ok1 {
+						break
+					}
+					pops++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pops)/float64(b.N), "pops/op")
+		})
+	}
+}

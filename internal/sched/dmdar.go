@@ -25,10 +25,10 @@ type DMDAR struct {
 // queue entries Ready examines per decision; 0 selects DefaultReadyWindow,
 // negative scans the whole queue.
 func NewDMDAR(readyWindow int) Factory {
+	if readyWindow == 0 {
+		readyWindow = DefaultReadyWindow
+	}
 	return func() sim.Scheduler {
-		if readyWindow == 0 {
-			readyWindow = DefaultReadyWindow
-		}
 		return &DMDAR{readyWindow: readyWindow}
 	}
 }

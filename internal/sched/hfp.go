@@ -41,10 +41,10 @@ func NewMHFPSteal(chargeCost bool, readyWindow int, steal bool) Factory {
 	if !steal {
 		name += " no steal"
 	}
+	if readyWindow == 0 {
+		readyWindow = DefaultReadyWindow
+	}
 	return func() sim.Scheduler {
-		if readyWindow == 0 {
-			readyWindow = DefaultReadyWindow
-		}
 		return &MHFP{chargeCost: chargeCost, readyWindow: readyWindow, steal: steal, name: name}
 	}
 }

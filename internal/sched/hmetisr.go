@@ -44,10 +44,10 @@ func NewHMetisRSteal(chargeCost bool, readyWindow int, steal bool) Factory {
 	if !steal {
 		name += " no steal"
 	}
+	if readyWindow == 0 {
+		readyWindow = DefaultReadyWindow
+	}
 	return func() sim.Scheduler {
-		if readyWindow == 0 {
-			readyWindow = DefaultReadyWindow
-		}
 		return &HMetisR{
 			cfg:         hypergraph.Config{UBFactor: 1, Nruns: 20, VCycles: 2},
 			chargeCost:  chargeCost,
@@ -68,10 +68,10 @@ func NewMetisR(chargeCost bool, readyWindow int) Factory {
 	if !chargeCost {
 		name = "METIS+R (clique) no part. time"
 	}
+	if readyWindow == 0 {
+		readyWindow = DefaultReadyWindow
+	}
 	return func() sim.Scheduler {
-		if readyWindow == 0 {
-			readyWindow = DefaultReadyWindow
-		}
 		return &HMetisR{
 			cfg:         hypergraph.Config{UBFactor: 1, Nruns: 20, VCycles: 2},
 			chargeCost:  chargeCost,

@@ -23,6 +23,11 @@ const DefaultReadyWindow = 256
 
 // Factory builds a fresh scheduler for one run. Simulation sweeps run the
 // same strategy on many instances; each run needs its own state.
+//
+// Factories must be safe for concurrent use: the parallel experiment
+// harness (internal/expr) invokes the same Factory from many worker
+// goroutines, so a Factory must not mutate captured variables — resolve
+// defaults before returning the closure.
 type Factory func() sim.Scheduler
 
 // base provides no-op notification hooks for schedulers that do not track

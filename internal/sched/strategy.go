@@ -15,7 +15,9 @@ type Strategy struct {
 	// Label is the display name used on the paper's figures.
 	Label string
 	// New builds a fresh scheduler (and eviction policy, or nil for
-	// LRU) for one simulation run.
+	// LRU) for one simulation run. New must be safe for concurrent
+	// use: parallel experiment workers call it simultaneously (see
+	// Factory).
 	New func() (sim.Scheduler, sim.EvictionPolicy)
 }
 

@@ -29,13 +29,13 @@ type WorkStealing struct {
 // DefaultReadyWindow); stealWindow bounds how many victim tasks a thief
 // examines for locality (0 selects 64).
 func NewWorkStealing(readyWindow, stealWindow int) Factory {
+	if readyWindow == 0 {
+		readyWindow = DefaultReadyWindow
+	}
+	if stealWindow == 0 {
+		stealWindow = 64
+	}
 	return func() sim.Scheduler {
-		if readyWindow == 0 {
-			readyWindow = DefaultReadyWindow
-		}
-		if stealWindow == 0 {
-			stealWindow = 64
-		}
 		return &WorkStealing{readyWindow: readyWindow, stealWindow: stealWindow}
 	}
 }

@@ -120,6 +120,15 @@ type engine struct {
 // aggregated result. It returns an error on an invalid configuration, a
 // stalled simulation (scheduler deadlock), an unfinished instance, or an
 // invariant violation when Config.CheckInvariants is set.
+//
+// Run is safe for concurrent use across independent runs: each call owns
+// its engine, event heap and RNG (seeded from Config.Seed), and touches
+// no package-level state. Concurrent callers must give each call its own
+// Scheduler and EvictionPolicy instances and treat the shared
+// *taskgraph.Instance as read-only, which schedulers are required to do
+// (Instances are immutable once built). The parallel experiment harness
+// in internal/expr relies on this, and TestFig3ParallelDeterministic
+// verifies it under the race detector.
 func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	if inst == nil {
 		return nil, errors.New("sim: nil instance")

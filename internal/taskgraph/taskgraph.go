@@ -60,6 +60,13 @@ type Task struct {
 
 // Instance is an immutable problem instance: tasks in submission order,
 // data items, and the data -> consumers reverse adjacency.
+//
+// Because an Instance is never mutated after Build, it is safe to share
+// one Instance between any number of goroutines running independent
+// simulations concurrently. All accessors return internal slices that
+// callers must treat as read-only; the race-detector test
+// TestFig3ParallelDeterministic in internal/expr exercises this
+// contract.
 type Instance struct {
 	name      string
 	tasks     []Task
