@@ -13,24 +13,40 @@
 //	paperbench -out results     # output directory for CSV files
 //	paperbench -workers 8       # fan runs across 8 workers
 //	paperbench -cpuprofile p.out  # write a pprof CPU profile
+//	paperbench -memprofile m.out  # write a pprof heap profile on exit
+//	paperbench -telemetry       # also write <fig>_telemetry.jsonl per figure
+//	paperbench -trace-cell fig3:5:DARTS+LUF  # deep-dive one cell
+//	paperbench -http :6060      # expvar + pprof debug endpoint
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"memsched/internal/expr"
 	"memsched/internal/metrics"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main; returning instead of os.Exit lets the profile
+// defers fire even when a figure fails.
+func run() int {
 	var (
 		fig        = flag.String("fig", "", "run only this figure (fig3...fig13); empty runs all")
 		quick      = flag.Bool("quick", false, "run a reduced sweep")
@@ -42,41 +58,69 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
 		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS); figures also overlap up to this bound")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		telemetry  = flag.Bool("telemetry", false, "write one JSON line per cell to <out>/<figure>_telemetry.jsonl")
+		traceCell  = flag.String("trace-cell", "", "deep-dive one cell (figure:point:strategy): Chrome trace, decision log, telemetry")
+		httpAddr   = flag.String("http", "", "serve expvar counters and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			mf, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(pf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			pf.Close()
 		}()
 	}
+	if *httpAddr != "" {
+		serveDebug(*httpAddr)
+	}
 
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *traceCell != "" {
+		if err := runTraceCell(*traceCell, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 	if *ablations {
-		runAblations(*outDir)
-		return
+		return runAblations(*outDir)
 	}
 	figures := expr.AllFigures()
 	if *fig != "" {
 		f, err := expr.ByID(*fig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		figures = []*expr.Figure{f}
-	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	// Figures overlap across a bounded pool so a slow multi-GPU sweep
@@ -108,7 +152,7 @@ func main() {
 				MaxN:     *maxN,
 				Replicas: *replicas,
 				Workers:  *workers,
-			}, *verbose, *plot)
+			}, *verbose, *plot, *telemetry)
 		}(i, f)
 	}
 	wg.Wait()
@@ -123,15 +167,136 @@ func main() {
 		os.Stdout.Write(results[i].out.Bytes())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// serveDebug exposes the standard expvar and pprof handlers (both
+// register on the default mux at init) plus a derived events/s gauge.
+func serveDebug(addr string) {
+	started := time.Now()
+	expvar.Publish("memsched_events_per_second", expvar.Func(func() any {
+		total, _ := expvar.Get("memsched_sim_events").(*expvar.Int)
+		if total == nil {
+			return 0.0
+		}
+		elapsed := time.Since(started).Seconds()
+		if elapsed <= 0 {
+			return 0.0
+		}
+		return float64(total.Value()) / elapsed
+	}))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debug endpoint: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars and /debug/pprof\n", addr)
+}
+
+// runTraceCell deep-dives one (figure, point, strategy) cell: it reruns
+// the cell fully instrumented, writes a Chrome trace and the scheduler
+// decision log under outDir, prints the telemetry JSON line on stdout
+// and the idle/overlap analysis on stderr.
+func runTraceCell(spec, outDir string) error {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("-trace-cell wants figure:point:strategy (e.g. fig3:5:DARTS+LUF), got %q", spec)
+	}
+	f, err := expr.ByID(parts[0])
+	if err != nil {
+		return err
+	}
+	pi, err := strconv.Atoi(parts[1])
+	if err != nil || pi < 0 || pi >= len(f.Points) {
+		return fmt.Errorf("-trace-cell point %q out of range [0, %d)", parts[1], len(f.Points))
+	}
+	var strat *sched.Strategy
+	for i := range f.Strategies {
+		if strings.EqualFold(f.Strategies[i].Label, parts[2]) {
+			strat = &f.Strategies[i]
+			break
+		}
+	}
+	if strat == nil {
+		labels := make([]string, len(f.Strategies))
+		for i, s := range f.Strategies {
+			labels[i] = s.Label
+		}
+		return fmt.Errorf("-trace-cell strategy %q not in %s (have: %s)", parts[2], f.ID, strings.Join(labels, ", "))
+	}
+
+	base := fmt.Sprintf("%s_p%d_%s", sanitize(f.ID), pi, sanitize(strat.Label))
+	decPath := filepath.Join(outDir, base+"_decisions.log")
+	decFile, err := os.Create(decPath)
+	if err != nil {
+		return err
+	}
+	defer decFile.Close()
+	declog := &sched.DecisionLog{W: decFile}
+
+	inst := f.Points[pi].Build()
+	res, err := expr.RunCell(inst, strat.WithRecorder(declog), f.Platform, f.NsPerOp, f.Seed, nil)
+	if err != nil {
+		return err
+	}
+
+	tracePath := filepath.Join(outDir, base+"_trace.json")
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteChromeTrace(traceFile, inst, f.Platform, res); err != nil {
+		traceFile.Close()
+		return err
+	}
+	if err := traceFile.Close(); err != nil {
+		return err
+	}
+
+	// The telemetry JSON line (same schema as -telemetry) goes to stdout
+	// so it can be piped; the human-oriented report goes to stderr.
+	cell := expr.CellTelemetry{Row: metrics.FromResult(f.ID, res), Telemetry: res.Telemetry}
+	if err := json.NewEncoder(os.Stdout).Encode(cell); err != nil {
+		return err
+	}
+	a, err := sim.Analyze(inst, f.Platform, res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s point %d (%s) on %s:\n%s", f.ID, pi, strat.Label, inst.Name(), a.String())
+	fmt.Fprintf(os.Stderr, "%d scheduler decisions -> %s\nchrome trace (load in chrome://tracing) -> %s\n",
+		declog.N, decPath, tracePath)
+	return nil
+}
+
+// sanitize maps a figure or strategy label to a filename-safe slug.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
 }
 
 // runFigure executes one experiment, rendering its tables into out and
-// writing its CSV under outDir.
-func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot bool) error {
+// writing its CSV (and optionally its telemetry JSON lines) under outDir.
+func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot, telemetry bool) error {
 	if verbose {
 		opt.Progress = os.Stderr
+	}
+	slug := strings.ReplaceAll(f.ID, "+", "_")
+	if telemetry {
+		tf, err := os.Create(filepath.Join(outDir, slug+"_telemetry.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		opt.TelemetryOut = tf
 	}
 	rows, err := f.Run(opt)
 	if err != nil {
@@ -147,8 +312,7 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	}
 	printHeadlines(out, f.ID, rows)
 
-	name := strings.ReplaceAll(f.ID, "+", "_") + ".csv"
-	csvFile, err := os.Create(filepath.Join(outDir, name))
+	csvFile, err := os.Create(filepath.Join(outDir, slug+".csv"))
 	if err != nil {
 		return err
 	}
@@ -164,18 +328,14 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 }
 
 // runAblations executes the DESIGN.md §6 studies and prints one table
-// per study.
-func runAblations(outDir string) {
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+// per study. It returns the process exit code.
+func runAblations(outDir string) int {
 	var all []metrics.Row
 	for _, a := range expr.Ablations() {
 		rows, err := a.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", a.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s: %s ==\n", a.ID, a.Title)
 		w := 0
@@ -194,13 +354,14 @@ func runAblations(outDir string) {
 	out, err := os.Create(filepath.Join(outDir, "ablations.csv"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer out.Close()
 	if err := metrics.WriteCSV(out, all); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // printHeadlines restates the paper's headline claims for the experiments

@@ -5,11 +5,14 @@
 package expr
 
 import (
+	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memsched/internal/memory"
 	"memsched/internal/metrics"
@@ -17,6 +20,15 @@ import (
 	"memsched/internal/sched"
 	"memsched/internal/sim"
 	"memsched/internal/taskgraph"
+)
+
+// Live sweep gauges, published on the expvar registry for the harness's
+// optional debug endpoint (paperbench -http). Registered once at package
+// init; expvar panics on duplicate names.
+var (
+	cellsCompleted = expvar.NewInt("memsched_cells_completed")
+	simsRunning    = expvar.NewInt("memsched_sims_running")
+	simEvents      = expvar.NewInt("memsched_sim_events")
 )
 
 // Point is one x-axis position of a figure: a problem size and the
@@ -60,10 +72,16 @@ type RunOptions struct {
 	// Quick keeps only every third point plus the last.
 	Quick bool
 	// Progress, when non-nil, receives one line per completed
-	// (point, strategy) row. With Workers > 1 the lines arrive in
-	// completion order rather than sweep order, but each line is
-	// written whole (they are serialized through a single goroutine).
+	// (point, strategy) row, prefixed with "[done/total eta ...]". With
+	// Workers > 1 the lines arrive in completion order rather than sweep
+	// order, but each line is written whole (they are serialized through
+	// a single goroutine).
 	Progress io.Writer
+	// TelemetryOut, when non-nil, receives one JSON line per
+	// (point, strategy) cell in sweep order after the sweep completes:
+	// the metrics.Row fields joined with the engine telemetry of the
+	// cell's first replica (see EXPERIMENTS.md for the schema).
+	TelemetryOut io.Writer
 	// CheckInvariants validates every trace (slower).
 	CheckInvariants bool
 	// Replicas averages each (point, strategy) cell over this many
@@ -131,12 +149,15 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	rows := make([]metrics.Row, len(specs))
 	cells := make([][]metrics.Row, len(specs)) // per-replica results
 	remaining := make([]int32, len(specs))     // replicas left per row
+	tels := make([]*sim.Telemetry, len(specs)) // first replica's telemetry
 	for i := range cells {
 		cells[i] = make([]metrics.Row, reps)
 		remaining[i] = int32(reps)
 	}
 	runErrs := make([]error, numJobs)
 	aggErrs := make([]error, len(specs))
+	var rowsDone atomic.Int32
+	started := time.Now()
 
 	// Progress lines from concurrent workers are serialized through one
 	// channel so each line reaches the writer whole.
@@ -167,13 +188,19 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 				ri, rep := j/reps, j%reps
 				sp := specs[ri]
 				inst := sp.point.Build()
+				simsRunning.Add(1)
 				res, err := RunOne(inst, sp.strat, f.Platform, f.NsPerOp, f.Seed+int64(rep), opt.CheckInvariants)
+				simsRunning.Add(-1)
 				if err != nil {
 					runErrs[j] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
 					failed.Store(true)
 					continue
 				}
 				cells[ri][rep] = metrics.FromResult(f.ID, res)
+				simEvents.Add(res.Events)
+				if rep == 0 {
+					tels[ri] = res.Telemetry
+				}
 				if atomic.AddInt32(&remaining[ri], -1) != 0 {
 					continue
 				}
@@ -185,8 +212,11 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 					continue
 				}
 				rows[ri] = row
+				done := rowsDone.Add(1)
+				cellsCompleted.Add(1)
 				if progCh != nil {
-					progCh <- fmt.Sprintf("%s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
+					progCh <- fmt.Sprintf("[%d/%d eta %v] %s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
+						done, len(specs), sweepETA(started, int(done), len(specs)),
 						f.ID, row.WorkingSetMB, sp.strat.Label, row.GFlops, row.TransferredMB)
 				}
 			}
@@ -212,7 +242,34 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			return nil, err
 		}
 	}
+	if opt.TelemetryOut != nil {
+		enc := json.NewEncoder(opt.TelemetryOut)
+		for i := range rows {
+			if err := enc.Encode(CellTelemetry{Row: rows[i], Telemetry: tels[i]}); err != nil {
+				return nil, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
+			}
+		}
+	}
 	return rows, nil
+}
+
+// CellTelemetry is one line of the telemetry JSON stream: the figure row
+// (averaged over replicas) joined with the engine telemetry of the
+// cell's first replica (the seed the single-seed sweep would run).
+type CellTelemetry struct {
+	metrics.Row
+	Telemetry *sim.Telemetry `json:"telemetry"`
+}
+
+// sweepETA estimates the remaining sweep duration from the average cell
+// time so far, rounded coarsely for display.
+func sweepETA(started time.Time, done, total int) time.Duration {
+	if done <= 0 || done >= total {
+		return 0
+	}
+	elapsed := time.Since(started)
+	eta := elapsed / time.Duration(done) * time.Duration(total-done)
+	return eta.Round(100 * time.Millisecond)
 }
 
 // aggregateReplicas folds the per-seed rows of one (point, strategy)
@@ -233,6 +290,8 @@ func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
 		row.MakespanMS += one.MakespanMS
 		row.StaticMS += one.StaticMS
 		row.DynamicMS += one.DynamicMS
+		row.IdleMS += one.IdleMS
+		row.ReloadedMB += one.ReloadedMB
 		row.Loads += one.Loads
 		row.Evictions += one.Evictions
 	}
@@ -242,13 +301,19 @@ func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
 		row.MakespanMS /= float64(n)
 		row.StaticMS /= float64(n)
 		row.DynamicMS /= float64(n)
+		row.IdleMS /= float64(n)
+		row.ReloadedMB /= float64(n)
 		row.Loads /= n
 		row.Evictions /= n
 	}
 	return row, nil
 }
 
-// RunOne executes a single (instance, strategy) pair on plat.
+// RunOne executes a single (instance, strategy) pair on plat. Telemetry
+// is always collected: it is pure observation (the simulated schedule
+// and all other Result fields are unchanged, see
+// TestTelemetryDoesNotPerturbResults), and it feeds the IdleMS and
+// ReloadedMB columns of every row.
 func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool) (*sim.Result, error) {
 	s, pol := strat.New()
 	var ev sim.EvictionPolicy = pol
@@ -261,7 +326,31 @@ func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platfo
 		Eviction:        ev,
 		Seed:            seed,
 		NsPerOp:         nsPerOp,
+		Telemetry:       true,
 		CheckInvariants: check,
+	})
+}
+
+// RunCell executes one fully instrumented cell for deep-dive tooling
+// (paperbench -trace-cell): the trace is retained and validated, the
+// telemetry cross-checked against it, and probe (optional) streams every
+// event. Attach a decision recorder via strat.WithRecorder beforehand.
+func RunCell(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, probe sim.Probe) (*sim.Result, error) {
+	s, pol := strat.New()
+	var ev sim.EvictionPolicy = pol
+	if ev == nil {
+		ev = memory.NewLRU()
+	}
+	return sim.Run(inst, sim.Config{
+		Platform:        plat,
+		Scheduler:       s,
+		Eviction:        ev,
+		Seed:            seed,
+		NsPerOp:         nsPerOp,
+		Telemetry:       true,
+		RecordTrace:     true,
+		CheckInvariants: true,
+		Probe:           probe,
 	})
 }
 

@@ -65,9 +65,25 @@ func TestFig3ParallelDeterministic(t *testing.T) {
 		t.Fatalf("parallel rows differ from sequential baseline:\nseq: %+v\npar: %+v", seq, par)
 	}
 	// Progress lines may arrive in completion order, but every row must
-	// report exactly one whole line.
-	seqLines := strings.Split(strings.TrimSuffix(seqProg, "\n"), "\n")
-	parLines := strings.Split(strings.TrimSuffix(parProg, "\n"), "\n")
+	// report exactly one whole line. The "[done/total eta ...]" prefix
+	// depends on completion order and wall time, so it is stripped before
+	// comparing the per-row payloads as sets.
+	strip := func(lines []string) []string {
+		out := make([]string, len(lines))
+		for i, line := range lines {
+			if !strings.HasPrefix(line, "[") {
+				t.Fatalf("progress line missing [done/total eta] prefix: %q", line)
+			}
+			j := strings.Index(line, "] ")
+			if j < 0 {
+				t.Fatalf("unterminated progress prefix: %q", line)
+			}
+			out[i] = line[j+2:]
+		}
+		return out
+	}
+	seqLines := strip(strings.Split(strings.TrimSuffix(seqProg, "\n"), "\n"))
+	parLines := strip(strings.Split(strings.TrimSuffix(parProg, "\n"), "\n"))
 	if len(parLines) != len(seq) || len(seqLines) != len(seq) {
 		t.Fatalf("progress lines: sequential %d, parallel %d, want %d", len(seqLines), len(parLines), len(seq))
 	}
@@ -150,6 +166,8 @@ func TestReplicasAggregation(t *testing.T) {
 		want.MakespanMS = (singles[0][i].MakespanMS + singles[1][i].MakespanMS + singles[2][i].MakespanMS) / 3
 		want.StaticMS = (singles[0][i].StaticMS + singles[1][i].StaticMS + singles[2][i].StaticMS) / 3
 		want.DynamicMS = (singles[0][i].DynamicMS + singles[1][i].DynamicMS + singles[2][i].DynamicMS) / 3
+		want.IdleMS = (singles[0][i].IdleMS + singles[1][i].IdleMS + singles[2][i].IdleMS) / 3
+		want.ReloadedMB = (singles[0][i].ReloadedMB + singles[1][i].ReloadedMB + singles[2][i].ReloadedMB) / 3
 		want.Loads = (singles[0][i].Loads + singles[1][i].Loads + singles[2][i].Loads) / 3
 		want.Evictions = (singles[0][i].Evictions + singles[1][i].Evictions + singles[2][i].Evictions) / 3
 		if !reflect.DeepEqual(row, want) {

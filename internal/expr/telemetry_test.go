@@ -1,0 +1,55 @@
+package expr_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"memsched/internal/expr"
+)
+
+// TestTelemetryOutEmitsOneJSONLinePerCell checks the -telemetry stream:
+// one JSON object per (point, strategy) cell, in sweep order, each
+// joining the figure row with the engine telemetry of replica 0.
+func TestTelemetryOutEmitsOneJSONLinePerCell(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:2]
+	f.Strategies = f.Strategies[:2]
+	var out bytes.Buffer
+	rows, err := f.Run(expr.RunOptions{Replicas: 2, TelemetryOut: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&out)
+	var cells []expr.CellTelemetry
+	for dec.More() {
+		var c expr.CellTelemetry
+		if err := dec.Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, c)
+	}
+	if len(cells) != len(rows) {
+		t.Fatalf("%d telemetry lines for %d rows", len(cells), len(rows))
+	}
+	for i, c := range cells {
+		if c.Row != rows[i] {
+			t.Errorf("line %d row mismatch: %+v vs %+v", i, c.Row, rows[i])
+		}
+		if c.Telemetry == nil {
+			t.Fatalf("line %d missing telemetry", i)
+		}
+		if len(c.Telemetry.GPU) != rows[i].GPUs {
+			t.Errorf("line %d: %d GPU records for %d GPUs", i, len(c.Telemetry.GPU), rows[i].GPUs)
+		}
+		if c.Telemetry.BusBusy <= 0 {
+			t.Errorf("line %d: bus never busy", i)
+		}
+	}
+	// Rows must carry the telemetry-derived columns.
+	for i, r := range rows {
+		if r.IdleMS < 0 {
+			t.Errorf("row %d: negative idle", i)
+		}
+	}
+}

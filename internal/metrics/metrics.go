@@ -15,36 +15,49 @@ import (
 	"memsched/internal/sim"
 )
 
-// Row is one measurement: one strategy on one instance.
+// Row is one measurement: one strategy on one instance. The JSON names
+// match the CSV column names, so the telemetry JSON lines and the CSV
+// join on identical keys.
 type Row struct {
 	// Figure identifies the experiment ("fig3", "ablation-window", ...).
-	Figure string
+	Figure string `json:"figure"`
 	// Workload is the instance name.
-	Workload string
+	Workload string `json:"workload"`
 	// WorkingSetMB is the footprint of all distinct data in MB (10^6 B),
 	// the x-axis of every paper figure.
-	WorkingSetMB float64
+	WorkingSetMB float64 `json:"working_set_mb"`
 	// Scheduler is the strategy label.
-	Scheduler string
+	Scheduler string `json:"scheduler"`
 	// GPUs is the GPU count.
-	GPUs int
+	GPUs int `json:"gpus"`
 	// GFlops is the achieved throughput.
-	GFlops float64
+	GFlops float64 `json:"gflops"`
 	// TransferredMB is the volume moved over the bus in MB.
-	TransferredMB float64
+	TransferredMB float64 `json:"transferred_mb"`
 	// Loads and Evictions count data movements.
-	Loads     int
-	Evictions int
+	Loads     int `json:"loads"`
+	Evictions int `json:"evictions"`
 	// MakespanMS is the simulated completion time in milliseconds.
-	MakespanMS float64
+	MakespanMS float64 `json:"makespan_ms"`
 	// StaticMS and DynamicMS are the charged scheduling costs in
 	// milliseconds.
-	StaticMS  float64
-	DynamicMS float64
+	StaticMS  float64 `json:"static_ms"`
+	DynamicMS float64 `json:"dynamic_ms"`
+	// IdleMS is the machine-wide idle time (Makespan*GPUs - ΣBusy) in
+	// milliseconds, and ReloadedMB the volume of reloads of previously
+	// evicted data; both come from Result.Telemetry and are zero when the
+	// run was not telemetry-instrumented.
+	IdleMS     float64 `json:"idle_ms"`
+	ReloadedMB float64 `json:"reloaded_mb"`
 }
 
 // FromResult converts a simulation result into a Row.
 func FromResult(figure string, r *sim.Result) Row {
+	var idleMS, reloadedMB float64
+	if tel := r.Telemetry; tel != nil {
+		idleMS = float64(tel.IdleTotal.Microseconds()) / 1000
+		reloadedMB = float64(tel.ReloadedBytes) / platform.MB
+	}
 	return Row{
 		Figure:        figure,
 		Workload:      r.InstanceName,
@@ -58,13 +71,18 @@ func FromResult(figure string, r *sim.Result) Row {
 		MakespanMS:    float64(r.Makespan.Microseconds()) / 1000,
 		StaticMS:      float64(r.StaticCost.Microseconds()) / 1000,
 		DynamicMS:     float64(r.DynamicCost.Microseconds()) / 1000,
+		IdleMS:        idleMS,
+		ReloadedMB:    reloadedMB,
 	}
 }
 
+// csvHeader keeps the pre-telemetry columns in their historical order;
+// new columns are only ever appended so downstream plots keep working.
 var csvHeader = []string{
 	"figure", "workload", "working_set_mb", "scheduler", "gpus",
 	"gflops", "transferred_mb", "loads", "evictions",
 	"makespan_ms", "static_ms", "dynamic_ms",
+	"idle_ms", "reloaded_mb",
 }
 
 // WriteCSV writes rows with a header.
@@ -84,6 +102,8 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatFloat(r.MakespanMS, 'f', 2, 64),
 			strconv.FormatFloat(r.StaticMS, 'f', 2, 64),
 			strconv.FormatFloat(r.DynamicMS, 'f', 2, 64),
+			strconv.FormatFloat(r.IdleMS, 'f', 2, 64),
+			strconv.FormatFloat(r.ReloadedMB, 'f', 1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -95,7 +95,15 @@ type DARTS struct {
 	candMark  []int32            // epoch marks for candCount
 	candList  []taskgraph.DataID // data touched this decision
 	freeList  []taskgraph.TaskID // fillPlanned scratch
+
+	// rec receives the decision log when attached via
+	// Strategy.WithRecorder; nil (and free) by default.
+	rec DecisionRecorder
 }
+
+// SetDecisionRecorder attaches rec to this scheduler and, through the
+// shared state, to its paired LUF policy.
+func (s *DARTS) SetDecisionRecorder(rec DecisionRecorder) { s.rec = rec }
 
 // NewDARTSPair returns a builder producing a fresh DARTS scheduler and its
 // eviction policy for one run. When opts.LUF is false the returned policy
@@ -285,6 +293,10 @@ func (s *DARTS) PopTask(gpu int) (taskgraph.TaskID, bool) {
 		t = s.poolSlice[s.view.Rand().Intn(len(s.poolSlice))]
 		s.view.Charge(1)
 	}
+	if s.rec != nil {
+		s.rec.Record(Decision{Kind: DecisionFallback, GPU: gpu, Task: t,
+			Data: taskgraph.NoData, Victim: -1})
+	}
 	s.removeFromPool(t)
 	for _, d := range s.inst.Inputs(t) {
 		s.markLoaded(gpu, d)
@@ -401,6 +413,16 @@ scan:
 		}
 	}
 	s.view.Charge(s.scanCharge(gpu, scanOps))
+	if s.rec != nil {
+		size := s.inst.Data(best).Size
+		dec := Decision{Kind: DecisionSelectData, GPU: gpu, Data: best,
+			Task: taskgraph.NoTask, Victim: -1,
+			Candidates: len(keys), FreedTasks: nmax}
+		if size > 0 {
+			dec.TasksPerByte = float64(nmax) / float64(size)
+		}
+		s.rec.Record(dec)
+	}
 	return best, true
 }
 
@@ -614,6 +636,11 @@ func (p *LUF) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
 		}
 	}
 	if best != taskgraph.NoData {
+		if s.rec != nil {
+			s.rec.Record(Decision{Kind: DecisionEvict, GPU: gpu, Data: best,
+				Task: taskgraph.NoTask, Victim: -1,
+				Candidates: len(candidates), FutureUses: np[best]})
+		}
 		return best
 	}
 	// All candidates are used by in-flight tasks: Belady on taskBuffer.
@@ -623,6 +650,11 @@ func (p *LUF) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
 		if nextUse[d] > farUse {
 			far, farUse = d, nextUse[d]
 		}
+	}
+	if s.rec != nil {
+		s.rec.Record(Decision{Kind: DecisionEvict, GPU: gpu, Data: far,
+			Task: taskgraph.NoTask, Victim: -1,
+			Candidates: len(candidates), FutureUses: nb[far] + np[far]})
 	}
 	return far
 }

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// DecisionKind classifies one scheduler decision.
+type DecisionKind uint8
+
+const (
+	// DecisionSelectData is a DARTS data selection (Algorithm 5 line 9):
+	// the data whose load frees the most tasks was chosen.
+	DecisionSelectData DecisionKind = iota
+	// DecisionFallback is the DARTS else branch: no single load frees a
+	// task, so a task was picked directly (randomly or via 3inputs).
+	DecisionFallback
+	// DecisionEvict is a LUF eviction choice (Algorithm 6).
+	DecisionEvict
+	// DecisionSteal is one task moving between work-stealing deques.
+	DecisionSteal
+)
+
+// String returns the mnemonic of the kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionSelectData:
+		return "select-data"
+	case DecisionFallback:
+		return "fallback"
+	case DecisionEvict:
+		return "evict"
+	case DecisionSteal:
+		return "steal"
+	}
+	return "?"
+}
+
+// Decision is one recorded scheduler choice, explaining not only what was
+// decided but why: how many candidates competed and what score won.
+type Decision struct {
+	// Kind classifies the decision; the fields below are set per kind.
+	Kind DecisionKind
+	// GPU is the accelerator the decision was made for (the thief, for
+	// steals).
+	GPU int
+	// Data is the chosen data item: the loaded data for SelectData, the
+	// eviction victim for Evict; taskgraph.NoData otherwise.
+	Data taskgraph.DataID
+	// Task is the task concerned: the picked task for Fallback, the
+	// stolen task for Steal; taskgraph.NoTask otherwise.
+	Task taskgraph.TaskID
+	// Victim is the GPU stolen from (Steal only, -1 otherwise).
+	Victim int
+	// Candidates is how many alternatives competed: candidate data for
+	// SelectData, evictable data for Evict.
+	Candidates int
+	// FreedTasks is the winning score of a SelectData decision — the
+	// number of tasks computable once Data is loaded (nmax).
+	FreedTasks int64
+	// TasksPerByte is FreedTasks divided by the size of Data: the
+	// bang-per-byte of the chosen load.
+	TasksPerByte float64
+	// FutureUses is, for Evict, how many buffered or planned tasks still
+	// read the victim (0 for an ideal LUF victim).
+	FutureUses int64
+}
+
+// String renders the decision as one log line.
+func (d Decision) String() string {
+	switch d.Kind {
+	case DecisionSelectData:
+		return fmt.Sprintf("gpu %d select-data %d: %d candidates, frees %d tasks, %.3g tasks/MB",
+			d.GPU, d.Data, d.Candidates, d.FreedTasks, d.TasksPerByte*1e6)
+	case DecisionFallback:
+		return fmt.Sprintf("gpu %d fallback task %d: no data frees a task", d.GPU, d.Task)
+	case DecisionEvict:
+		return fmt.Sprintf("gpu %d evict data %d: %d candidates, %d future uses",
+			d.GPU, d.Data, d.Candidates, d.FutureUses)
+	case DecisionSteal:
+		return fmt.Sprintf("gpu %d steals task %d from gpu %d", d.GPU, d.Task, d.Victim)
+	}
+	return "?"
+}
+
+// DecisionRecorder receives scheduler decisions as they are made. It is
+// invoked synchronously from the scheduler hot path, so implementations
+// should be cheap; recorders are nil by default and every call site is
+// guarded, keeping the undecorated path allocation-free (pinned by
+// TestDARTSPopAllocs).
+type DecisionRecorder interface {
+	Record(Decision)
+}
+
+// DecisionLogger is implemented by schedulers that can attach a
+// DecisionRecorder; Strategy.WithRecorder uses it.
+type DecisionLogger interface {
+	SetDecisionRecorder(DecisionRecorder)
+}
+
+// DecisionLog is a DecisionRecorder writing one line per decision. It is
+// not safe for concurrent use; attach it to a single run.
+type DecisionLog struct {
+	W io.Writer
+	// N counts the decisions recorded.
+	N int
+}
+
+// Record writes the decision as one line.
+func (l *DecisionLog) Record(d Decision) {
+	l.N++
+	fmt.Fprintln(l.W, d.String())
+}
+
+// DecisionList is a DecisionRecorder collecting decisions in memory, for
+// tests and small instrumented runs.
+type DecisionList struct {
+	Decisions []Decision
+}
+
+// Record appends the decision.
+func (l *DecisionList) Record(d Decision) { l.Decisions = append(l.Decisions, d) }
+
+// WithRecorder returns a copy of the strategy whose scheduler (and any
+// paired eviction policy) reports its decisions to rec. Strategies that
+// do not implement DecisionLogger are returned unchanged.
+func (s Strategy) WithRecorder(rec DecisionRecorder) Strategy {
+	inner := s.New
+	s.New = func() (sim.Scheduler, sim.EvictionPolicy) {
+		sched, pol := inner()
+		if dl, ok := sched.(DecisionLogger); ok {
+			dl.SetDecisionRecorder(rec)
+		}
+		return sched, pol
+	}
+	return s
+}

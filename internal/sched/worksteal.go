@@ -22,7 +22,11 @@ type WorkStealing struct {
 	stealWindow int
 	queues      [][]taskgraph.TaskID
 	view        sim.RuntimeView
+	rec         DecisionRecorder
 }
+
+// SetDecisionRecorder attaches a recorder logging each steal.
+func (s *WorkStealing) SetDecisionRecorder(rec DecisionRecorder) { s.rec = rec }
 
 // NewWorkStealing returns a Factory for the work-stealing baseline.
 // readyWindow bounds the owner's Ready scan (0 selects
@@ -126,6 +130,10 @@ func (s *WorkStealing) steal(thief int) bool {
 	for i, t := range q {
 		if take[i] {
 			stolen = append(stolen, t)
+			if s.rec != nil {
+				s.rec.Record(Decision{Kind: DecisionSteal, GPU: thief, Victim: victim,
+					Task: t, Data: taskgraph.NoData})
+			}
 		} else {
 			kept = append(kept, t)
 		}

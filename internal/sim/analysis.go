@@ -39,6 +39,11 @@ type Analysis struct {
 	// moved: how many task reads each transferred byte served. The
 	// whole point of the paper's schedulers is to push it up.
 	ReuseFactor float64
+	// Telemetry carries the engine-computed idle attribution, occupancy
+	// and reload counters when the run had Config.Telemetry set; nil
+	// otherwise. Unlike GPUIdle (a single makespan-minus-busy number per
+	// GPU) it explains *why* each GPU idled.
+	Telemetry *Telemetry
 }
 
 // Analyze computes an Analysis from a result with a recorded trace.
@@ -47,9 +52,10 @@ func Analyze(inst *taskgraph.Instance, plat platform.Platform, res *Result) (*An
 		return nil, fmt.Errorf("sim: Analyze requires a recorded trace")
 	}
 	a := &Analysis{
-		Makespan: res.Makespan,
-		GPUBusy:  make([]time.Duration, plat.NumGPUs),
-		GPUIdle:  make([]time.Duration, plat.NumGPUs),
+		Makespan:  res.Makespan,
+		GPUBusy:   make([]time.Duration, plat.NumGPUs),
+		GPUIdle:   make([]time.Duration, plat.NumGPUs),
+		Telemetry: res.Telemetry,
 	}
 	type span struct{ from, to time.Duration }
 	var busSpans, computeSpans []span
@@ -126,7 +132,17 @@ func (a *Analysis) String() string {
 	fmt.Fprintf(&b, "makespan %v, bus busy %v (%.0f%%), transfers overlapped %v / exposed %v, reuse factor %.1f\n",
 		a.Makespan, a.BusBusy, 100*a.BusUtilization, a.OverlappedTransfer, a.ExposedTransfer, a.ReuseFactor)
 	for k := range a.GPUBusy {
-		fmt.Fprintf(&b, "gpu %d: busy %v, idle %v\n", k, a.GPUBusy[k], a.GPUIdle[k])
+		fmt.Fprintf(&b, "gpu %d: busy %v, idle %v", k, a.GPUBusy[k], a.GPUIdle[k])
+		if a.Telemetry != nil && k < len(a.Telemetry.GPU) {
+			g := a.Telemetry.GPU[k]
+			fmt.Fprintf(&b, " (starved %v, bus %v, peer %v, done %v)",
+				g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done)
+		}
+		b.WriteByte('\n')
+	}
+	if a.Telemetry != nil && a.Telemetry.Reloads > 0 {
+		fmt.Fprintf(&b, "%d reloads of previously evicted data (%.1f MB)\n",
+			a.Telemetry.Reloads, float64(a.Telemetry.ReloadedBytes)/platform.MB)
 	}
 	return b.String()
 }

@@ -67,6 +67,7 @@ type gpuState struct {
 	residentBytes int64
 	reservedBytes int64  // reserved for queued or in-flight transfers
 	arriving      []bool // indexed by DataID
+	arrivingPeer  []bool // indexed by DataID; arriving over NVLink, not the host bus
 	buffer        []bufEntry
 	running       taskgraph.TaskID
 	pendingFetch  []fetchReq // fetches waiting for memory space
@@ -114,6 +115,8 @@ type engine struct {
 
 	recordTrace bool
 	trace       []TraceEvent
+	probe       Probe
+	tel         *telemetryState // nil unless Config.Telemetry
 }
 
 // Run executes the instance under the given configuration and returns the
@@ -172,15 +175,20 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		busModel:    cfg.BusModel,
 		recordTrace: cfg.RecordTrace || cfg.CheckInvariants,
+		probe:       cfg.Probe,
+	}
+	if cfg.Telemetry {
+		e.tel = newTelemetryState(cfg.Platform.NumGPUs, inst.NumData())
 	}
 	e.loadsPerData = make([]int, inst.NumData())
 	e.gpus = make([]gpuState, cfg.Platform.NumGPUs)
 	for k := range e.gpus {
 		e.gpus[k] = gpuState{
-			id:       k,
-			resident: make([]bool, inst.NumData()),
-			arriving: make([]bool, inst.NumData()),
-			running:  taskgraph.NoTask,
+			id:           k,
+			resident:     make([]bool, inst.NumData()),
+			arriving:     make([]bool, inst.NumData()),
+			arrivingPeer: make([]bool, inst.NumData()),
+			running:      taskgraph.NoTask,
 		}
 	}
 
@@ -192,8 +200,16 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	}
 
 	e.pass()
+	if e.tel != nil {
+		e.telReclassify()
+	}
 	for len(e.heap) > 0 {
 		ev := heap.Pop(&e.heap).(event)
+		if e.tel != nil {
+			// Attribute the idle interval ending now, under the
+			// classification established at the previous fixpoint.
+			e.telAccrue(ev.at)
+		}
 		e.now = ev.at
 		switch ev.kind {
 		case evTransferDone:
@@ -210,6 +226,9 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 			// state re-examined by the pass below
 		}
 		e.pass()
+		if e.tel != nil {
+			e.telReclassify()
+		}
 	}
 
 	if e.completed != inst.NumTasks() {
@@ -217,6 +236,9 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 			e.completed, inst.NumTasks(), e.sched.Name())
 	}
 	res := e.result()
+	if e.tel != nil {
+		res.Telemetry = e.telemetryResult()
+	}
 	if cfg.CheckInvariants {
 		if err := CheckTrace(inst, cfg.Platform, res); err != nil {
 			return nil, err
@@ -240,6 +262,7 @@ func (e *engine) result() *Result {
 		StaticCost:      e.staticDelay,
 		DynamicCost:     e.dynamicDelay,
 		ChargedOps:      e.staticOps + e.dynamicOps,
+		Events:          e.seq,
 		GPU:             make([]GPUStats, len(e.gpus)),
 		Trace:           e.trace,
 	}
@@ -381,6 +404,7 @@ func (e *engine) route(req fetchReq) {
 // abort them.
 func (e *engine) nvEnqueue(req fetchReq) {
 	g := &e.gpus[req.gpu]
+	g.arrivingPeer[req.data] = true
 	g.nvQueue = append(g.nvQueue, req)
 	if !g.nvActive {
 		e.nvStartNext(req.gpu)
@@ -397,6 +421,9 @@ func (e *engine) nvStartNext(k int) {
 	g.nvQueue = g.nvQueue[1:]
 	g.nvActive = true
 	dur := e.plat.PeerTransferDuration(e.inst.Data(req.data).Size)
+	if e.tel != nil {
+		e.tel.nvBusy[k] += dur
+	}
 	e.post(event{at: e.now + dur, kind: evPeerDone, gpu: req.gpu, data: req.data, task: taskgraph.NoTask})
 }
 
@@ -404,6 +431,7 @@ func (e *engine) peerDone(k int, d taskgraph.DataID) {
 	g := &e.gpus[k]
 	size := e.inst.Data(d).Size
 	g.arriving[d] = false
+	g.arrivingPeer[d] = false
 	g.reservedBytes -= size
 	g.resident[d] = true
 	g.residentBytes += size
@@ -411,6 +439,9 @@ func (e *engine) peerDone(k int, d taskgraph.DataID) {
 	g.stats.PeerLoads++
 	g.stats.PeerBytesIn += size
 	e.loadsPerData[d]++
+	if e.tel != nil {
+		e.telLoaded(k, d)
+	}
 	e.record(TraceEvent{At: e.now, Kind: TracePeerLoad, GPU: k, Task: taskgraph.NoTask, Data: d})
 	e.evict.Loaded(k, d)
 	e.sched.DataLoaded(k, d)
@@ -513,6 +544,10 @@ func (e *engine) doEvict(k int, d taskgraph.DataID) {
 	g.resident[d] = false
 	g.residentBytes -= e.inst.Data(d).Size
 	g.stats.Evictions++
+	if e.tel != nil {
+		e.tel.evictedOnce[k][d] = true
+		e.telOccupancySample()
+	}
 	e.record(TraceEvent{At: e.now, Kind: TraceEvict, GPU: k, Task: taskgraph.NoTask, Data: d})
 	e.evict.Evicted(k, d)
 	e.sched.DataEvicted(k, d)
@@ -521,6 +556,9 @@ func (e *engine) doEvict(k int, d taskgraph.DataID) {
 // busEnqueue hands a transfer request to the shared bus under the
 // configured contention model.
 func (e *engine) busEnqueue(req fetchReq) {
+	if !req.writeback {
+		e.gpus[req.gpu].arrivingPeer[req.data] = false
+	}
 	if e.busModel == BusFairShare {
 		e.fairEnqueue(req)
 		return
@@ -558,6 +596,10 @@ func (e *engine) busStartNext() {
 			size = e.inst.Data(req.data).Size
 		}
 		dur := e.plat.TransferDuration(size)
+		if e.tel != nil {
+			// FIFO serializes transfers, so busy time is their sum.
+			e.tel.busBusy += dur
+		}
 		ev := event{at: e.now + dur, kind: evTransferDone, gpu: req.gpu, data: req.data, task: taskgraph.NoTask}
 		if req.writeback {
 			ev.kind = evWriteDone
@@ -589,12 +631,16 @@ func (e *engine) hostArrived(k int, d taskgraph.DataID) {
 	g := &e.gpus[k]
 	size := e.inst.Data(d).Size
 	g.arriving[d] = false
+	g.arrivingPeer[d] = false
 	g.reservedBytes -= size
 	g.resident[d] = true
 	g.residentBytes += size
 	g.stats.Loads++
 	g.stats.BytesIn += size
 	e.loadsPerData[d]++
+	if e.tel != nil {
+		e.telLoaded(k, d)
+	}
 	e.record(TraceEvent{At: e.now, Kind: TraceLoad, GPU: k, Task: taskgraph.NoTask, Data: d})
 	e.evict.Loaded(k, d)
 	e.sched.DataLoaded(k, d)
@@ -668,6 +714,9 @@ func (e *engine) post(ev event) {
 func (e *engine) record(ev TraceEvent) {
 	if e.recordTrace {
 		e.trace = append(e.trace, ev)
+	}
+	if e.probe != nil {
+		e.probe.OnEvent(ev)
 	}
 }
 

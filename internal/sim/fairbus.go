@@ -29,6 +29,10 @@ type fairBusState struct {
 // lone transfer takes exactly TransferDuration(size).
 func (e *engine) fairEnqueue(req fetchReq) {
 	e.fairAdvance()
+	if e.tel != nil && len(e.fair.active) == 0 {
+		// Bus goes from idle to busy; the span closes in fairCheck.
+		e.tel.fairSince = e.now
+	}
 	latencyBytes := e.plat.TransferLatency.Seconds() * e.plat.BusBytesPerSecond
 	bytes := req.bytes
 	if !req.writeback {
@@ -100,6 +104,10 @@ func (e *engine) fairCheck(gen int64) {
 		}
 	}
 	e.fair.active = kept
+	if e.tel != nil && len(done) > 0 && len(kept) == 0 {
+		// Bus drained: close the busy span opened at fairSince.
+		e.tel.busBusy += e.now - e.tel.fairSince
+	}
 	for _, req := range done {
 		if req.writeback {
 			t := taskgraph.TaskID(req.data)

@@ -1,0 +1,34 @@
+package sim
+
+// Probe observes simulation events as they happen, without retaining
+// them: the streaming alternative to Config.RecordTrace, whose O(events)
+// memory makes it unusable for long sweeps. A probe attached through
+// Config.Probe receives exactly the event sequence a retained trace
+// would contain, in the same order (TestProbeMatchesTrace pins this),
+// invoked synchronously from the simulation loop as each event is
+// committed (task start/end, host and peer loads, evictions,
+// write-backs).
+//
+// Probes run on the single simulation goroutine; OnEvent must not call
+// back into the engine and should return quickly, since its cost is
+// real (wall-clock) time on the hot loop. A nil Config.Probe costs
+// nothing.
+type Probe interface {
+	OnEvent(TraceEvent)
+}
+
+// ProbeFunc adapts a function to the Probe interface.
+type ProbeFunc func(TraceEvent)
+
+// OnEvent calls f(ev).
+func (f ProbeFunc) OnEvent(ev TraceEvent) { f(ev) }
+
+// MultiProbe fans events out to several probes in order.
+type MultiProbe []Probe
+
+// OnEvent forwards ev to every probe.
+func (m MultiProbe) OnEvent(ev TraceEvent) {
+	for _, p := range m {
+		p.OnEvent(ev)
+	}
+}

@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"memsched/internal/memory"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// TestProbeMatchesTrace pins the streaming contract: a probe observes the
+// exact event sequence a retained trace records, in the same run.
+func TestProbeMatchesTrace(t *testing.T) {
+	inst := chain(6)
+	var streamed []sim.TraceEvent
+	res, err := sim.Run(inst, sim.Config{
+		Platform:    tinyPlatform(2, 60),
+		Scheduler:   &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}},
+		Eviction:    memory.NewLRU(),
+		RecordTrace: true,
+		Probe: sim.ProbeFunc(func(ev sim.TraceEvent) {
+			streamed = append(streamed, ev)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("probe saw no events")
+	}
+	if !reflect.DeepEqual(streamed, res.Trace) {
+		t.Fatalf("probe stream diverges from retained trace: %d streamed vs %d recorded",
+			len(streamed), len(res.Trace))
+	}
+}
+
+// TestProbeWithoutRetention checks a probe works with RecordTrace off —
+// the zero-retention mode — and that MultiProbe fans out to all members.
+func TestProbeWithoutRetention(t *testing.T) {
+	inst := chain(4)
+	starts, total := 0, 0
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(1, 1000),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2, 3}}},
+		Eviction:  memory.NewLRU(),
+		Probe: sim.MultiProbe{
+			sim.ProbeFunc(func(ev sim.TraceEvent) {
+				if ev.Kind == sim.TraceStart {
+					starts++
+				}
+			}),
+			sim.ProbeFunc(func(ev sim.TraceEvent) { total++ }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace retained without RecordTrace")
+	}
+	if starts != 4 {
+		t.Errorf("probe counted %d starts, want 4", starts)
+	}
+	if total <= starts {
+		t.Errorf("second probe saw %d events", total)
+	}
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"memsched/internal/platform"
+	"memsched/internal/taskgraph"
+)
+
+// IdleReason classifies why a GPU sat idle during one interval of a run.
+// The engine attributes every idle nanosecond to exactly one reason, so
+// the per-GPU breakdown sums to Makespan - BusyTime (CheckTrace verifies
+// this when a trace is recorded).
+type IdleReason uint8
+
+const (
+	// IdleStarved: the GPU was waiting on the scheduler — either PopTask
+	// returned nothing while unassigned tasks remained, or the popped
+	// task was gated by its charged scheduling cost (Config.NsPerOp).
+	IdleStarved IdleReason = iota
+	// IdleBlockedBus: the GPU had popped tasks whose inputs were queued
+	// on or in flight over the shared host bus, or parked waiting for
+	// memory to free (their transfer cannot even be enqueued).
+	IdleBlockedBus
+	// IdleBlockedPeer: the only transfers the GPU was waiting for were
+	// in flight over NVLink peer channels.
+	IdleBlockedPeer
+	// IdleDone: the GPU had no popped tasks and no unassigned tasks
+	// remained anywhere — it had finished its share of the run.
+	IdleDone
+
+	numIdleReasons = 4
+)
+
+// String returns the mnemonic of the reason.
+func (r IdleReason) String() string {
+	switch r {
+	case IdleStarved:
+		return "starved-no-task"
+	case IdleBlockedBus:
+		return "blocked-on-bus"
+	case IdleBlockedPeer:
+		return "blocked-on-peer"
+	case IdleDone:
+		return "done"
+	}
+	return "?"
+}
+
+// GPUTelemetry is the engine-computed observability record of one GPU.
+type GPUTelemetry struct {
+	// Idle attribution: every idle nanosecond lands in exactly one of
+	// these four buckets (see IdleReason for the classification rules).
+	StarvedNoTask time.Duration `json:"starved_no_task_ns"`
+	BlockedOnBus  time.Duration `json:"blocked_on_bus_ns"`
+	BlockedOnPeer time.Duration `json:"blocked_on_peer_ns"`
+	Done          time.Duration `json:"done_ns"`
+	// BusyTime mirrors GPUStats.BusyTime for self-contained JSON.
+	BusyTime time.Duration `json:"busy_ns"`
+	// OccupancyHighWater is the maximum resident bytes ever held.
+	OccupancyHighWater int64 `json:"occupancy_high_water_bytes"`
+	// Reloads counts loads of data this GPU had previously evicted: the
+	// eviction-churn signal (each one is a transfer a better eviction
+	// policy might have avoided). ReloadedBytes is their volume.
+	Reloads       int   `json:"reloads"`
+	ReloadedBytes int64 `json:"reloaded_bytes"`
+}
+
+// IdleTotal returns the sum of the four idle buckets.
+func (g GPUTelemetry) IdleTotal() time.Duration {
+	return g.StarvedNoTask + g.BlockedOnBus + g.BlockedOnPeer + g.Done
+}
+
+// OccupancySample is one point of the memory-occupancy timeline.
+type OccupancySample struct {
+	At time.Duration `json:"at_ns"`
+	// ResidentBytes holds the occupancy of every GPU at time At.
+	ResidentBytes []int64 `json:"resident_bytes"`
+}
+
+// maxOccupancySamples bounds the occupancy timeline kept per run. When
+// the limit is hit the sampler halves its resolution (keeps every other
+// sample and doubles its stride), so memory stays O(1) in run length
+// while the timeline keeps covering the whole run.
+const maxOccupancySamples = 512
+
+// Telemetry is the zero-retention observability summary of one run,
+// attached to Result.Telemetry when Config.Telemetry is set. Unlike the
+// retained trace it costs O(GPUs + samples) memory regardless of run
+// length, and unlike Analyze it needs no recorded trace.
+type Telemetry struct {
+	// GPU holds the per-GPU idle attribution and occupancy records.
+	GPU []GPUTelemetry `json:"gpu"`
+	// BusBusy is the total time the shared host bus carried at least one
+	// transfer (loads and write-backs, both bus models).
+	BusBusy time.Duration `json:"bus_busy_ns"`
+	// BusUtilization is BusBusy / Makespan.
+	BusUtilization float64 `json:"bus_utilization"`
+	// NVLinkBusy is the per-GPU time the inbound NVLink channel was
+	// transferring (nil when the platform has no peer links).
+	NVLinkBusy []time.Duration `json:"nvlink_busy_ns,omitempty"`
+	// Occupancy is the decimated resident-bytes timeline.
+	Occupancy []OccupancySample `json:"occupancy,omitempty"`
+	// Reloads and ReloadedBytes aggregate the per-GPU reload counters.
+	Reloads       int   `json:"reloads"`
+	ReloadedBytes int64 `json:"reloaded_bytes"`
+	// IdleTotal is the machine-wide idle time, Makespan*NumGPUs - ΣBusy.
+	IdleTotal time.Duration `json:"idle_total_ns"`
+}
+
+// String renders a one-look summary of the telemetry.
+func (t *Telemetry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bus busy %v (%.0f%%), %d reloads (%.1f MB)\n",
+		t.BusBusy, 100*t.BusUtilization, t.Reloads, float64(t.ReloadedBytes)/platform.MB)
+	for k, g := range t.GPU {
+		fmt.Fprintf(&b, "gpu %d: busy %v, starved %v, blocked-on-bus %v, blocked-on-peer %v, done %v, high water %.1f MB, %d reloads\n",
+			k, g.BusyTime, g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done,
+			float64(g.OccupancyHighWater)/platform.MB, g.Reloads)
+	}
+	return b.String()
+}
+
+// telemetryState is the engine-side accumulator behind Result.Telemetry.
+// It is nil when Config.Telemetry is off, so the hot loop pays a single
+// nil check per hook.
+type telemetryState struct {
+	idle        [][numIdleReasons]time.Duration // per GPU, per reason
+	reason      []IdleReason                    // classification in force per idle GPU
+	lastAccrue  time.Duration
+	evictedOnce [][]bool // per GPU, per data: evicted at least once
+	reloads     []int
+	reloadedB   []int64
+	highWater   []int64
+	busBusy     time.Duration
+	fairSince   time.Duration // fair-share model: start of current busy span
+	nvBusy      []time.Duration
+
+	occSamples []OccupancySample
+	occStride  int
+	occCount   int
+}
+
+func newTelemetryState(numGPUs, numData int) *telemetryState {
+	t := &telemetryState{
+		idle:        make([][numIdleReasons]time.Duration, numGPUs),
+		reason:      make([]IdleReason, numGPUs),
+		evictedOnce: make([][]bool, numGPUs),
+		reloads:     make([]int, numGPUs),
+		reloadedB:   make([]int64, numGPUs),
+		highWater:   make([]int64, numGPUs),
+		nvBusy:      make([]time.Duration, numGPUs),
+		occStride:   1,
+	}
+	for k := range t.evictedOnce {
+		t.evictedOnce[k] = make([]bool, numData)
+	}
+	return t
+}
+
+// telAccrue charges the interval [tel.lastAccrue, to) of every idle GPU
+// to its current classification. It is called from the event loop just
+// before the clock advances, so the classification stored by the last
+// telReclassify is the one in force over the whole interval.
+func (e *engine) telAccrue(to time.Duration) {
+	tel := e.tel
+	d := to - tel.lastAccrue
+	if d <= 0 {
+		return
+	}
+	tel.lastAccrue = to
+	for k := range e.gpus {
+		if e.gpus[k].running == taskgraph.NoTask {
+			tel.idle[k][tel.reason[k]] += d
+		}
+	}
+}
+
+// telReclassify recomputes the idle classification of every idle GPU at
+// the current engine fixpoint. Called after every pass().
+func (e *engine) telReclassify() {
+	for k := range e.gpus {
+		if e.gpus[k].running == taskgraph.NoTask {
+			e.tel.reason[k] = e.classifyIdle(k)
+		}
+	}
+}
+
+// classifyIdle attributes the idleness of GPU k at the current fixpoint.
+// Precedence: a host-bus transfer pending for a popped task wins over a
+// peer transfer; with popped tasks but nothing arriving, parked fetches
+// (memory full) count as blocked-on-bus and a pure scheduler-cost gate
+// as starved; with no popped tasks, the GPU is done once no unassigned
+// task remains anywhere, starved otherwise.
+func (e *engine) classifyIdle(k int) IdleReason {
+	g := &e.gpus[k]
+	if len(g.buffer) > 0 || len(g.pendingFetch) > 0 {
+		peer := false
+		for i := range g.buffer {
+			for _, d := range e.inst.Inputs(g.buffer[i].task) {
+				if g.arriving[d] {
+					if g.arrivingPeer[d] {
+						peer = true
+					} else {
+						return IdleBlockedBus
+					}
+				}
+			}
+		}
+		if peer {
+			return IdleBlockedPeer
+		}
+		if len(g.pendingFetch) > 0 {
+			return IdleBlockedBus
+		}
+		// Popped tasks, all inputs resident, nothing in flight: the
+		// scheduler-cost gate (earliestStart) is holding the task.
+		return IdleStarved
+	}
+	inflight := 0
+	for j := range e.gpus {
+		if e.gpus[j].running != taskgraph.NoTask {
+			inflight++
+		}
+		inflight += len(e.gpus[j].buffer)
+	}
+	if e.completed+inflight >= e.inst.NumTasks() {
+		return IdleDone
+	}
+	return IdleStarved
+}
+
+// telLoaded records an arrival (host or peer) on GPU k: occupancy high
+// water and the reload counters.
+func (e *engine) telLoaded(k int, d taskgraph.DataID) {
+	tel := e.tel
+	g := &e.gpus[k]
+	if g.residentBytes > tel.highWater[k] {
+		tel.highWater[k] = g.residentBytes
+	}
+	if tel.evictedOnce[k][d] {
+		tel.reloads[k]++
+		tel.reloadedB[k] += e.inst.Data(d).Size
+	}
+	e.telOccupancySample()
+}
+
+// telOccupancySample appends one occupancy point, decimating the series
+// when it outgrows maxOccupancySamples.
+func (e *engine) telOccupancySample() {
+	tel := e.tel
+	tel.occCount++
+	if tel.occCount%tel.occStride != 0 {
+		return
+	}
+	if len(tel.occSamples) >= maxOccupancySamples {
+		kept := tel.occSamples[:0]
+		for i := range tel.occSamples {
+			if i%2 == 0 {
+				kept = append(kept, tel.occSamples[i])
+			}
+		}
+		tel.occSamples = kept
+		tel.occStride *= 2
+	}
+	s := OccupancySample{At: e.now, ResidentBytes: make([]int64, len(e.gpus))}
+	for k := range e.gpus {
+		s.ResidentBytes[k] = e.gpus[k].residentBytes
+	}
+	tel.occSamples = append(tel.occSamples, s)
+}
+
+// telemetryResult folds the accumulator into the public Telemetry.
+func (e *engine) telemetryResult() *Telemetry {
+	tel := e.tel
+	out := &Telemetry{
+		GPU:       make([]GPUTelemetry, len(e.gpus)),
+		BusBusy:   tel.busBusy,
+		Occupancy: tel.occSamples,
+	}
+	if e.plat.HasNVLink() {
+		out.NVLinkBusy = tel.nvBusy
+	}
+	for k := range e.gpus {
+		g := GPUTelemetry{
+			StarvedNoTask:      tel.idle[k][IdleStarved],
+			BlockedOnBus:       tel.idle[k][IdleBlockedBus],
+			BlockedOnPeer:      tel.idle[k][IdleBlockedPeer],
+			Done:               tel.idle[k][IdleDone],
+			BusyTime:           e.gpus[k].stats.BusyTime,
+			OccupancyHighWater: tel.highWater[k],
+			Reloads:            tel.reloads[k],
+			ReloadedBytes:      tel.reloadedB[k],
+		}
+		out.GPU[k] = g
+		out.Reloads += g.Reloads
+		out.ReloadedBytes += g.ReloadedBytes
+		out.IdleTotal += g.IdleTotal()
+	}
+	if e.now > 0 {
+		out.BusUtilization = tel.busBusy.Seconds() / e.now.Seconds()
+	}
+	return out
+}

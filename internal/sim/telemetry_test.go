@@ -1,0 +1,229 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"memsched/internal/memory"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// TestIdleAttributionBlockedOnBus hand-checks the idle breakdown on the
+// FIFO-bus scenario of TestBusIsSharedAndFIFO: two GPUs, one task each,
+// disjoint 10-byte inputs (0.1 s transfers, serialized), 1 s compute.
+//
+//	GPU 0: blocked-on-bus [0, 0.1), busy [0.1, 1.1), done [1.1, 1.2)
+//	GPU 1: blocked-on-bus [0, 0.2), busy [0.2, 1.2)
+func TestIdleAttributionBlockedOnBus(t *testing.T) {
+	b := taskgraph.NewBuilder("two")
+	d0 := b.AddData("d0", 10)
+	d1 := b.AddData("d1", 10)
+	b.AddTask("t0", 1e9, d0)
+	b.AddTask("t1", 1e9, d1)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(2, 1000),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}, {1}}},
+		Eviction:        memory.NewLRU(),
+		Telemetry:       true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel == nil {
+		t.Fatal("no telemetry attached")
+	}
+	want := []sim.GPUTelemetry{
+		{BlockedOnBus: 100 * time.Millisecond, Done: 100 * time.Millisecond,
+			BusyTime: time.Second, OccupancyHighWater: 10},
+		{BlockedOnBus: 200 * time.Millisecond,
+			BusyTime: time.Second, OccupancyHighWater: 10},
+	}
+	for k := range want {
+		if tel.GPU[k] != want[k] {
+			t.Errorf("gpu %d telemetry = %+v, want %+v", k, tel.GPU[k], want[k])
+		}
+	}
+	// The bus carried two serialized 0.1 s transfers over a 1.2 s run.
+	if tel.BusBusy != 200*time.Millisecond {
+		t.Errorf("bus busy = %v, want 200ms", tel.BusBusy)
+	}
+	if diff := tel.BusUtilization - 1.0/6.0; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("bus utilization = %g, want 1/6", tel.BusUtilization)
+	}
+	if tel.IdleTotal != 400*time.Millisecond {
+		t.Errorf("idle total = %v, want 400ms", tel.IdleTotal)
+	}
+	if len(tel.Occupancy) == 0 {
+		t.Error("no occupancy samples")
+	}
+}
+
+// TestIdleAttributionBlockedOnPeer extends the NVLink peer-load scenario:
+// GPU 1's copy of the shared item is diverted to NVLink at t=0.1 s once
+// GPU 0 holds it, so GPU 1 waits 0.1 s on the bus queue and then 0.01 s
+// on the peer link.
+func TestIdleAttributionBlockedOnPeer(t *testing.T) {
+	b := taskgraph.NewBuilder("peer")
+	d := b.AddData("d", 10)
+	b.AddTask("t0", 1e9, d)
+	b.AddTask("t1", 1e9, d)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        nvPlatform(2, 1000),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}, {1}}},
+		Eviction:        memory.NewLRU(),
+		Telemetry:       true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	g1 := tel.GPU[1]
+	if g1.BlockedOnBus != 100*time.Millisecond || g1.BlockedOnPeer != 10*time.Millisecond {
+		t.Errorf("gpu 1 blocked-on-bus %v / blocked-on-peer %v, want 100ms / 10ms",
+			g1.BlockedOnBus, g1.BlockedOnPeer)
+	}
+	if g0 := tel.GPU[0]; g0.Done != 10*time.Millisecond {
+		t.Errorf("gpu 0 done = %v, want 10ms (tail while gpu 1 finishes)", g0.Done)
+	}
+	if len(tel.NVLinkBusy) != 2 || tel.NVLinkBusy[1] != 10*time.Millisecond {
+		t.Errorf("nvlink busy = %v, want 10ms on gpu 1", tel.NVLinkBusy)
+	}
+}
+
+// TestIdleAttributionStarved pins the scheduler-cost gate: a pop that
+// charges 1 s of scheduling time holds the (transfer-complete) task, so
+// the wait splits into 0.1 s blocked-on-bus and 0.9 s starved.
+func TestIdleAttributionStarved(t *testing.T) {
+	b := taskgraph.NewBuilder("cost")
+	d := b.AddData("d", 10)
+	b.AddTask("t", 1e9, d)
+	inst := b.Build()
+
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 100),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{{0}}, charge: 1e9},
+		Eviction:        memory.NewLRU(),
+		NsPerOp:         1,
+		Telemetry:       true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Telemetry.GPU[0]
+	if g.BlockedOnBus != 100*time.Millisecond || g.StarvedNoTask != 900*time.Millisecond {
+		t.Errorf("blocked-on-bus %v / starved %v, want 100ms / 900ms", g.BlockedOnBus, g.StarvedNoTask)
+	}
+}
+
+// TestTelemetryReloadsMatchChurn runs the eviction-churn scenario of
+// TestEvictedInputOfBufferedTaskIsReloaded with telemetry on:
+// CheckInvariants cross-validates the reload counters against the trace,
+// and the run must report the churn.
+func TestTelemetryReloadsMatchChurn(t *testing.T) {
+	b := taskgraph.NewBuilder("refetch")
+	var ds []taskgraph.DataID
+	for i := 0; i < 6; i++ {
+		ds = append(ds, b.AddData("d", 10))
+	}
+	var q []taskgraph.TaskID
+	for _, d := range []int{0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5} {
+		q = append(q, b.AddTask("t", 1e8, ds[d]))
+	}
+	inst := b.Build()
+	res, err := sim.Run(inst, sim.Config{
+		Platform:        tinyPlatform(1, 30),
+		Scheduler:       &listSched{queues: [][]taskgraph.TaskID{q}},
+		Eviction:        memory.NewFIFO(),
+		Telemetry:       true,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel.Reloads == 0 || tel.ReloadedBytes == 0 {
+		t.Fatalf("reloads = %d (%d B), expected churn", tel.Reloads, tel.ReloadedBytes)
+	}
+	if tel.Reloads != res.Loads-6 {
+		t.Errorf("reloads = %d, want loads beyond the 6 compulsory = %d", tel.Reloads, res.Loads-6)
+	}
+	if tel.GPU[0].OccupancyHighWater > 30 {
+		t.Errorf("high water %d exceeds memory", tel.GPU[0].OccupancyHighWater)
+	}
+}
+
+// TestTelemetryCrossValidatesOnRealRuns exercises the CheckTrace
+// telemetry validation (idle sums, reload pairs) on DARTS+LUF runs over
+// both bus models; any attribution leak fails the run.
+func TestTelemetryCrossValidatesOnRealRuns(t *testing.T) {
+	inst := workload.Matmul2D(20)
+	for _, bus := range []sim.BusModel{sim.BusFIFO, sim.BusFairShare} {
+		s, pol := sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+		var ev sim.EvictionPolicy = pol
+		if ev == nil {
+			ev = memory.NewLRU()
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Platform:        platform.V100NVLink(3),
+			Scheduler:       s,
+			Eviction:        ev,
+			Seed:            1,
+			BusModel:        bus,
+			Telemetry:       true,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatalf("%v bus: %v", bus, err)
+		}
+		if res.Telemetry.IdleTotal < 0 {
+			t.Fatalf("%v bus: negative idle", bus)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults pins the pure-observation contract:
+// with Config.Telemetry on, every simulated Result field is identical to
+// the plain run.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	inst := workload.Matmul2D(15)
+	run := func(telemetry bool) *sim.Result {
+		s, pol := sched.NewDARTSPair(sched.DARTSOptions{LUF: true})()
+		var ev sim.EvictionPolicy = pol
+		if ev == nil {
+			ev = memory.NewLRU()
+		}
+		res, err := sim.Run(inst, sim.Config{
+			Platform:  platform.V100NVLink(2),
+			Scheduler: s,
+			Eviction:  ev,
+			Seed:      7,
+			Telemetry: telemetry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	observed := run(true)
+	if observed.Telemetry == nil {
+		t.Fatal("telemetry missing")
+	}
+	observed.Telemetry = nil
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("telemetry perturbed the simulation:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+}

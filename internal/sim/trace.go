@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"memsched/internal/platform"
 	"memsched/internal/taskgraph"
@@ -16,7 +17,10 @@ import (
 //     evicted while absent;
 //   - a GPU runs at most one task at a time;
 //   - every task runs exactly once, and the aggregate counters of the
-//     result match the trace.
+//     result match the trace;
+//   - when Result.Telemetry is present, its idle attribution sums to
+//     Makespan*NumGPUs - ΣBusyTime (per GPU: Makespan - BusyTime) and
+//     its reload counters match the load-after-evict pairs of the trace.
 //
 // It returns the first violation found, or nil.
 func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) error {
@@ -34,10 +38,20 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 		bytesOut  int64
 		evicts    int
 		tasks     int
+		// Telemetry cross-validation inputs.
+		startAt   time.Duration
+		busy      time.Duration
+		evicted   map[taskgraph.DataID]bool
+		reloads   int
+		reloadedB int64
 	}
 	gpus := make([]gpuCheck, plat.NumGPUs)
 	for k := range gpus {
-		gpus[k] = gpuCheck{resident: make(map[taskgraph.DataID]bool), running: taskgraph.NoTask}
+		gpus[k] = gpuCheck{
+			resident: make(map[taskgraph.DataID]bool),
+			evicted:  make(map[taskgraph.DataID]bool),
+			running:  taskgraph.NoTask,
+		}
 	}
 	ran := make([]bool, inst.NumTasks())
 	last := res.Trace[0].At
@@ -61,6 +75,10 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			g.resident[ev.Data] = true
 			g.bytes += inst.Data(ev.Data).Size
 			g.loads++
+			if g.evicted[ev.Data] {
+				g.reloads++
+				g.reloadedB += inst.Data(ev.Data).Size
+			}
 			if ev.Kind == TracePeerLoad {
 				g.peerLoads++
 				g.peerBytes += inst.Data(ev.Data).Size
@@ -77,6 +95,7 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			delete(g.resident, ev.Data)
 			g.bytes -= inst.Data(ev.Data).Size
 			g.evicts++
+			g.evicted[ev.Data] = true
 		case TraceStart:
 			if g.running != taskgraph.NoTask {
 				return fmt.Errorf("trace[%d]: gpu %d starts task %d while running %d", i, ev.GPU, ev.Task, g.running)
@@ -90,12 +109,14 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 				}
 			}
 			g.running = ev.Task
+			g.startAt = ev.At
 			ran[ev.Task] = true
 		case TraceEnd:
 			if g.running != ev.Task {
 				return fmt.Errorf("trace[%d]: gpu %d ends task %d but running is %d", i, ev.GPU, ev.Task, g.running)
 			}
 			g.running = taskgraph.NoTask
+			g.busy += ev.At - g.startAt
 			g.tasks++
 		case TraceWriteBack:
 			if inst.Task(ev.Task).OutputBytes <= 0 {
@@ -126,6 +147,58 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 				k, g.loads, g.evicts, g.tasks, g.bytesIn, g.peerLoads, g.peerBytes,
 				s.Loads, s.Evictions, s.Tasks, s.BytesIn, s.PeerLoads, s.PeerBytesIn)
 		}
+	}
+	if tel := res.Telemetry; tel != nil {
+		if err := checkTelemetry(plat, res, tel, func(k int) (time.Duration, int, int64) {
+			return gpus[k].busy, gpus[k].reloads, gpus[k].reloadedB
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTelemetry validates the engine-computed telemetry against the
+// replayed trace: the idle attribution of every GPU must sum to
+// Makespan - BusyTime (kernel latency included), and the reload
+// counters must match the load-after-evict pairs observed in the trace.
+func checkTelemetry(plat platform.Platform, res *Result, tel *Telemetry,
+	perGPU func(int) (time.Duration, int, int64)) error {
+	if len(tel.GPU) != plat.NumGPUs {
+		return fmt.Errorf("telemetry: %d GPU records for %d GPUs", len(tel.GPU), plat.NumGPUs)
+	}
+	var idleSum, busySum time.Duration
+	reloads := 0
+	var reloadedB int64
+	for k := range tel.GPU {
+		busy, wantReloads, wantReloadedB := perGPU(k)
+		g := tel.GPU[k]
+		if g.BusyTime != busy {
+			return fmt.Errorf("telemetry: gpu %d busy %v, trace says %v", k, g.BusyTime, busy)
+		}
+		if idle := g.IdleTotal(); idle != res.Makespan-busy {
+			return fmt.Errorf(
+				"telemetry: gpu %d idle breakdown sums to %v (starved %v + bus %v + peer %v + done %v), want makespan-busy = %v",
+				k, idle, g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done, res.Makespan-busy)
+		}
+		if g.Reloads != wantReloads || g.ReloadedBytes != wantReloadedB {
+			return fmt.Errorf("telemetry: gpu %d reloads %d (%d B), trace has %d load-after-evict pairs (%d B)",
+				k, g.Reloads, g.ReloadedBytes, wantReloads, wantReloadedB)
+		}
+		idleSum += g.IdleTotal()
+		busySum += busy
+		reloads += g.Reloads
+		reloadedB += g.ReloadedBytes
+	}
+	if want := time.Duration(plat.NumGPUs)*res.Makespan - busySum; idleSum != want {
+		return fmt.Errorf("telemetry: machine idle %v, want Makespan*NumGPUs - ΣBusyTime = %v", idleSum, want)
+	}
+	if tel.IdleTotal != idleSum {
+		return fmt.Errorf("telemetry: IdleTotal %v disagrees with per-GPU sum %v", tel.IdleTotal, idleSum)
+	}
+	if tel.Reloads != reloads || tel.ReloadedBytes != reloadedB {
+		return fmt.Errorf("telemetry: machine reloads %d (%d B), per-GPU sum %d (%d B)",
+			tel.Reloads, tel.ReloadedBytes, reloads, reloadedB)
 	}
 	return nil
 }

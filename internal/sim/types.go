@@ -39,6 +39,17 @@ type Config struct {
 	NsPerOp float64
 	// RecordTrace keeps the full event trace in the Result.
 	RecordTrace bool
+	// Probe, when non-nil, receives every trace event as it is
+	// committed, without the O(events) retention of RecordTrace. The
+	// probe observes the identical sequence a recorded trace would
+	// contain; see the Probe documentation for the contract.
+	Probe Probe
+	// Telemetry enables the engine-computed observability summary
+	// (per-GPU idle-time attribution, bus and NVLink utilization,
+	// occupancy high-water marks and timeline, reload counts), attached
+	// as Result.Telemetry. It is pure observation: enabling it never
+	// changes the simulated schedule or any other Result field.
+	Telemetry bool
 	// CheckInvariants replays the trace after the run and fails the run
 	// on any violation (memory overflow, task started without inputs,
 	// double loads). Implies RecordTrace.
@@ -131,6 +142,9 @@ type Result struct {
 	// ChargedOps is the total abstract operations charged by the
 	// scheduler, whether or not they were converted into delay.
 	ChargedOps int64
+	// Events is the number of discrete events the simulation processed,
+	// the denominator of the harness's events/s gauge.
+	Events int64
 	// GPU holds the per-GPU counters.
 	GPU []GPUStats
 	// LoadsPerData counts, for every data item, how many transfers
@@ -140,6 +154,9 @@ type Result struct {
 	LoadsPerData []int
 	// Trace is the event log when Config.RecordTrace is set.
 	Trace []TraceEvent
+	// Telemetry is the observability summary when Config.Telemetry is
+	// set: idle-time attribution, bus utilization, occupancy, reloads.
+	Telemetry *Telemetry
 }
 
 // String summarizes the result on one line.

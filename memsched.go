@@ -71,6 +71,28 @@ type (
 	RuntimeView = sim.RuntimeView
 	// Analysis summarizes transfer/compute overlap in a recorded trace.
 	Analysis = sim.Analysis
+	// Telemetry is the engine-computed run telemetry: per-GPU idle-time
+	// attribution, bus utilization, occupancy samples and reload counts.
+	Telemetry = sim.Telemetry
+	// GPUTelemetry is the per-GPU slice of Telemetry.
+	GPUTelemetry = sim.GPUTelemetry
+	// Probe streams every trace event during the run without retaining
+	// the trace; see Options.Probe.
+	Probe = sim.Probe
+	// ProbeFunc adapts a function to the Probe interface.
+	ProbeFunc = sim.ProbeFunc
+	// Decision is one recorded scheduler decision (data selection,
+	// fallback, eviction victim, steal).
+	Decision = sched.Decision
+	// DecisionRecorder receives scheduler decisions; attach one with
+	// Strategy.WithRecorder.
+	DecisionRecorder = sched.DecisionRecorder
+	// DecisionLog is a DecisionRecorder writing one line per decision.
+	DecisionLog = sched.DecisionLog
+	// DecisionList is a DecisionRecorder collecting decisions in memory.
+	DecisionList = sched.DecisionList
+	// MultiProbe fans trace events out to several probes.
+	MultiProbe = sim.MultiProbe
 )
 
 // NewBuilder starts a custom instance with the given name.
@@ -189,6 +211,13 @@ type Options struct {
 	// BusModel selects the host-bus contention model: BusFIFO (default)
 	// or BusFairShare.
 	BusModel BusModel
+	// Telemetry computes Result.Telemetry (idle-time attribution, bus
+	// utilization, occupancy, reloads). Pure observation: the simulated
+	// schedule is unchanged.
+	Telemetry bool
+	// Probe receives every trace event as it happens, without the
+	// retention cost of RecordTrace.
+	Probe Probe
 }
 
 // BusModel selects the host-bus contention model of a Run.
@@ -250,5 +279,7 @@ func Run(inst *Instance, strat Strategy, plat Platform, opts ...Options) (*Resul
 		RecordTrace:     o.RecordTrace,
 		CheckInvariants: o.CheckInvariants,
 		BusModel:        o.BusModel,
+		Telemetry:       o.Telemetry,
+		Probe:           o.Probe,
 	})
 }
