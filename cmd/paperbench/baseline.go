@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+
+	"memsched/internal/baseline"
+	"memsched/internal/expr"
+)
+
+// baselineOps carries the -baseline-* flags through the concurrent
+// figure runs and accumulates the combined diff report for
+// -baseline-report. apply is called from one goroutine per figure, so
+// the shared report builder is mutex-guarded.
+type baselineOps struct {
+	write, check bool
+	dir          string
+	tol          baseline.Tolerances
+
+	mu     sync.Mutex
+	report bytes.Buffer
+}
+
+func (b *baselineOps) active() bool { return b != nil && (b.write || b.check) }
+
+// apply records or checks the figure's cells against its BENCH file and
+// renders the outcome into out (the figure's ordered output buffer).
+// It returns whether the check found regressions.
+func (b *baselineOps) apply(figID string, cells []expr.CellTelemetry, out *bytes.Buffer) (regressed bool, err error) {
+	path := baseline.Path(b.dir, figID)
+	fresh := baseline.New(figID)
+	for _, c := range cells {
+		fresh.Record(baseline.FromRow(c.Row, c.Telemetry))
+	}
+
+	if b.write {
+		// Merge into any existing file so a partial run (-quick, -maxn)
+		// refreshes its cells without dropping the rest of the sweep.
+		merged := fresh
+		if prev, err := baseline.Load(path); err == nil {
+			for k, c := range fresh.Cells {
+				prev.Cells[k] = c
+			}
+			prev.Schema = baseline.SchemaVersion
+			merged = prev
+		} else if !os.IsNotExist(err) {
+			return false, err
+		}
+		if err := merged.Write(path); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(out, "baseline: wrote %d cells -> %s\n\n", len(merged.Cells), path)
+		return false, nil
+	}
+
+	// Check mode.
+	stored, err := baseline.Load(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, fmt.Errorf("%s: no baseline at %s (seed it with -baseline-write)", figID, path)
+		}
+		return false, err
+	}
+	rep := baseline.Diff(stored, fresh, b.tol)
+	text := fmt.Sprintf("baseline check %s vs %s:\n%s\n", figID, path, rep.String())
+	out.WriteString(text)
+	b.mu.Lock()
+	b.report.WriteString(text)
+	b.mu.Unlock()
+	return rep.HasRegressions(), nil
+}
+
+// writeReport dumps the combined diff report to path (for the CI
+// artifact); a check that ran no figures writes an empty file.
+func (b *baselineOps) writeReport(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.WriteFile(path, b.report.Bytes(), 0o644)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"memsched/internal/baseline"
+	"memsched/internal/expr"
+	"memsched/internal/sched"
+)
+
+// runCompare diffs two telemetry JSONL captures (paperbench -telemetry)
+// cell by cell and, for the worst-regressed cell, joins the scheduler
+// decision digests embedded in both captures to explain *why* the cell
+// got worse. It returns the process exit code: 0 when no cell regressed
+// beyond tolerance, 1 on regressions, 2 on usage or read errors.
+func runCompare(oldPath, newPath string, tol baseline.Tolerances, out io.Writer) int {
+	oldF, oldDigs, err := loadCapture(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newF, newDigs, err := loadCapture(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(out, "comparing %s (%d cells) -> %s (%d cells)\n",
+		oldPath, len(oldF.Cells), newPath, len(newF.Cells))
+	rep := baseline.Diff(oldF, newF, tol)
+	fmt.Fprint(out, rep.String())
+
+	worst := rep.WorstRegression()
+	if worst == nil {
+		fmt.Fprintln(out, "no regressions")
+		return 0
+	}
+	fmt.Fprintf(out, "\nworst-regressed cell: %s (%s)\n", worst.Key, worst.Worst)
+	fmt.Fprintln(out, "why (joined scheduler decision logs):")
+	for _, line := range sched.JoinDigests(oldDigs[worst.Key], newDigs[worst.Key]) {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+	return 1
+}
+
+// loadCapture parses one telemetry JSONL capture into a baseline file
+// (for the metric diff) plus the per-cell decision digests (for the
+// explanation). Cells keep their native figure:workload:strategy keys,
+// so captures spanning several figures compare cleanly.
+func loadCapture(path string) (*baseline.File, map[string]*sched.DecisionDigest, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	f := baseline.New("capture")
+	digs := map[string]*sched.DecisionDigest{}
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var c expr.CellTelemetry
+		if err := dec.Decode(&c); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		cell := baseline.FromRow(c.Row, c.Telemetry)
+		f.Record(cell)
+		digs[cell.Key()] = c.Decisions
+	}
+	if len(f.Cells) == 0 {
+		return nil, nil, fmt.Errorf("%s: no telemetry cells (expected paperbench -telemetry JSONL)", path)
+	}
+	return f, digs, nil
+}

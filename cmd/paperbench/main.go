@@ -17,6 +17,9 @@
 //	paperbench -telemetry       # also write <fig>_telemetry.jsonl per figure
 //	paperbench -trace-cell fig3:5:DARTS+LUF  # deep-dive one cell
 //	paperbench -http :6060      # expvar + pprof debug endpoint
+//	paperbench -baseline-write  # record BENCH_<figure>.json reference cells
+//	paperbench -baseline-check  # diff the run against BENCH_*.json; exit 1 on regression
+//	paperbench compare old.jsonl new.jsonl  # diff two -telemetry captures
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"memsched/internal/baseline"
 	"memsched/internal/expr"
 	"memsched/internal/metrics"
 	"memsched/internal/sched"
@@ -62,8 +66,32 @@ func run() int {
 		telemetry  = flag.Bool("telemetry", false, "write one JSON line per cell to <out>/<figure>_telemetry.jsonl")
 		traceCell  = flag.String("trace-cell", "", "deep-dive one cell (figure:point:strategy): Chrome trace, decision log, telemetry")
 		httpAddr   = flag.String("http", "", "serve expvar counters and pprof on this address (e.g. :6060)")
+
+		baselineWrite  = flag.Bool("baseline-write", false, "record the run's cells into BENCH_<figure>.json (merging into existing files)")
+		baselineCheck  = flag.Bool("baseline-check", false, "diff the run against BENCH_<figure>.json; exit non-zero on regression")
+		baselineDir    = flag.String("baseline-dir", ".", "directory holding the BENCH_*.json baselines")
+		baselineTol    = flag.Float64("baseline-tol", -1, "uniform relative tolerance for -baseline-check and compare (0 = exact; negative = per-metric defaults)")
+		baselineReport = flag.String("baseline-report", "", "also write the combined baseline diff report to this file")
 	)
 	flag.Parse()
+
+	// The memsched_* gauge names are published on the global expvar
+	// registry exactly once, here: library embedders and tests use
+	// private metrics.Gauges instances instead (expvar panics on
+	// duplicate names).
+	expr.Gauges.Publish("memsched")
+
+	tol := baseline.DefaultTolerances()
+	if *baselineTol >= 0 {
+		tol = baseline.UniformTolerance(*baselineTol)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		if args[0] != "compare" || len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: paperbench compare <old_telemetry.jsonl> <new_telemetry.jsonl>")
+			return 2
+		}
+		return runCompare(args[1], args[2], tol, os.Stdout)
+	}
 
 	if *memprofile != "" {
 		path := *memprofile
@@ -134,9 +162,14 @@ func run() int {
 	if figWorkers > len(figures) {
 		figWorkers = len(figures)
 	}
+	var bl *baselineOps
+	if *baselineWrite || *baselineCheck {
+		bl = &baselineOps{write: *baselineWrite, check: *baselineCheck, dir: *baselineDir, tol: tol}
+	}
 	type figResult struct {
-		out bytes.Buffer
-		err error
+		out       bytes.Buffer
+		err       error
+		regressed bool
 	}
 	results := make([]figResult, len(figures))
 	sem := make(chan struct{}, figWorkers)
@@ -147,26 +180,37 @@ func run() int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i].err = runFigure(f, &results[i].out, *outDir, expr.RunOptions{
+			results[i].regressed, results[i].err = runFigure(f, &results[i].out, *outDir, expr.RunOptions{
 				Quick:    *quick,
 				MaxN:     *maxN,
 				Replicas: *replicas,
 				Workers:  *workers,
-			}, *verbose, *plot, *telemetry)
+			}, *verbose, *plot, *telemetry, bl)
 		}(i, f)
 	}
 	wg.Wait()
 
-	failed := false
+	failed, regressed := false, false
 	for i, f := range figures {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", f.ID, results[i].err)
 			failed = true
 			continue
 		}
+		regressed = regressed || results[i].regressed
 		os.Stdout.Write(results[i].out.Bytes())
 	}
+	if bl.active() && *baselineReport != "" {
+		if err := bl.writeReport(*baselineReport); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
 	if failed {
+		return 1
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "baseline check failed: regressions beyond tolerance (see report above)")
 		return 1
 	}
 	return 0
@@ -235,9 +279,10 @@ func runTraceCell(spec, outDir string) error {
 	}
 	defer decFile.Close()
 	declog := &sched.DecisionLog{W: decFile}
+	digRec := new(sched.DigestRecorder)
 
 	inst := f.Points[pi].Build()
-	res, err := expr.RunCell(inst, strat.WithRecorder(declog), f.Platform, f.NsPerOp, f.Seed, nil)
+	res, err := expr.RunCell(inst, strat.WithRecorder(sched.MultiRecorder{declog, digRec}), f.Platform, f.NsPerOp, f.Seed, nil)
 	if err != nil {
 		return err
 	}
@@ -257,7 +302,7 @@ func runTraceCell(spec, outDir string) error {
 
 	// The telemetry JSON line (same schema as -telemetry) goes to stdout
 	// so it can be piped; the human-oriented report goes to stderr.
-	cell := expr.CellTelemetry{Row: metrics.FromResult(f.ID, res), Telemetry: res.Telemetry}
+	cell := expr.CellTelemetry{Row: metrics.FromResult(f.ID, res), Telemetry: res.Telemetry, Decisions: digRec.Digest()}
 	if err := json.NewEncoder(os.Stdout).Encode(cell); err != nil {
 		return err
 	}
@@ -284,8 +329,10 @@ func sanitize(s string) string {
 }
 
 // runFigure executes one experiment, rendering its tables into out and
-// writing its CSV (and optionally its telemetry JSON lines) under outDir.
-func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot, telemetry bool) error {
+// writing its CSV (and optionally its telemetry JSON lines) under
+// outDir. With baseline ops active it also records or checks the
+// figure's BENCH file, reporting whether the check regressed.
+func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot, telemetry bool, bl *baselineOps) (regressed bool, err error) {
 	if verbose {
 		opt.Progress = os.Stderr
 	}
@@ -293,14 +340,18 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	if telemetry {
 		tf, err := os.Create(filepath.Join(outDir, slug+"_telemetry.jsonl"))
 		if err != nil {
-			return err
+			return false, err
 		}
 		defer tf.Close()
 		opt.TelemetryOut = tf
 	}
+	var cells []expr.CellTelemetry
+	if bl.active() {
+		opt.OnCell = func(c expr.CellTelemetry) { cells = append(cells, c) }
+	}
 	rows, err := f.Run(opt)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Fprintf(out, "== %s: %s ==\n", f.ID, f.Title)
 	fmt.Fprintf(out, "   reference: %s\n\n", f.RefLines())
@@ -314,17 +365,23 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 
 	csvFile, err := os.Create(filepath.Join(outDir, slug+".csv"))
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := metrics.WriteCSV(csvFile, rows); err != nil {
 		csvFile.Close()
-		return err
+		return false, err
 	}
 	if err := csvFile.Close(); err != nil {
-		return err
+		return false, err
+	}
+	if bl.active() {
+		regressed, err = bl.apply(f.ID, cells, out)
+		if err != nil {
+			return false, err
+		}
 	}
 	fmt.Fprintln(out)
-	return nil
+	return regressed, nil
 }
 
 // runAblations executes the DESIGN.md §6 studies and prints one table

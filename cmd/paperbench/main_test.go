@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memsched/internal/baseline"
+	"memsched/internal/expr"
+	"memsched/internal/sched"
+)
+
+// smallFig is a two-cell fig3 subset with a decision-reporting strategy,
+// cheap enough to run several times per test.
+func smallFig() *expr.Figure {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:1]
+	f.Strategies = []sched.Strategy{
+		sched.DMDARStrategy(),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+	}
+	return f
+}
+
+func runCells(t *testing.T, telemetryOut *bytes.Buffer) []expr.CellTelemetry {
+	t.Helper()
+	var cells []expr.CellTelemetry
+	opt := expr.RunOptions{OnCell: func(c expr.CellTelemetry) { cells = append(cells, c) }}
+	if telemetryOut != nil {
+		opt.TelemetryOut = telemetryOut
+	}
+	if _, err := smallFig().Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// TestBaselineWriteCheckCycle drives the -baseline-write/-baseline-check
+// pair: write, check clean (exit path: no regressions), perturb the
+// stored baseline, check with tolerance 0 (regression found).
+func TestBaselineWriteCheckCycle(t *testing.T) {
+	dir := t.TempDir()
+	cells := runCells(t, nil)
+
+	w := &baselineOps{write: true, dir: dir, tol: baseline.DefaultTolerances()}
+	var out bytes.Buffer
+	if _, err := w.apply("fig3+4", cells, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := baseline.Path(dir, "fig3+4")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &baselineOps{check: true, dir: dir, tol: baseline.UniformTolerance(0)}
+	out.Reset()
+	regressed, err := c.apply("fig3+4", cells, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unmodified run regressed:\n%s", out.String())
+	}
+
+	// Inject a regression: the baseline claims more throughput than the
+	// run achieves.
+	stored, err := baseline.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "fig3+4:" + cells[1].Workload + ":DARTS+LUF"
+	cellv, ok := stored.Cells[key]
+	if !ok {
+		t.Fatalf("key %q not in baseline (have %v)", key, stored.Keys())
+	}
+	cellv.GFlops *= 1.5
+	stored.Cells[key] = cellv
+	if err := stored.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	regressed, err = c.apply("fig3+4", cells, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("injected regression not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "gflops") {
+		t.Fatalf("report does not name the regression:\n%s", out.String())
+	}
+
+	// The combined report accumulates for -baseline-report.
+	rp := filepath.Join(dir, "report.txt")
+	if err := c.writeReport(rp); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(rp); !bytes.Contains(b, []byte("REGRESSION")) {
+		t.Fatalf("report file:\n%s", b)
+	}
+}
+
+// TestBaselineWriteBitIdentical pins the acceptance criterion: two
+// -baseline-write runs of the same code produce identical files, and a
+// rewrite over an existing file (the merge path) leaves it unchanged.
+func TestBaselineWriteBitIdentical(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		w := &baselineOps{write: true, dir: dir, tol: baseline.DefaultTolerances()}
+		var out bytes.Buffer
+		if _, err := w.apply("fig3+4", runCells(t, nil), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := os.ReadFile(baseline.Path(dirA, "fig3+4"))
+	b, _ := os.ReadFile(baseline.Path(dirB, "fig3+4"))
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("independent -baseline-write runs differ")
+	}
+	// Merge over the existing file: still identical.
+	w := &baselineOps{write: true, dir: dirA, tol: baseline.DefaultTolerances()}
+	var out bytes.Buffer
+	if _, err := w.apply("fig3+4", runCells(t, nil), &out); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := os.ReadFile(baseline.Path(dirA, "fig3+4"))
+	if !bytes.Equal(a, a2) {
+		t.Fatal("rewrite over existing baseline changed the file")
+	}
+}
+
+// TestCompareEndToEnd exercises `paperbench compare`: identical captures
+// exit 0; a perturbed capture exits 1, names the worst-regressed cell
+// and cites decision-log evidence from both runs.
+func TestCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var jsonl bytes.Buffer
+	runCells(t, &jsonl)
+	oldPath := filepath.Join(dir, "old.jsonl")
+	if err := os.WriteFile(oldPath, jsonl.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := runCompare(oldPath, oldPath, baseline.DefaultTolerances(), &out); code != 0 {
+		t.Fatalf("self-compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("self-compare output:\n%s", out.String())
+	}
+
+	// Perturb the DARTS+LUF cell of a copied capture: lower throughput,
+	// reload churn, and a decision digest showing heavier evictions.
+	newPath := filepath.Join(dir, "new.jsonl")
+	writePerturbedCapture(t, jsonl.Bytes(), newPath)
+
+	out.Reset()
+	code := runCompare(oldPath, newPath, baseline.DefaultTolerances(), &out)
+	if code != 1 {
+		t.Fatalf("regressed compare exited %d:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "worst-regressed cell: fig3+4:") || !strings.Contains(s, "DARTS+LUF") {
+		t.Fatalf("worst cell not named:\n%s", s)
+	}
+	for _, want := range []string{"old run", "new run", "why (joined scheduler decision logs):"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in explanation:\n%s", want, s)
+		}
+	}
+
+	if code := runCompare(filepath.Join(dir, "absent.jsonl"), newPath, baseline.DefaultTolerances(), &out); code != 2 {
+		t.Fatalf("missing file exited %d", code)
+	}
+}
+
+// writePerturbedCapture copies a telemetry JSONL capture, regressing its
+// DARTS+LUF cell (throughput down, reload churn up, digest showing the
+// eviction storm behind it).
+func writePerturbedCapture(t *testing.T, capture []byte, path string) {
+	t.Helper()
+	var lines []string
+	dec := json.NewDecoder(bytes.NewReader(capture))
+	for dec.More() {
+		var c expr.CellTelemetry
+		if err := dec.Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Scheduler == "DARTS+LUF" {
+			c.GFlops *= 0.8
+			c.ReloadedMB += 38
+			if c.Decisions == nil {
+				c.Decisions = &sched.DecisionDigest{}
+			}
+			c.Decisions.Evictions += 3
+			c.Decisions.PrematureEvictions += 3
+			c.Decisions.TopEvicted = append([]sched.EvictionStat{{Data: 17, Count: 3, MaxFutureUses: 2}}, c.Decisions.TopEvicted...)
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package baseline is the cross-run regression layer: it persists the
+// per-cell reference metrics of every figure (the committed
+// BENCH_<figure>.json files) and diffs fresh runs against them. PR 2
+// made a single run observable; this package makes the *trajectory*
+// observable — a drop in GFlop/s, a burst of reloads or a swollen idle
+// breakdown between two commits becomes a ranked report and a non-zero
+// exit instead of a diff someone has to eyeball in results/*.csv.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"memsched/internal/metrics"
+	"memsched/internal/sim"
+)
+
+// SchemaVersion is the format of the BENCH_*.json files this build
+// writes. Load accepts files up to and including this version; newer
+// files are rejected with an upgrade hint rather than misread.
+const SchemaVersion = 1
+
+// Cell is one baseline entry: the figure row joined with the telemetry
+// scalars that matter for regressions (idle breakdown, bus utilization,
+// reload churn). Durations are milliseconds, matching the Row columns.
+type Cell struct {
+	metrics.Row
+	BusUtilization float64 `json:"bus_utilization"`
+	StarvedMS      float64 `json:"starved_ms"`
+	BlockedBusMS   float64 `json:"blocked_bus_ms"`
+	BlockedPeerMS  float64 `json:"blocked_peer_ms"`
+	DoneMS         float64 `json:"done_ms"`
+	Reloads        int     `json:"reloads"`
+}
+
+// FromRow builds a Cell from a figure row and the engine telemetry of
+// its first replica; tel may be nil (the telemetry fields stay zero).
+func FromRow(row metrics.Row, tel *sim.Telemetry) Cell {
+	c := Cell{Row: row}
+	if tel == nil {
+		return c
+	}
+	c.BusUtilization = tel.BusUtilization
+	c.Reloads = tel.Reloads
+	for _, g := range tel.GPU {
+		c.StarvedMS += ms(g.StarvedNoTask)
+		c.BlockedBusMS += ms(g.BlockedOnBus)
+		c.BlockedPeerMS += ms(g.BlockedOnPeer)
+		c.DoneMS += ms(g.Done)
+	}
+	return c
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// Key identifies the cell within and across baseline files:
+// figure:workload:strategy. The workload name (not the sweep position)
+// is the point component, so a cell keeps its identity when the sweep
+// gains or loses points around it.
+func (c Cell) Key() string {
+	return c.Figure + ":" + c.Workload + ":" + c.Scheduler
+}
+
+// File is one BENCH_<figure>.json: a schema-versioned set of cells. The
+// simulator is deterministic, so the stored values are exact — two
+// `-baseline-write` runs of the same code produce bit-identical files
+// (nothing time- or machine-dependent is stored).
+type File struct {
+	Schema int             `json:"schema"`
+	Figure string          `json:"figure"`
+	Cells  map[string]Cell `json:"cells"`
+}
+
+// New returns an empty baseline file for the figure.
+func New(figure string) *File {
+	return &File{Schema: SchemaVersion, Figure: figure, Cells: map[string]Cell{}}
+}
+
+// Record stores the cell under its key, replacing any previous value.
+func (f *File) Record(c Cell) { f.Cells[c.Key()] = c }
+
+// Keys returns the cell keys in sorted order.
+func (f *File) Keys() []string {
+	keys := make([]string, 0, len(f.Cells))
+	for k := range f.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Path returns the canonical baseline filename for a figure id under
+// dir: BENCH_<figure>.json with the id slugged like the CSV names
+// ("fig3+4" -> BENCH_fig3_4.json).
+func Path(dir, figureID string) string {
+	return filepath.Join(dir, "BENCH_"+strings.ReplaceAll(figureID, "+", "_")+".json")
+}
+
+// Load reads and validates a baseline file.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if f.Schema < 1 || f.Schema > SchemaVersion {
+		return nil, fmt.Errorf("baseline %s: schema %d not supported (this build reads up to %d; refresh with -baseline-write or upgrade)",
+			path, f.Schema, SchemaVersion)
+	}
+	if f.Cells == nil {
+		f.Cells = map[string]Cell{}
+	}
+	return &f, nil
+}
+
+// Write serializes the file deterministically (indented JSON, map keys
+// sorted by encoding/json, trailing newline) so committed baselines
+// reproduce bit-identically from a clean checkout.
+func (f *File) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"memsched/internal/metrics"
+	"memsched/internal/sim"
+)
+
+func cell(fig, wl, strat string, gflops float64) Cell {
+	return Cell{Row: metrics.Row{
+		Figure: fig, Workload: wl, Scheduler: strat,
+		WorkingSetMB: 100, GPUs: 1, GFlops: gflops,
+		TransferredMB: 500, Loads: 10, Evictions: 2,
+		MakespanMS: 12.5, IdleMS: 1.25, ReloadedMB: 3,
+	}}
+}
+
+func TestFromRowFoldsTelemetry(t *testing.T) {
+	tel := &sim.Telemetry{
+		BusUtilization: 0.7,
+		Reloads:        5,
+		GPU: []sim.GPUTelemetry{
+			{StarvedNoTask: time.Millisecond, BlockedOnBus: 2 * time.Millisecond},
+			{BlockedOnPeer: 3 * time.Millisecond, Done: 4 * time.Millisecond},
+		},
+	}
+	c := FromRow(metrics.Row{Figure: "f", Workload: "w", Scheduler: "s"}, tel)
+	if c.BusUtilization != 0.7 || c.Reloads != 5 {
+		t.Fatalf("scalars: %+v", c)
+	}
+	if c.StarvedMS != 1 || c.BlockedBusMS != 2 || c.BlockedPeerMS != 3 || c.DoneMS != 4 {
+		t.Fatalf("idle breakdown: %+v", c)
+	}
+	if got := FromRow(metrics.Row{}, nil); got.BusUtilization != 0 || got.Reloads != 0 {
+		t.Fatalf("nil telemetry should leave zeros: %+v", got)
+	}
+}
+
+func TestKeyAndPath(t *testing.T) {
+	c := cell("fig3+4", "matmul2d(n=5)", "DARTS+LUF", 100)
+	if got := c.Key(); got != "fig3+4:matmul2d(n=5):DARTS+LUF" {
+		t.Fatalf("key = %q", got)
+	}
+	if got := Path("dir", "fig3+4"); got != filepath.Join("dir", "BENCH_fig3_4.json") {
+		t.Fatalf("path = %q", got)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	f := New("fig3+4")
+	f.Record(cell("fig3+4", "w1", "EAGER", 5000))
+	f.Record(cell("fig3+4", "w1", "DARTS+LUF", 13000))
+	path := filepath.Join(t.TempDir(), "BENCH_fig3_4.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.Figure != "fig3+4" || len(got.Cells) != 2 {
+		t.Fatalf("loaded = %+v", got)
+	}
+	if got.Cells["fig3+4:w1:EAGER"].GFlops != 5000 {
+		t.Fatalf("cell values lost: %+v", got.Cells)
+	}
+	if keys := got.Keys(); keys[0] != "fig3+4:w1:DARTS+LUF" || keys[1] != "fig3+4:w1:EAGER" {
+		t.Fatalf("keys unsorted: %v", keys)
+	}
+}
+
+// TestWriteDeterministic pins the bit-identical-baselines guarantee:
+// the same cells recorded in any order serialize to the same bytes.
+func TestWriteDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := New("fig"), New("fig")
+	c1, c2, c3 := cell("fig", "w1", "A", 1), cell("fig", "w2", "B", 2), cell("fig", "w3", "C", 3)
+	for _, c := range []Cell{c1, c2, c3} {
+		a.Record(c)
+	}
+	for _, c := range []Cell{c3, c1, c2} {
+		b.Record(c)
+	}
+	pa, pb := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := a.Write(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(pb); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(pa)
+	bb, _ := os.ReadFile(pb)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("files differ:\n%s\nvs\n%s", ba, bb)
+	}
+	if ba[len(ba)-1] != '\n' {
+		t.Fatal("missing trailing newline")
+	}
+}
+
+func TestLoadRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"newer.json":   `{"schema": 99, "figure": "f", "cells": {}}`,
+		"zero.json":    `{"figure": "f", "cells": {}}`,
+		"garbage.json": `not json`,
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(content), 0o644)
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file should surface os.IsNotExist, got %v", err)
+	}
+}

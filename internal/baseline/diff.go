@@ -1,0 +1,339 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Class classifies one metric delta or one whole cell.
+type Class uint8
+
+const (
+	// Neutral: within tolerance, informational, or unchanged.
+	Neutral Class = iota
+	// Improvement: changed beyond tolerance in the good direction.
+	Improvement
+	// Regression: changed beyond tolerance in the bad direction.
+	Regression
+	// NewCell: present in the new run but not the baseline.
+	NewCell
+	// MissingCell: present in the baseline but not the new run. A
+	// partial run (-quick, -maxn, -fig) legitimately misses cells, so
+	// this never fails a check on its own.
+	MissingCell
+)
+
+// String returns the mnemonic of the class.
+func (c Class) String() string {
+	switch c {
+	case Neutral:
+		return "neutral"
+	case Improvement:
+		return "improvement"
+	case Regression:
+		return "regression"
+	case NewCell:
+		return "new-cell"
+	case MissingCell:
+		return "missing-cell"
+	}
+	return "?"
+}
+
+// metricDef describes one compared metric: how to read it, which
+// direction is good, and its default tolerances. dir +1 means higher is
+// better, -1 lower is better, 0 informational (tracked in the report but
+// never classified as regression or improvement).
+type metricDef struct {
+	name string
+	get  func(Cell) float64
+	dir  int
+	// relTol is the default relative tolerance (fraction of the baseline
+	// value); absFloor suppresses deltas smaller than this absolute
+	// amount, so e.g. a 0.001 ms idle jitter on a near-zero baseline
+	// cannot fail a check.
+	relTol   float64
+	absFloor float64
+}
+
+// metricDefs lists the compared metrics in report order. The simulator
+// is deterministic, so an unchanged build reproduces every value exactly
+// and the tolerances only bound how much *intentional* drift a future
+// change may introduce silently: 1% on the continuous throughput and
+// traffic metrics, exact on the integer movement counters, and a little
+// slack on the scheduling-cost and idle columns (their defaults are
+// documented in EXPERIMENTS.md "Regression tracking").
+var metricDefs = []metricDef{
+	{"gflops", func(c Cell) float64 { return c.GFlops }, +1, 0.01, 0.5},
+	{"transferred_mb", func(c Cell) float64 { return c.TransferredMB }, -1, 0.01, 0.5},
+	{"loads", func(c Cell) float64 { return float64(c.Loads) }, -1, 0, 0.5},
+	{"evictions", func(c Cell) float64 { return float64(c.Evictions) }, -1, 0, 0.5},
+	{"makespan_ms", func(c Cell) float64 { return c.MakespanMS }, -1, 0.01, 0.01},
+	{"static_ms", func(c Cell) float64 { return c.StaticMS }, -1, 0.02, 0.05},
+	{"dynamic_ms", func(c Cell) float64 { return c.DynamicMS }, -1, 0.02, 0.05},
+	{"idle_ms", func(c Cell) float64 { return c.IdleMS }, -1, 0.02, 0.05},
+	{"reloaded_mb", func(c Cell) float64 { return c.ReloadedMB }, -1, 0.01, 0.5},
+	{"reloads", func(c Cell) float64 { return float64(c.Reloads) }, -1, 0, 0.5},
+	{"bus_utilization", func(c Cell) float64 { return c.BusUtilization }, 0, 0, 0},
+	{"starved_ms", func(c Cell) float64 { return c.StarvedMS }, 0, 0, 0},
+	{"blocked_bus_ms", func(c Cell) float64 { return c.BlockedBusMS }, 0, 0, 0},
+	{"blocked_peer_ms", func(c Cell) float64 { return c.BlockedPeerMS }, 0, 0, 0},
+	{"done_ms", func(c Cell) float64 { return c.DoneMS }, 0, 0, 0},
+}
+
+// Tolerances overrides the default per-metric tolerances.
+type Tolerances struct {
+	// Rel maps metric name to a relative tolerance (fraction), replacing
+	// that metric's default.
+	Rel map[string]float64
+	// Uniform, when >= 0, applies to every metric and overrides both the
+	// defaults and Rel; Uniform 0 demands exact reproduction (the
+	// injected-regression mode of -baseline-check). Negative keeps the
+	// per-metric defaults.
+	Uniform float64
+}
+
+// DefaultTolerances keeps every metric at its documented default.
+func DefaultTolerances() Tolerances { return Tolerances{Uniform: -1} }
+
+// UniformTolerance applies one relative tolerance to every metric.
+func UniformTolerance(rel float64) Tolerances { return Tolerances{Uniform: rel} }
+
+func (t Tolerances) rel(def metricDef) float64 {
+	if t.Uniform >= 0 {
+		return t.Uniform
+	}
+	if v, ok := t.Rel[def.name]; ok {
+		return v
+	}
+	return def.relTol
+}
+
+// MetricDelta is the change of one metric of one cell.
+type MetricDelta struct {
+	Metric string
+	// Old and New are the baseline and fresh values.
+	Old, New float64
+	// Abs is New - Old; Rel is Abs / |Old| (±Inf when the baseline is
+	// zero and the value changed).
+	Abs, Rel float64
+	Class    Class
+}
+
+func (d MetricDelta) String() string {
+	rel := ""
+	switch {
+	case math.IsNaN(d.Rel):
+		rel = " (NaN)"
+	case math.IsInf(d.Rel, 0):
+		rel = " (was 0)"
+	case d.Rel != 0:
+		rel = fmt.Sprintf(" (%+.1f%%)", 100*d.Rel)
+	}
+	return fmt.Sprintf("%s %.6g -> %.6g%s", d.Metric, d.Old, d.New, rel)
+}
+
+// diffMetric compares one metric value pair under the given tolerance.
+func diffMetric(def metricDef, old, new float64, tol float64) MetricDelta {
+	d := MetricDelta{Metric: def.name, Old: old, New: new}
+	// Non-finite telemetry is never silently equal: if only one side is
+	// broken (or both are broken differently) the cell regressed — a
+	// NaN/Inf landing in a capture is itself a bug worth failing on.
+	oldBad, newBad := !isFinite(old), !isFinite(new)
+	if oldBad || newBad {
+		d.Abs, d.Rel = math.NaN(), math.NaN()
+		if oldBad && newBad && (old == new || (math.IsNaN(old) && math.IsNaN(new))) {
+			d.Class = Neutral
+		} else {
+			d.Class = Regression
+		}
+		return d
+	}
+	d.Abs = new - old
+	switch {
+	case d.Abs == 0:
+		// exact reproduction
+	case old == 0:
+		d.Rel = math.Inf(sign(d.Abs))
+	default:
+		d.Rel = d.Abs / math.Abs(old)
+	}
+	if def.dir == 0 || d.Abs == 0 || math.Abs(d.Abs) <= def.absFloor {
+		return d
+	}
+	if math.Abs(d.Rel) <= tol { // tolerance exactly met is still neutral
+		return d
+	}
+	if float64(def.dir)*d.Abs < 0 {
+		d.Class = Regression
+	} else {
+		d.Class = Improvement
+	}
+	return d
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// CellDiff is the comparison of one cell across the two runs.
+type CellDiff struct {
+	Key   string
+	Class Class
+	// Deltas holds every compared metric in metricDefs order (empty for
+	// new and missing cells).
+	Deltas []MetricDelta
+	// Worst points at the regressed delta with the largest |Rel|, nil
+	// when the cell did not regress.
+	Worst *MetricDelta
+	// Severity is |Worst.Rel| (capped for infinite ratios), the ranking
+	// key of the report.
+	Severity float64
+}
+
+// infSeverity ranks a from-zero regression above any finite ratio while
+// keeping Severity arithmetic-friendly.
+const infSeverity = math.MaxFloat64
+
+// Report is the ranked outcome of one Diff.
+type Report struct {
+	// Cells is every compared cell, regressions first (worst severity
+	// first), then improvements, new, missing, and neutral cells.
+	Cells []CellDiff
+	// Per-class counts.
+	Regressions, Improvements, Neutrals, New, Missing int
+}
+
+// Diff compares a fresh run (new) against the baseline (old) cell by
+// cell. Cells only in the baseline are MissingCell (informational: the
+// run may be a subset sweep); cells only in the run are NewCell.
+func Diff(old, new *File, tol Tolerances) *Report {
+	keys := map[string]bool{}
+	for k := range old.Cells {
+		keys[k] = true
+	}
+	for k := range new.Cells {
+		keys[k] = true
+	}
+	rep := &Report{}
+	for k := range keys {
+		oc, inOld := old.Cells[k]
+		nc, inNew := new.Cells[k]
+		cd := CellDiff{Key: k}
+		switch {
+		case !inOld:
+			cd.Class = NewCell
+		case !inNew:
+			cd.Class = MissingCell
+		default:
+			for _, def := range metricDefs {
+				md := diffMetric(def, def.get(oc), def.get(nc), tol.rel(def))
+				cd.Deltas = append(cd.Deltas, md)
+			}
+			for i := range cd.Deltas {
+				md := &cd.Deltas[i]
+				switch md.Class {
+				case Regression:
+					cd.Class = Regression
+					sev := math.Abs(md.Rel)
+					if math.IsInf(sev, 0) || math.IsNaN(sev) {
+						sev = infSeverity
+					}
+					if cd.Worst == nil || sev > cd.Severity {
+						cd.Worst, cd.Severity = md, sev
+					}
+				case Improvement:
+					if cd.Class != Regression {
+						cd.Class = Improvement
+					}
+				}
+			}
+		}
+		switch cd.Class {
+		case Regression:
+			rep.Regressions++
+		case Improvement:
+			rep.Improvements++
+		case NewCell:
+			rep.New++
+		case MissingCell:
+			rep.Missing++
+		default:
+			rep.Neutrals++
+		}
+		rep.Cells = append(rep.Cells, cd)
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool {
+		a, b := &rep.Cells[i], &rep.Cells[j]
+		if ra, rb := classRank(a.Class), classRank(b.Class); ra != rb {
+			return ra < rb
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Key < b.Key
+	})
+	return rep
+}
+
+// classRank orders report sections: regressions lead, neutral trails.
+func classRank(c Class) int {
+	switch c {
+	case Regression:
+		return 0
+	case Improvement:
+		return 1
+	case NewCell:
+		return 2
+	case MissingCell:
+		return 3
+	}
+	return 4
+}
+
+// HasRegressions reports whether any cell regressed.
+func (r *Report) HasRegressions() bool { return r.Regressions > 0 }
+
+// WorstRegression returns the top-ranked regressed cell, nil if none.
+func (r *Report) WorstRegression() *CellDiff {
+	if r.Regressions == 0 {
+		return nil
+	}
+	return &r.Cells[0]
+}
+
+// String renders the ranked human-readable report: a summary line, then
+// one line per regressed cell (all its out-of-tolerance deltas), then
+// one line per improved cell, then the new/missing counts. Neutral cells
+// are only counted.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline diff: %d regressions, %d improvements, %d neutral, %d new cells, %d missing cells\n",
+		r.Regressions, r.Improvements, r.Neutrals, r.New, r.Missing)
+	for _, cd := range r.Cells {
+		switch cd.Class {
+		case Regression, Improvement:
+			var parts []string
+			for _, md := range cd.Deltas {
+				if md.Class == Regression || md.Class == Improvement {
+					parts = append(parts, md.String())
+				}
+			}
+			label := "REGRESSION "
+			if cd.Class == Improvement {
+				label = "improvement"
+			}
+			fmt.Fprintf(&b, "%s  %-45s  %s\n", label, cd.Key, strings.Join(parts, "; "))
+		case NewCell:
+			fmt.Fprintf(&b, "new cell     %s (no baseline; refresh with -baseline-write)\n", cd.Key)
+		}
+	}
+	return b.String()
+}

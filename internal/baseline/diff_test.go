@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func pair(oldC, newC []Cell) (*File, *File) {
+	o, n := New("fig"), New("fig")
+	for _, c := range oldC {
+		o.Record(c)
+	}
+	for _, c := range newC {
+		n.Record(c)
+	}
+	return o, n
+}
+
+func delta(t *testing.T, cd CellDiff, metric string) MetricDelta {
+	t.Helper()
+	for _, d := range cd.Deltas {
+		if d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", metric, cd)
+	return MetricDelta{}
+}
+
+func TestDiffExactReproductionIsNeutral(t *testing.T) {
+	c := cell("fig", "w1", "A", 1000)
+	o, n := pair([]Cell{c}, []Cell{c})
+	rep := Diff(o, n, UniformTolerance(0))
+	if rep.HasRegressions() || rep.Neutrals != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WorstRegression() != nil {
+		t.Fatal("worst regression on identical files")
+	}
+}
+
+func TestDiffClassifiesDirections(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	nc := oc
+	nc.GFlops = 800        // lower throughput: bad
+	nc.TransferredMB = 400 // less traffic: good
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	rep := Diff(o, n, DefaultTolerances())
+	cd := rep.Cells[0]
+	if cd.Class != Regression {
+		t.Fatalf("class = %v", cd.Class)
+	}
+	if d := delta(t, cd, "gflops"); d.Class != Regression || math.Abs(d.Rel+0.2) > 1e-9 {
+		t.Fatalf("gflops delta = %+v", d)
+	}
+	if d := delta(t, cd, "transferred_mb"); d.Class != Improvement {
+		t.Fatalf("transfers delta = %+v", d)
+	}
+	if cd.Worst == nil || cd.Worst.Metric != "gflops" {
+		t.Fatalf("worst = %+v", cd.Worst)
+	}
+}
+
+func TestDiffNewAndMissingCells(t *testing.T) {
+	shared := cell("fig", "w1", "A", 1000)
+	removed := cell("fig", "w2", "A", 1000)
+	added := cell("fig", "w3", "A", 1000)
+	o, n := pair([]Cell{shared, removed}, []Cell{shared, added})
+	rep := Diff(o, n, DefaultTolerances())
+	if rep.New != 1 || rep.Missing != 1 || rep.Neutrals != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Subset runs legitimately miss cells: neither class is a failure.
+	if rep.HasRegressions() {
+		t.Fatal("new/missing cells must not regress")
+	}
+	var classes []string
+	for _, cd := range rep.Cells {
+		classes = append(classes, cd.Class.String())
+	}
+	if strings.Join(classes, ",") != "new-cell,missing-cell,neutral" {
+		t.Fatalf("ranking = %v", classes)
+	}
+}
+
+func TestDiffZeroBaselineRelativeDelta(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	oc.ReloadedMB = 0
+	nc := oc
+	nc.ReloadedMB = 38
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	rep := Diff(o, n, DefaultTolerances())
+	d := delta(t, rep.Cells[0], "reloaded_mb")
+	if d.Class != Regression || !math.IsInf(d.Rel, 1) {
+		t.Fatalf("delta = %+v", d)
+	}
+	// Infinite ratio still ranks: it must be the worst metric.
+	if rep.Cells[0].Worst.Metric != "reloaded_mb" || rep.Cells[0].Severity != infSeverity {
+		t.Fatalf("worst = %+v severity %g", rep.Cells[0].Worst, rep.Cells[0].Severity)
+	}
+	if !strings.Contains(d.String(), "was 0") {
+		t.Fatalf("rendering = %q", d.String())
+	}
+}
+
+func TestDiffToleranceExactlyMet(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	nc := oc
+	nc.GFlops = 990 // exactly -1%
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	rep := Diff(o, n, UniformTolerance(0.01))
+	if d := delta(t, rep.Cells[0], "gflops"); d.Class != Neutral {
+		t.Fatalf("tolerance exactly met should be neutral: %+v", d)
+	}
+	// A hair beyond the tolerance regresses.
+	nc.GFlops = 989
+	o, n = pair([]Cell{oc}, []Cell{nc})
+	rep = Diff(o, n, UniformTolerance(0.01))
+	if d := delta(t, rep.Cells[0], "gflops"); d.Class != Regression {
+		t.Fatalf("beyond tolerance should regress: %+v", d)
+	}
+}
+
+func TestDiffAbsFloorSuppressesJitter(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	oc.IdleMS = 0.001
+	nc := oc
+	nc.IdleMS = 0.04 // 40x relative, but under the 0.05 ms floor
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	if rep := Diff(o, n, DefaultTolerances()); rep.HasRegressions() {
+		t.Fatalf("sub-floor jitter regressed: %s", rep)
+	}
+}
+
+func TestDiffNaNAndInfTelemetry(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	nc := oc
+	nc.IdleMS = math.NaN()
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	rep := Diff(o, n, DefaultTolerances())
+	if d := delta(t, rep.Cells[0], "idle_ms"); d.Class != Regression {
+		t.Fatalf("NaN arriving should regress: %+v", d)
+	}
+	if !strings.Contains(delta(t, rep.Cells[0], "idle_ms").String(), "NaN") {
+		t.Fatal("NaN not rendered")
+	}
+
+	// Both sides identically broken: no new information, neutral.
+	oc.IdleMS = math.NaN()
+	o, n = pair([]Cell{oc}, []Cell{nc})
+	if rep := Diff(o, n, DefaultTolerances()); rep.HasRegressions() {
+		t.Fatalf("NaN on both sides regressed: %s", rep)
+	}
+
+	// Inf appearing is as bad as NaN.
+	oc.IdleMS = 1
+	nc.IdleMS = math.Inf(1)
+	o, n = pair([]Cell{oc}, []Cell{nc})
+	if rep := Diff(o, n, DefaultTolerances()); !rep.HasRegressions() {
+		t.Fatal("Inf arriving should regress")
+	}
+}
+
+func TestDiffIntegerCountersAreExact(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	nc := oc
+	nc.Loads++
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	if rep := Diff(o, n, DefaultTolerances()); !rep.HasRegressions() {
+		t.Fatal("one extra load should regress under default tolerances")
+	}
+}
+
+func TestDiffInformationalMetricsNeverClassify(t *testing.T) {
+	oc := cell("fig", "w1", "A", 1000)
+	oc.BusUtilization, oc.StarvedMS = 0.5, 10
+	nc := oc
+	nc.BusUtilization, nc.StarvedMS = 0.9, 50
+	o, n := pair([]Cell{oc}, []Cell{nc})
+	rep := Diff(o, n, UniformTolerance(0))
+	if rep.HasRegressions() {
+		t.Fatalf("informational drift regressed: %s", rep)
+	}
+	if d := delta(t, rep.Cells[0], "bus_utilization"); d.Abs == 0 {
+		t.Fatal("informational metric not tracked")
+	}
+}
+
+func TestReportRankingAndString(t *testing.T) {
+	mild, bad := cell("fig", "w1", "A", 1000), cell("fig", "w2", "A", 1000)
+	nm, nb := mild, bad
+	nm.GFlops = 950 // -5%
+	nb.GFlops = 500 // -50%
+	better := cell("fig", "w3", "A", 1000)
+	nbetter := better
+	nbetter.GFlops = 2000
+	o, n := pair([]Cell{mild, bad, better}, []Cell{nm, nb, nbetter})
+	rep := Diff(o, n, UniformTolerance(0.01))
+	if rep.Regressions != 2 || rep.Improvements != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Cells[0].Key != "fig:w2:A" || rep.Cells[1].Key != "fig:w1:A" {
+		t.Fatalf("regressions not ranked by severity: %v, %v", rep.Cells[0].Key, rep.Cells[1].Key)
+	}
+	if rep.WorstRegression().Key != "fig:w2:A" {
+		t.Fatalf("worst = %v", rep.WorstRegression().Key)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "2 regressions, 1 improvements") ||
+		!strings.Contains(s, "REGRESSION") || !strings.Contains(s, "improvement") {
+		t.Fatalf("report rendering:\n%s", s)
+	}
+	if strings.Index(s, "fig:w2:A") > strings.Index(s, "fig:w1:A") {
+		t.Fatalf("worst cell not first:\n%s", s)
+	}
+}

@@ -6,7 +6,6 @@ package expr
 
 import (
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
 	"runtime"
@@ -22,14 +21,13 @@ import (
 	"memsched/internal/taskgraph"
 )
 
-// Live sweep gauges, published on the expvar registry for the harness's
-// optional debug endpoint (paperbench -http). Registered once at package
-// init; expvar panics on duplicate names.
-var (
-	cellsCompleted = expvar.NewInt("memsched_cells_completed")
-	simsRunning    = expvar.NewInt("memsched_sims_running")
-	simEvents      = expvar.NewInt("memsched_sim_events")
-)
+// Gauges are the live sweep counters Run updates by default. They are
+// deliberately *not* registered on the expvar registry here: expvar
+// panics on duplicate names, so the canonical memsched_* names are
+// published exactly once by cmd/paperbench (Gauges.Publish), and tests
+// or library embedders that want isolation pass their own instance via
+// RunOptions.Gauges instead.
+var Gauges = new(metrics.Gauges)
 
 // Point is one x-axis position of a figure: a problem size and the
 // instance generator for it.
@@ -79,9 +77,18 @@ type RunOptions struct {
 	Progress io.Writer
 	// TelemetryOut, when non-nil, receives one JSON line per
 	// (point, strategy) cell in sweep order after the sweep completes:
-	// the metrics.Row fields joined with the engine telemetry of the
-	// cell's first replica (see EXPERIMENTS.md for the schema).
+	// the metrics.Row fields joined with the engine telemetry and the
+	// scheduler decision digest of the cell's first replica (see
+	// EXPERIMENTS.md for the schema).
 	TelemetryOut io.Writer
+	// OnCell, when non-nil, receives the same per-cell records as
+	// TelemetryOut, typed instead of serialized, in sweep order after
+	// the sweep completes. The baseline tooling uses it to build
+	// BENCH_*.json entries without round-tripping through JSON.
+	OnCell func(CellTelemetry)
+	// Gauges overrides the live sweep counters Run updates (nil uses the
+	// package-level Gauges instance that paperbench publishes).
+	Gauges *metrics.Gauges
 	// CheckInvariants validates every trace (slower).
 	CheckInvariants bool
 	// Replicas averages each (point, strategy) cell over this many
@@ -146,10 +153,20 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		workers = numJobs
 	}
 
+	gauges := opt.Gauges
+	if gauges == nil {
+		gauges = Gauges
+	}
+	// Decision digests are only worth the recording overhead when someone
+	// will see them; recording is pure observation either way (guarded
+	// recorder calls, deterministic results — TestDigestsDoNotPerturbRows).
+	wantDigests := opt.TelemetryOut != nil || opt.OnCell != nil
+
 	rows := make([]metrics.Row, len(specs))
 	cells := make([][]metrics.Row, len(specs)) // per-replica results
 	remaining := make([]int32, len(specs))     // replicas left per row
 	tels := make([]*sim.Telemetry, len(specs)) // first replica's telemetry
+	digs := make([]*sched.DecisionDigest, len(specs))
 	for i := range cells {
 		cells[i] = make([]metrics.Row, reps)
 		remaining[i] = int32(reps)
@@ -188,18 +205,27 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 				ri, rep := j/reps, j%reps
 				sp := specs[ri]
 				inst := sp.point.Build()
-				simsRunning.Add(1)
-				res, err := RunOne(inst, sp.strat, f.Platform, f.NsPerOp, f.Seed+int64(rep), opt.CheckInvariants)
-				simsRunning.Add(-1)
+				strat := sp.strat
+				var digRec *sched.DigestRecorder
+				if wantDigests && rep == 0 {
+					digRec = new(sched.DigestRecorder)
+					strat = strat.WithRecorder(digRec)
+				}
+				gauges.SimsRunning.Add(1)
+				res, err := RunOne(inst, strat, f.Platform, f.NsPerOp, f.Seed+int64(rep), opt.CheckInvariants)
+				gauges.SimsRunning.Add(-1)
 				if err != nil {
 					runErrs[j] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
 					failed.Store(true)
 					continue
 				}
 				cells[ri][rep] = metrics.FromResult(f.ID, res)
-				simEvents.Add(res.Events)
+				gauges.SimEvents.Add(res.Events)
 				if rep == 0 {
 					tels[ri] = res.Telemetry
+					if digRec != nil {
+						digs[ri] = digRec.Digest()
+					}
 				}
 				if atomic.AddInt32(&remaining[ri], -1) != 0 {
 					continue
@@ -213,7 +239,7 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 				}
 				rows[ri] = row
 				done := rowsDone.Add(1)
-				cellsCompleted.Add(1)
+				gauges.CellsCompleted.Add(1)
 				if progCh != nil {
 					progCh <- fmt.Sprintf("[%d/%d eta %v] %s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
 						done, len(specs), sweepETA(started, int(done), len(specs)),
@@ -242,11 +268,20 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			return nil, err
 		}
 	}
-	if opt.TelemetryOut != nil {
-		enc := json.NewEncoder(opt.TelemetryOut)
+	if opt.TelemetryOut != nil || opt.OnCell != nil {
+		var enc *json.Encoder
+		if opt.TelemetryOut != nil {
+			enc = json.NewEncoder(opt.TelemetryOut)
+		}
 		for i := range rows {
-			if err := enc.Encode(CellTelemetry{Row: rows[i], Telemetry: tels[i]}); err != nil {
-				return nil, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
+			cell := CellTelemetry{Row: rows[i], Telemetry: tels[i], Decisions: digs[i]}
+			if enc != nil {
+				if err := enc.Encode(cell); err != nil {
+					return nil, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
+				}
+			}
+			if opt.OnCell != nil {
+				opt.OnCell(cell)
 			}
 		}
 	}
@@ -254,11 +289,15 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 }
 
 // CellTelemetry is one line of the telemetry JSON stream: the figure row
-// (averaged over replicas) joined with the engine telemetry of the
-// cell's first replica (the seed the single-seed sweep would run).
+// (averaged over replicas) joined with the engine telemetry and the
+// scheduler decision digest of the cell's first replica (the seed the
+// single-seed sweep would run). Decisions is nil on runs that did not
+// request cell records and all-zero for strategies that report no
+// decisions (e.g. EAGER, DMDAR).
 type CellTelemetry struct {
 	metrics.Row
-	Telemetry *sim.Telemetry `json:"telemetry"`
+	Telemetry *sim.Telemetry        `json:"telemetry"`
+	Decisions *sched.DecisionDigest `json:"decisions,omitempty"`
 }
 
 // sweepETA estimates the remaining sweep duration from the average cell

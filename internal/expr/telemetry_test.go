@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"memsched/internal/expr"
+	"memsched/internal/metrics"
+	"memsched/internal/sched"
 )
 
 // TestTelemetryOutEmitsOneJSONLinePerCell checks the -telemetry stream:
@@ -51,5 +53,105 @@ func TestTelemetryOutEmitsOneJSONLinePerCell(t *testing.T) {
 		if r.IdleMS < 0 {
 			t.Errorf("row %d: negative idle", i)
 		}
+	}
+}
+
+// TestOnCellMatchesTelemetryOut pins that the typed OnCell callback and
+// the JSONL stream carry the same records in the same (sweep) order, and
+// that decision-reporting strategies come with a decision digest.
+func TestOnCellMatchesTelemetryOut(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:2]
+	f.Strategies = []sched.Strategy{
+		sched.DMDARStrategy(),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+	}
+	var out bytes.Buffer
+	var cells []expr.CellTelemetry
+	rows, err := f.Run(expr.RunOptions{
+		TelemetryOut: &out,
+		OnCell:       func(c expr.CellTelemetry) { cells = append(cells, c) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(rows) {
+		t.Fatalf("%d cells for %d rows", len(cells), len(rows))
+	}
+	dec := json.NewDecoder(&out)
+	for i := range cells {
+		var fromJSON expr.CellTelemetry
+		if err := dec.Decode(&fromJSON); err != nil {
+			t.Fatal(err)
+		}
+		if fromJSON.Row != cells[i].Row {
+			t.Errorf("cell %d: JSONL row %+v vs OnCell row %+v", i, fromJSON.Row, cells[i].Row)
+		}
+		if cells[i].Row != rows[i] {
+			t.Errorf("cell %d out of sweep order", i)
+		}
+		if cells[i].Decisions == nil {
+			t.Fatalf("cell %d: no decision digest", i)
+		}
+		switch cells[i].Scheduler {
+		case "DMDAR":
+			if n := cells[i].Decisions.Total(); n != 0 {
+				t.Errorf("cell %d: DMDAR reported %d decisions", i, n)
+			}
+		default: // DARTS+LUF decides every load
+			if cells[i].Decisions.SelectData == 0 && cells[i].Decisions.Fallbacks == 0 {
+				t.Errorf("cell %d: DARTS digest empty: %+v", i, cells[i].Decisions)
+			}
+		}
+	}
+}
+
+// TestDigestsDoNotPerturbRows pins that attaching digest recorders (the
+// TelemetryOut/OnCell path) is pure observation: the rows are identical
+// to an unobserved run's.
+func TestDigestsDoNotPerturbRows(t *testing.T) {
+	build := func() *expr.Figure {
+		f := expr.Fig3And4()
+		f.Points = f.Points[:2]
+		f.Strategies = f.Strategies[2:4] // DARTS and DARTS+LUF
+		return f
+	}
+	plain, err := build().Run(expr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := build().Run(expr.RunOptions{OnCell: func(expr.CellTelemetry) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(observed) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("row %d perturbed by digest recording:\n%+v\n%+v", i, plain[i], observed[i])
+		}
+	}
+}
+
+// TestRunUsesPrivateGauges checks RunOptions.Gauges isolation: counts
+// land on the provided instance, not the shared default.
+func TestRunUsesPrivateGauges(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:1]
+	f.Strategies = f.Strategies[:1]
+	var g metrics.Gauges
+	before := expr.Gauges.CellsCompleted.Value()
+	if _, err := f.Run(expr.RunOptions{Gauges: &g}); err != nil {
+		t.Fatal(err)
+	}
+	if g.CellsCompleted.Value() != 1 {
+		t.Fatalf("private gauge = %d, want 1", g.CellsCompleted.Value())
+	}
+	if g.SimEvents.Value() == 0 {
+		t.Fatal("private gauge saw no events")
+	}
+	if expr.Gauges.CellsCompleted.Value() != before {
+		t.Fatal("default gauges were touched despite override")
 	}
 }

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV is the inverse of WriteCSV: it parses a results CSV back into
+// rows. Columns are matched by header name, so it accepts both the
+// current column set and historical files written before the telemetry
+// columns existed (missing columns read as zero, unknown extra columns
+// are ignored). The five identity columns (figure, workload,
+// working_set_mb, scheduler, gpus) are required.
+func ReadCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // header decides; tolerate historical widths
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: read csv: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("metrics: read csv: empty input")
+	}
+	col := make(map[string]int, len(recs[0]))
+	for i, name := range recs[0] {
+		col[name] = i
+	}
+	for _, required := range csvHeader[:5] {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("metrics: read csv: missing column %q", required)
+		}
+	}
+
+	var parseErr error
+	field := func(rec []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return ""
+		}
+		return rec[i]
+	}
+	f64 := func(rec []string, name string, line int) float64 {
+		s := field(rec, name)
+		if s == "" {
+			return 0
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("metrics: read csv line %d: column %s: %w", line, name, err)
+		}
+		return v
+	}
+	integer := func(rec []string, name string, line int) int {
+		s := field(rec, name)
+		if s == "" {
+			return 0
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("metrics: read csv line %d: column %s: %w", line, name, err)
+		}
+		return v
+	}
+
+	rows := make([]Row, 0, len(recs)-1)
+	for n, rec := range recs[1:] {
+		line := n + 2 // 1-based, after the header
+		rows = append(rows, Row{
+			Figure:        field(rec, "figure"),
+			Workload:      field(rec, "workload"),
+			WorkingSetMB:  f64(rec, "working_set_mb", line),
+			Scheduler:     field(rec, "scheduler"),
+			GPUs:          integer(rec, "gpus", line),
+			GFlops:        f64(rec, "gflops", line),
+			TransferredMB: f64(rec, "transferred_mb", line),
+			Loads:         integer(rec, "loads", line),
+			Evictions:     integer(rec, "evictions", line),
+			MakespanMS:    f64(rec, "makespan_ms", line),
+			StaticMS:      f64(rec, "static_ms", line),
+			DynamicMS:     f64(rec, "dynamic_ms", line),
+			IdleMS:        f64(rec, "idle_ms", line),
+			ReloadedMB:    f64(rec, "reloaded_mb", line),
+		})
+		if parseErr != nil {
+			return nil, parseErr
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"expvar"
+	"testing"
+)
+
+// TestGaugesIsolatedInstances pins the fix for the expvar
+// single-registration constraint: any number of private Gauges can
+// coexist without touching the global registry, and Publish is
+// idempotent per instance.
+func TestGaugesIsolatedInstances(t *testing.T) {
+	a, b := new(Gauges), new(Gauges)
+	a.CellsCompleted.Add(3)
+	b.CellsCompleted.Add(5)
+	if a.CellsCompleted.Value() != 3 || b.CellsCompleted.Value() != 5 {
+		t.Fatalf("instances not isolated: %d, %d", a.CellsCompleted.Value(), b.CellsCompleted.Value())
+	}
+	if expvar.Get("gaugetest_cells_completed") != nil {
+		t.Fatal("unpublished gauges leaked into the registry")
+	}
+
+	a.Publish("gaugetest")
+	a.Publish("gaugetest") // second call must not panic (expvar would)
+	got := expvar.Get("gaugetest_cells_completed")
+	if got == nil {
+		t.Fatal("publish did not register")
+	}
+	a.CellsCompleted.Add(1)
+	if got.String() != "4" {
+		t.Fatalf("registered gauge reads %s, want 4", got.String())
+	}
+}

@@ -39,6 +39,72 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestReadCSVRoundTrip pins ReadCSV as the exact inverse of WriteCSV for
+// values that survive the CSV column precision (gflops are written with
+// 0 decimals, working set and MB volumes with 1, times with 2).
+func TestReadCSVRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Figure: "fig3", Workload: "w1", WorkingSetMB: 147.5, Scheduler: "DARTS+LUF", GPUs: 1,
+			GFlops: 9958, TransferredMB: 442.4, Loads: 20, Evictions: 3,
+			MakespanMS: 17.77, StaticMS: 0.25, DynamicMS: 1.5, IdleMS: 4.17, ReloadedMB: 38.5},
+		{Figure: "fig3", Workload: "w2", WorkingSetMB: 590, Scheduler: "EAGER", GPUs: 2,
+			GFlops: 5000, TransferredMB: 900, Loads: 61, MakespanMS: 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows back, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Errorf("row %d: %+v != %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+// TestReadCSVHistoricalColumns feeds ReadCSV a pre-telemetry CSV (no
+// idle_ms/reloaded_mb columns, as written before PR 2) and one with
+// extra unknown columns; both must parse, matching columns by name.
+func TestReadCSVHistoricalColumns(t *testing.T) {
+	old := "figure,workload,working_set_mb,scheduler,gpus,gflops,transferred_mb,loads,evictions,makespan_ms,static_ms,dynamic_ms\n" +
+		"fig3,w1,147.5,DMDAR,1,9000,500.0,20,3,17.77,0.25,1.50\n"
+	rows, err := ReadCSV(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].GFlops != 9000 || rows[0].Scheduler != "DMDAR" {
+		t.Fatalf("row = %+v", rows[0])
+	}
+	if rows[0].IdleMS != 0 || rows[0].ReloadedMB != 0 {
+		t.Fatalf("missing columns should read as zero: %+v", rows[0])
+	}
+
+	future := "figure,workload,working_set_mb,scheduler,gpus,gflops,some_future_column\n" +
+		"fig3,w1,147.5,DMDAR,1,9000,whatever\n"
+	if rows, err = ReadCSV(strings.NewReader(future)); err != nil || rows[0].GFlops != 9000 {
+		t.Fatalf("unknown columns must be ignored: %v, %+v", err, rows)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("workload,scheduler\nw,s\n")); err == nil {
+		t.Fatal("missing identity columns should error")
+	}
+	bad := "figure,workload,working_set_mb,scheduler,gpus\nfig3,w1,not-a-number,DMDAR,1\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "working_set_mb") {
+		t.Fatalf("parse error should name the column, got %v", err)
+	}
+}
+
 func TestFormatTable(t *testing.T) {
 	out := FormatTable(sample(), "gflops")
 	if !strings.Contains(out, "EAGER") || !strings.Contains(out, "DARTS+LUF") {

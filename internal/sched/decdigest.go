@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"memsched/internal/taskgraph"
+)
+
+// EvictionStat summarizes every eviction of one data item within a run.
+type EvictionStat struct {
+	// Data is the victim.
+	Data taskgraph.DataID `json:"data"`
+	// Count is how many times it was evicted.
+	Count int `json:"count"`
+	// MaxFutureUses is the worst future-use count it was evicted with (0
+	// means every eviction of it was an ideal LUF choice).
+	MaxFutureUses int64 `json:"max_future_uses"`
+}
+
+// maxTopEvicted bounds the per-run eviction leaderboard so the digest
+// stays O(1) in run length once serialized.
+const maxTopEvicted = 8
+
+// DecisionDigest is a bounded summary of a run's scheduler decision log,
+// compact enough to embed in every telemetry JSONL line. Where the full
+// DecisionLog answers "what happened, line by line", the digest answers
+// the cross-run question "did the scheduler behave differently": counts
+// per decision kind, how often data was evicted while still needed, and
+// which victims were churned hardest.
+type DecisionDigest struct {
+	// SelectData, Fallbacks, Evictions and Steals count decisions per
+	// kind (see DecisionKind).
+	SelectData int `json:"select_data"`
+	Fallbacks  int `json:"fallbacks"`
+	Evictions  int `json:"evictions"`
+	Steals     int `json:"steals"`
+	// PrematureEvictions counts eviction victims that still had future
+	// uses — each one is a likely reload later.
+	PrematureEvictions int `json:"premature_evictions"`
+	// MeanFreedTasks is the average winning score of the select-data
+	// decisions (tasks freed per chosen load); 0 when none were made.
+	MeanFreedTasks float64 `json:"mean_freed_tasks,omitempty"`
+	// TopEvicted ranks the most-evicted data items (by count, ties by
+	// id), capped at maxTopEvicted entries.
+	TopEvicted []EvictionStat `json:"top_evicted,omitempty"`
+}
+
+// Total returns the number of decisions folded into the digest.
+func (d *DecisionDigest) Total() int {
+	return d.SelectData + d.Fallbacks + d.Evictions + d.Steals
+}
+
+// DigestRecorder is a DecisionRecorder folding the decision stream into
+// a DecisionDigest with O(distinct victims) memory. Like DecisionLog it
+// is not safe for concurrent use; attach one per run.
+type DigestRecorder struct {
+	d        DecisionDigest
+	freedSum int64
+	evicted  map[taskgraph.DataID]*EvictionStat
+}
+
+// Record folds one decision into the digest.
+func (r *DigestRecorder) Record(dec Decision) {
+	switch dec.Kind {
+	case DecisionSelectData:
+		r.d.SelectData++
+		r.freedSum += dec.FreedTasks
+	case DecisionFallback:
+		r.d.Fallbacks++
+	case DecisionEvict:
+		r.d.Evictions++
+		if dec.FutureUses > 0 {
+			r.d.PrematureEvictions++
+		}
+		if r.evicted == nil {
+			r.evicted = make(map[taskgraph.DataID]*EvictionStat)
+		}
+		s := r.evicted[dec.Data]
+		if s == nil {
+			s = &EvictionStat{Data: dec.Data}
+			r.evicted[dec.Data] = s
+		}
+		s.Count++
+		if dec.FutureUses > s.MaxFutureUses {
+			s.MaxFutureUses = dec.FutureUses
+		}
+	case DecisionSteal:
+		r.d.Steals++
+	}
+}
+
+// Digest returns the accumulated digest. The eviction leaderboard is
+// ordered deterministically (count descending, data id ascending), so
+// identical runs serialize to identical digests.
+func (r *DigestRecorder) Digest() *DecisionDigest {
+	d := r.d
+	if d.SelectData > 0 {
+		d.MeanFreedTasks = float64(r.freedSum) / float64(d.SelectData)
+	}
+	if len(r.evicted) > 0 {
+		top := make([]EvictionStat, 0, len(r.evicted))
+		for _, s := range r.evicted {
+			top = append(top, *s)
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Count != top[j].Count {
+				return top[i].Count > top[j].Count
+			}
+			return top[i].Data < top[j].Data
+		})
+		if len(top) > maxTopEvicted {
+			top = top[:maxTopEvicted]
+		}
+		d.TopEvicted = top
+	}
+	return &d
+}
+
+// ReplayDigest rebuilds a digest from an in-memory decision list (e.g. a
+// DecisionList captured by a test or a -trace-cell deep dive), so a full
+// log recorded once can be joined against digests from other runs.
+func ReplayDigest(decs []Decision) *DecisionDigest {
+	var r DigestRecorder
+	for _, d := range decs {
+		r.Record(d)
+	}
+	return r.Digest()
+}
+
+// JoinDigests compares the decision digests of the same cell from two
+// runs and renders the behavioural differences as human-readable lines,
+// each citing the concrete decision-log evidence from both runs. It is
+// the explanation layer behind `paperbench compare`: the metric diff
+// says a cell regressed, the joined digests say what the scheduler did
+// differently. Returns a single diagnostic line when either digest is
+// missing.
+func JoinDigests(old, new *DecisionDigest) []string {
+	switch {
+	case old == nil && new == nil:
+		return []string{"no decision digest in either capture (re-run with -telemetry to embed them)"}
+	case old == nil:
+		return []string{fmt.Sprintf("old capture has no decision digest; new run recorded %d decisions (%d select-data, %d evictions, %d fallbacks, %d steals)",
+			new.Total(), new.SelectData, new.Evictions, new.Fallbacks, new.Steals)}
+	case new == nil:
+		return []string{fmt.Sprintf("new capture has no decision digest; old run recorded %d decisions (%d select-data, %d evictions, %d fallbacks, %d steals)",
+			old.Total(), old.SelectData, old.Evictions, old.Fallbacks, old.Steals)}
+	}
+
+	lines := []string{fmt.Sprintf(
+		"old run: %d decisions (%d select-data, %d evictions, %d fallbacks, %d steals); new run: %d (%d select-data, %d evictions, %d fallbacks, %d steals)",
+		old.Total(), old.SelectData, old.Evictions, old.Fallbacks, old.Steals,
+		new.Total(), new.SelectData, new.Evictions, new.Fallbacks, new.Steals)}
+
+	// Eviction churn: the new run's worst victim, joined against the old
+	// run's record for the same data.
+	if len(new.TopEvicted) > 0 {
+		w := new.TopEvicted[0]
+		oldLine := "old run never evicted it"
+		for _, s := range old.TopEvicted {
+			if s.Data == w.Data {
+				oldLine = fmt.Sprintf("old run evicted it %d× (max %d future uses)", s.Count, s.MaxFutureUses)
+				break
+			}
+		}
+		lines = append(lines, fmt.Sprintf(
+			"worst-churned data in new run: evicted data %d %d× (max %d future uses); %s",
+			w.Data, w.Count, w.MaxFutureUses, oldLine))
+	} else if len(old.TopEvicted) > 0 {
+		w := old.TopEvicted[0]
+		lines = append(lines, fmt.Sprintf(
+			"new run evicted nothing; old run's worst victim was data %d (%d×, max %d future uses)",
+			w.Data, w.Count, w.MaxFutureUses))
+	}
+
+	if old.PrematureEvictions != new.PrematureEvictions {
+		lines = append(lines, fmt.Sprintf(
+			"premature evictions (victim still had future uses): %d in old run vs %d in new run — each one is a likely reload",
+			old.PrematureEvictions, new.PrematureEvictions))
+	}
+	if old.Fallbacks != new.Fallbacks {
+		lines = append(lines, fmt.Sprintf(
+			"fallback task picks (no load freed a task): %d in old run vs %d in new run",
+			old.Fallbacks, new.Fallbacks))
+	}
+	if old.Steals != new.Steals {
+		lines = append(lines, fmt.Sprintf(
+			"work steals: %d in old run vs %d in new run", old.Steals, new.Steals))
+	}
+	if old.SelectData > 0 && new.SelectData > 0 && old.MeanFreedTasks != new.MeanFreedTasks {
+		lines = append(lines, fmt.Sprintf(
+			"select-data efficiency: %.2f tasks freed per chosen load in old run vs %.2f in new run",
+			old.MeanFreedTasks, new.MeanFreedTasks))
+	}
+	return lines
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+func digestSample() []Decision {
+	return []Decision{
+		{Kind: DecisionSelectData, GPU: 0, Data: 5, Candidates: 4, FreedTasks: 3},
+		{Kind: DecisionSelectData, GPU: 0, Data: 6, Candidates: 2, FreedTasks: 1},
+		{Kind: DecisionFallback, GPU: 1, Task: 9},
+		{Kind: DecisionEvict, GPU: 0, Data: 17, Candidates: 3, FutureUses: 2},
+		{Kind: DecisionEvict, GPU: 0, Data: 17, Candidates: 2, FutureUses: 0},
+		{Kind: DecisionEvict, GPU: 1, Data: 4, Candidates: 5, FutureUses: 0},
+		{Kind: DecisionSteal, GPU: 1, Task: 7, Victim: 0},
+	}
+}
+
+func TestDigestRecorderAccumulates(t *testing.T) {
+	var r DigestRecorder
+	for _, d := range digestSample() {
+		r.Record(d)
+	}
+	d := r.Digest()
+	if d.SelectData != 2 || d.Fallbacks != 1 || d.Evictions != 3 || d.Steals != 1 {
+		t.Fatalf("counts: %+v", d)
+	}
+	if d.Total() != 7 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	if d.PrematureEvictions != 1 {
+		t.Fatalf("premature = %d", d.PrematureEvictions)
+	}
+	if d.MeanFreedTasks != 2 { // (3+1)/2
+		t.Fatalf("mean freed = %g", d.MeanFreedTasks)
+	}
+	want := []EvictionStat{{Data: 17, Count: 2, MaxFutureUses: 2}, {Data: 4, Count: 1}}
+	if !reflect.DeepEqual(d.TopEvicted, want) {
+		t.Fatalf("top evicted = %+v", d.TopEvicted)
+	}
+}
+
+func TestReplayDigestMatchesLiveRecording(t *testing.T) {
+	var r DigestRecorder
+	for _, d := range digestSample() {
+		r.Record(d)
+	}
+	live, replayed := r.Digest(), ReplayDigest(digestSample())
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("replay diverged: %+v vs %+v", live, replayed)
+	}
+	// Digests serialize deterministically (the compare path diffs them
+	// across captures).
+	a, _ := json.Marshal(live)
+	b, _ := json.Marshal(replayed)
+	if string(a) != string(b) {
+		t.Fatalf("serialization diverged: %s vs %s", a, b)
+	}
+}
+
+func TestDigestLeaderboardBounded(t *testing.T) {
+	var r DigestRecorder
+	for i := 0; i < 3*maxTopEvicted; i++ {
+		r.Record(Decision{Kind: DecisionEvict, Data: taskgraph.DataID(i), FutureUses: 0})
+	}
+	d := r.Digest()
+	if len(d.TopEvicted) != maxTopEvicted {
+		t.Fatalf("leaderboard length = %d", len(d.TopEvicted))
+	}
+	// Equal counts break ties by data id ascending.
+	for i := 0; i < maxTopEvicted; i++ {
+		if d.TopEvicted[i].Data != taskgraph.DataID(i) {
+			t.Fatalf("tie-break order: %+v", d.TopEvicted)
+		}
+	}
+}
+
+// TestJoinDigestsCitesBothRuns pins the compare-mode contract: the
+// explanation cites concrete decision-log evidence from each run.
+func TestJoinDigestsCitesBothRuns(t *testing.T) {
+	oldD := ReplayDigest([]Decision{
+		{Kind: DecisionSelectData, Data: 5, FreedTasks: 3},
+		{Kind: DecisionEvict, Data: 17, FutureUses: 0},
+	})
+	newD := ReplayDigest([]Decision{
+		{Kind: DecisionSelectData, Data: 5, FreedTasks: 1},
+		{Kind: DecisionEvict, Data: 17, FutureUses: 2},
+		{Kind: DecisionEvict, Data: 17, FutureUses: 1},
+		{Kind: DecisionEvict, Data: 17, FutureUses: 0},
+		{Kind: DecisionFallback, Task: 3},
+	})
+	lines := JoinDigests(oldD, newD)
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"old run:", "new run:", // totals cite both runs
+		"evicted data 17 3×",               // the new run's churned victim
+		"old run evicted it 1×",            // joined against the old run's record
+		"premature evictions",              // future-use regression
+		"0 in old run vs 2 in new run",     // cited from both
+		"fallback task picks",              // fallback delta
+		"select-data efficiency",           // mean freed tasks
+		"3.00 tasks freed per chosen load", // old run's value
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestJoinDigestsMissingSides(t *testing.T) {
+	d := ReplayDigest(digestSample())
+	if lines := JoinDigests(nil, nil); len(lines) != 1 || !strings.Contains(lines[0], "no decision digest") {
+		t.Fatalf("both nil: %v", lines)
+	}
+	if lines := JoinDigests(nil, d); !strings.Contains(lines[0], "old capture has no decision digest") {
+		t.Fatalf("old nil: %v", lines)
+	}
+	if lines := JoinDigests(d, nil); !strings.Contains(lines[0], "new capture has no decision digest") {
+		t.Fatalf("new nil: %v", lines)
+	}
+}
+
+// TestDigestFromRealRun attaches a DigestRecorder to a DARTS+LUF run via
+// WithRecorder and checks the digest agrees with a full DecisionList
+// replayed through ReplayDigest — the digest is a lossless summary of
+// the decision stream it saw.
+func TestDigestFromRealRun(t *testing.T) {
+	var list DecisionList
+	var rec DigestRecorder
+	both := MultiRecorder{&list, &rec}
+
+	s, pol := DARTSStrategy(DARTSOptions{LUF: true}).WithRecorder(both).New()
+	res, err := sim.Run(workload.Matmul2D(30), sim.Config{
+		Platform:  platform.V100(2),
+		Scheduler: s,
+		Eviction:  pol,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Fatal("scenario exerts no memory pressure; pick a bigger instance")
+	}
+	live := rec.Digest()
+	if !reflect.DeepEqual(live, ReplayDigest(list.Decisions)) {
+		t.Fatalf("digest diverges from replayed decision list")
+	}
+	if live.Evictions == 0 || len(live.TopEvicted) == 0 {
+		t.Fatalf("constrained run recorded no evictions: %+v", live)
+	}
+}

@@ -124,6 +124,17 @@ type DecisionList struct {
 // Record appends the decision.
 func (l *DecisionList) Record(d Decision) { l.Decisions = append(l.Decisions, d) }
 
+// MultiRecorder fans one decision stream out to several recorders (e.g.
+// a full DecisionLog next to a DigestRecorder in one instrumented run).
+type MultiRecorder []DecisionRecorder
+
+// Record forwards the decision to every recorder in order.
+func (m MultiRecorder) Record(d Decision) {
+	for _, r := range m {
+		r.Record(d)
+	}
+}
+
 // WithRecorder returns a copy of the strategy whose scheduler (and any
 // paired eviction policy) reports its decisions to rec. Strategies that
 // do not implement DecisionLogger are returned unchanged.

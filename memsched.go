@@ -91,6 +91,12 @@ type (
 	DecisionLog = sched.DecisionLog
 	// DecisionList is a DecisionRecorder collecting decisions in memory.
 	DecisionList = sched.DecisionList
+	// DecisionDigest is a bounded cross-run summary of a decision log.
+	DecisionDigest = sched.DecisionDigest
+	// DigestRecorder folds the decision stream into a DecisionDigest.
+	DigestRecorder = sched.DigestRecorder
+	// MultiRecorder fans decisions out to several recorders.
+	MultiRecorder = sched.MultiRecorder
 	// MultiProbe fans trace events out to several probes.
 	MultiProbe = sim.MultiProbe
 )
