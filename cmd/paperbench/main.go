@@ -19,18 +19,27 @@
 //	paperbench -http :6060      # expvar + pprof debug endpoint
 //	paperbench -baseline-write  # record BENCH_<figure>.json reference cells
 //	paperbench -baseline-check  # diff the run against BENCH_*.json; exit 1 on regression
+//	paperbench -faults drop=1@5ms,transient=0.05  # inject a fault plan into every cell
+//	paperbench -degradation     # sweep GFlop/s vs transfer failure rate
 //	paperbench compare old.jsonl new.jsonl  # diff two -telemetry captures
+//
+// SIGINT cancels the sweep: in-flight simulations stop, completed rows
+// are still printed, written to CSV and flushed to the telemetry JSONL /
+// BENCH baselines, and the process exits non-zero.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -41,6 +50,7 @@ import (
 
 	"memsched/internal/baseline"
 	"memsched/internal/expr"
+	"memsched/internal/fault"
 	"memsched/internal/metrics"
 	"memsched/internal/sched"
 	"memsched/internal/sim"
@@ -66,6 +76,8 @@ func run() int {
 		telemetry  = flag.Bool("telemetry", false, "write one JSON line per cell to <out>/<figure>_telemetry.jsonl")
 		traceCell  = flag.String("trace-cell", "", "deep-dive one cell (figure:point:strategy): Chrome trace, decision log, telemetry")
 		httpAddr   = flag.String("http", "", "serve expvar counters and pprof on this address (e.g. :6060)")
+		faultSpec  = flag.String("faults", "", "inject a fault plan into every cell: seed=N,drop=GPU@TIME,transient=RATE[:RETRIES[:BACKOFF]],pressure=GPU@START+DURATION:BYTES")
+		degrade    = flag.Bool("degradation", false, "run the fault-degradation sweep (GFlop/s vs transfer failure rate) instead of the figures")
 
 		baselineWrite  = flag.Bool("baseline-write", false, "record the run's cells into BENCH_<figure>.json (merging into existing files)")
 		baselineCheck  = flag.Bool("baseline-check", false, "diff the run against BENCH_<figure>.json; exit non-zero on regression")
@@ -80,6 +92,20 @@ func run() int {
 	// private metrics.Gauges instances instead (expvar panics on
 	// duplicate names).
 	expr.Gauges.Publish("memsched")
+
+	plan, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if !plan.Empty() && (*baselineWrite || *baselineCheck) {
+		fmt.Fprintln(os.Stderr, "-faults is incompatible with -baseline-write/-baseline-check: faulty cells must not enter or be diffed against the fault-free BENCH baselines")
+		return 2
+	}
+
+	// SIGINT cancels the sweep; completed rows still flush below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	tol := baseline.DefaultTolerances()
 	if *baselineTol >= 0 {
@@ -132,11 +158,14 @@ func run() int {
 		return 1
 	}
 	if *traceCell != "" {
-		if err := runTraceCell(*traceCell, *outDir); err != nil {
+		if err := runTraceCell(*traceCell, *outDir, plan); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		return 0
+	}
+	if *degrade {
+		return runDegradation(ctx, *outDir, *workers, plan, *verbose)
 	}
 	if *ablations {
 		return runAblations(*outDir)
@@ -185,6 +214,8 @@ func run() int {
 				MaxN:     *maxN,
 				Replicas: *replicas,
 				Workers:  *workers,
+				Context:  ctx,
+				Faults:   plan,
 			}, *verbose, *plot, *telemetry, bl)
 		}(i, f)
 	}
@@ -193,9 +224,10 @@ func run() int {
 	failed, regressed := false, false
 	for i, f := range figures {
 		if results[i].err != nil {
+			// A failed figure still prints what it completed: cell
+			// failures (panics, cancellation) cost rows, not the sweep.
 			fmt.Fprintf(os.Stderr, "%s: %v\n", f.ID, results[i].err)
 			failed = true
-			continue
 		}
 		regressed = regressed || results[i].regressed
 		os.Stdout.Write(results[i].out.Bytes())
@@ -242,8 +274,9 @@ func serveDebug(addr string) {
 // runTraceCell deep-dives one (figure, point, strategy) cell: it reruns
 // the cell fully instrumented, writes a Chrome trace and the scheduler
 // decision log under outDir, prints the telemetry JSON line on stdout
-// and the idle/overlap analysis on stderr.
-func runTraceCell(spec, outDir string) error {
+// and the idle/overlap analysis on stderr. A non-empty fault plan is
+// injected into the cell (fault events appear in the Chrome trace).
+func runTraceCell(spec, outDir string, plan *fault.Plan) error {
 	parts := strings.SplitN(spec, ":", 3)
 	if len(parts) != 3 {
 		return fmt.Errorf("-trace-cell wants figure:point:strategy (e.g. fig3:5:DARTS+LUF), got %q", spec)
@@ -282,7 +315,7 @@ func runTraceCell(spec, outDir string) error {
 	digRec := new(sched.DigestRecorder)
 
 	inst := f.Points[pi].Build()
-	res, err := expr.RunCell(inst, strat.WithRecorder(sched.MultiRecorder{declog, digRec}), f.Platform, f.NsPerOp, f.Seed, nil)
+	res, err := expr.RunCell(inst, strat.WithRecorder(sched.MultiRecorder{declog, digRec}), f.Platform, f.NsPerOp, f.Seed, nil, plan)
 	if err != nil {
 		return err
 	}
@@ -302,7 +335,7 @@ func runTraceCell(spec, outDir string) error {
 
 	// The telemetry JSON line (same schema as -telemetry) goes to stdout
 	// so it can be piped; the human-oriented report goes to stderr.
-	cell := expr.CellTelemetry{Row: metrics.FromResult(f.ID, res), Telemetry: res.Telemetry, Decisions: digRec.Digest()}
+	cell := expr.CellTelemetry{Row: metrics.FromResult(f.ID, res), Telemetry: res.Telemetry, Decisions: digRec.Digest(), Faults: res.Faults}
 	if err := json.NewEncoder(os.Stdout).Encode(cell); err != nil {
 		return err
 	}
@@ -349,10 +382,14 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	if bl.active() {
 		opt.OnCell = func(c expr.CellTelemetry) { cells = append(cells, c) }
 	}
-	rows, err := f.Run(opt)
-	if err != nil {
-		return false, err
+	rows, runErr := f.Run(opt)
+	var sweepErr *expr.SweepError
+	if runErr != nil && !errors.As(runErr, &sweepErr) {
+		return false, runErr
 	}
+	// On a SweepError (failed or cancelled cells) the completed rows are
+	// still rendered, written to CSV and merged into the baselines; the
+	// error propagates so the run exits non-zero.
 	fmt.Fprintf(out, "== %s: %s ==\n", f.ID, f.Title)
 	fmt.Fprintf(out, "   reference: %s\n\n", f.RefLines())
 	for _, m := range f.Metrics {
@@ -381,7 +418,51 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 		}
 	}
 	fmt.Fprintln(out)
-	return regressed, nil
+	return regressed, runErr
+}
+
+// runDegradation executes the fault-degradation sweep (expr.RunDegradation):
+// GFlop/s versus transient transfer failure rate for a panel of
+// strategies on the 2-GPU 2D product, optionally combined with the
+// dropouts (and seed) of the -faults plan. It prints the table, writes
+// <out>/degradation.csv, and returns the process exit code.
+func runDegradation(ctx context.Context, outDir string, workers int, plan *fault.Plan, verbose bool) int {
+	opt := expr.DegradationOptions{Workers: workers, Context: ctx, Seed: 1}
+	if plan != nil {
+		if plan.Seed != 0 {
+			opt.Seed = plan.Seed
+		}
+		opt.Dropouts = plan.Dropouts
+		if t := plan.Transient; t != nil && t.Rate > 0 {
+			// The sweep owns the rate axis; the plan contributes the
+			// retry shape.
+			opt.MaxRetries, opt.Backoff = t.MaxRetries, t.Backoff
+		}
+	}
+	if verbose {
+		opt.Progress = os.Stderr
+	}
+	rows, err := expr.RunDegradation(opt)
+	if len(rows) > 0 {
+		fmt.Println("== degradation: GFlop/s vs transient transfer failure rate ==")
+		fmt.Print(expr.FormatDegradationTable(rows))
+		csvFile, cerr := os.Create(filepath.Join(outDir, "degradation.csv"))
+		if cerr == nil {
+			cerr = expr.WriteDegradationCSV(csvFile, rows)
+			if closeErr := csvFile.Close(); cerr == nil {
+				cerr = closeErr
+			}
+		}
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			return 1
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
 }
 
 // runAblations executes the DESIGN.md §6 studies and prints one table

@@ -5,14 +5,18 @@
 package expr
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/metrics"
 	"memsched/internal/platform"
@@ -101,6 +105,74 @@ type RunOptions struct {
 	// simulation on its own Instance, and rows are assembled in sweep
 	// order, so the result is identical for any worker count.
 	Workers int
+	// Context, when non-nil, cancels the sweep: in-flight simulations
+	// stop at the next engine poll and every unfinished cell is reported
+	// as a CellError inside the returned SweepError. Rows already
+	// completed are still returned and still reach TelemetryOut/OnCell.
+	Context context.Context
+	// Faults injects the same fault plan into every cell of the sweep
+	// (each cell still simulates it independently and deterministically).
+	// Nil (or an empty plan) reproduces the fault-free sweep exactly.
+	Faults *fault.Plan
+}
+
+// CellError reports the failure of one (point, strategy, replica) cell
+// of a sweep: which cell, what went wrong, and — for panics — the stack
+// of the worker goroutine that caught it. A failed cell fails only its
+// own row; the other rows of the sweep are unaffected.
+type CellError struct {
+	// Figure, Workload, Strategy and Replica identify the cell.
+	Figure   string
+	Workload string
+	Strategy string
+	Replica  int
+	// Err is the failure: a simulation error, ctx.Err() for cells
+	// cancelled or never started, or "panic: ..." for panics.
+	Err error
+	// Stack is the worker stack at recover time; nil unless the cell
+	// panicked.
+	Stack []byte
+}
+
+// Error renders the cell key with the failure.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("%s: %s on %s (replica %d): %v",
+		e.Figure, e.Strategy, e.Workload, e.Replica, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failed cell of a sweep. Run returns it
+// alongside the rows that did complete, so a panicking or cancelled cell
+// costs its own row, not the whole sweep.
+type SweepError struct {
+	// Cells lists the failures in job order (sweep order, replicas of a
+	// cell in seed order).
+	Cells []*CellError
+	// Total is the number of (point, strategy, replica) jobs attempted.
+	Total int
+}
+
+// Error summarizes the failures, one line per failed cell (panic stacks
+// are elided here; read them from Cells).
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "expr: %d of %d cells failed:", len(e.Cells), e.Total)
+	for _, c := range e.Cells {
+		b.WriteString("\n  ")
+		b.WriteString(c.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual cell errors to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		errs[i] = c
+	}
+	return errs
 }
 
 // Run executes the experiment and returns one row per (point, strategy),
@@ -163,16 +235,17 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	wantDigests := opt.TelemetryOut != nil || opt.OnCell != nil
 
 	rows := make([]metrics.Row, len(specs))
+	rowOK := make([]bool, len(specs))
 	cells := make([][]metrics.Row, len(specs)) // per-replica results
 	remaining := make([]int32, len(specs))     // replicas left per row
 	tels := make([]*sim.Telemetry, len(specs)) // first replica's telemetry
 	digs := make([]*sched.DecisionDigest, len(specs))
+	fstats := make([]*sim.FaultStats, len(specs))
 	for i := range cells {
 		cells[i] = make([]metrics.Row, reps)
 		remaining[i] = int32(reps)
 	}
-	runErrs := make([]error, numJobs)
-	aggErrs := make([]error, len(specs))
+	cellErrs := make([]*CellError, numJobs)
 	var rowsDone atomic.Int32
 	started := time.Now()
 
@@ -191,7 +264,53 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		}()
 	}
 
-	var failed atomic.Bool
+	// runJob executes one (point, strategy, replica) cell. Panics are
+	// confined to the cell: the recover below turns them into a CellError
+	// carrying the worker stack, and only that cell's row is lost.
+	runJob := func(j int) (cellErr *CellError) {
+		ri, rep := j/reps, j%reps
+		sp := specs[ri]
+		fail := func(workload string, err error, stack []byte) *CellError {
+			return &CellError{Figure: f.ID, Workload: workload,
+				Strategy: sp.strat.Label, Replica: rep, Err: err, Stack: stack}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				// The panic may have come from Build itself, so identify
+				// the workload by its sweep position rather than its name.
+				cellErr = fail(fmt.Sprintf("point N=%d", sp.point.N),
+					fmt.Errorf("panic: %v", r), debug.Stack())
+			}
+		}()
+		if opt.Context != nil && opt.Context.Err() != nil {
+			return fail("(not started)", opt.Context.Err(), nil)
+		}
+		inst := sp.point.Build()
+		strat := sp.strat
+		var digRec *sched.DigestRecorder
+		if wantDigests && rep == 0 {
+			digRec = new(sched.DigestRecorder)
+			strat = strat.WithRecorder(digRec)
+		}
+		gauges.SimsRunning.Add(1)
+		res, err := runOne(opt.Context, inst, strat, f.Platform, f.NsPerOp,
+			f.Seed+int64(rep), opt.CheckInvariants, opt.Faults)
+		gauges.SimsRunning.Add(-1)
+		if err != nil {
+			return fail(inst.Name(), err, nil)
+		}
+		cells[ri][rep] = metrics.FromResult(f.ID, res)
+		gauges.SimEvents.Add(res.Events)
+		if rep == 0 {
+			tels[ri] = res.Telemetry
+			fstats[ri] = res.Faults
+			if digRec != nil {
+				digs[ri] = digRec.Digest()
+			}
+		}
+		return nil
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -199,46 +318,38 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if failed.Load() {
-					continue
-				}
-				ri, rep := j/reps, j%reps
+				ri := j / reps
 				sp := specs[ri]
-				inst := sp.point.Build()
-				strat := sp.strat
-				var digRec *sched.DigestRecorder
-				if wantDigests && rep == 0 {
-					digRec = new(sched.DigestRecorder)
-					strat = strat.WithRecorder(digRec)
-				}
-				gauges.SimsRunning.Add(1)
-				res, err := RunOne(inst, strat, f.Platform, f.NsPerOp, f.Seed+int64(rep), opt.CheckInvariants)
-				gauges.SimsRunning.Add(-1)
-				if err != nil {
-					runErrs[j] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
-					failed.Store(true)
-					continue
-				}
-				cells[ri][rep] = metrics.FromResult(f.ID, res)
-				gauges.SimEvents.Add(res.Events)
-				if rep == 0 {
-					tels[ri] = res.Telemetry
-					if digRec != nil {
-						digs[ri] = digRec.Digest()
-					}
-				}
+				cellErr := runJob(j)
+				cellErrs[j] = cellErr
 				if atomic.AddInt32(&remaining[ri], -1) != 0 {
 					continue
 				}
-				// Last replica of this row: aggregate and report.
+				// Last replica of this row. The atomic decrement orders the
+				// sibling replicas' writes (cells, cellErrs) before this
+				// read, so scanning them here is race-free.
+				rowFailed := false
+				for r := 0; r < reps; r++ {
+					if cellErrs[ri*reps+r] != nil {
+						rowFailed = true
+					}
+				}
+				done := rowsDone.Add(1)
+				if rowFailed {
+					if progCh != nil {
+						progCh <- fmt.Sprintf("[%d/%d eta %v] %s  %-28s FAILED (see sweep error)\n",
+							done, len(specs), sweepETA(started, int(done), len(specs)), f.ID, sp.strat.Label)
+					}
+					continue
+				}
 				row, err := aggregateReplicas(cells[ri])
 				if err != nil {
-					aggErrs[ri] = fmt.Errorf("%s: %s on %s: %w", f.ID, sp.strat.Label, inst.Name(), err)
-					failed.Store(true)
+					cellErrs[ri*reps] = &CellError{Figure: f.ID, Workload: row.Workload,
+						Strategy: sp.strat.Label, Replica: 0, Err: err}
 					continue
 				}
 				rows[ri] = row
-				done := rowsDone.Add(1)
+				rowOK[ri] = true
 				gauges.CellsCompleted.Add(1)
 				if progCh != nil {
 					progCh <- fmt.Sprintf("[%d/%d eta %v] %s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
@@ -258,34 +369,46 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		progWG.Wait()
 	}
 
-	for _, err := range runErrs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, err := range aggErrs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if opt.TelemetryOut != nil || opt.OnCell != nil {
-		var enc *json.Encoder
-		if opt.TelemetryOut != nil {
-			enc = json.NewEncoder(opt.TelemetryOut)
-		}
-		for i := range rows {
-			cell := CellTelemetry{Row: rows[i], Telemetry: tels[i], Decisions: digs[i]}
-			if enc != nil {
-				if err := enc.Encode(cell); err != nil {
-					return nil, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
-				}
+	var sweepErr *SweepError
+	for _, ce := range cellErrs {
+		if ce != nil {
+			if sweepErr == nil {
+				sweepErr = &SweepError{Total: numJobs}
 			}
-			if opt.OnCell != nil {
-				opt.OnCell(cell)
-			}
+			sweepErr.Cells = append(sweepErr.Cells, ce)
 		}
 	}
-	return rows, nil
+
+	// Completed rows are emitted (and returned) even when some cells
+	// failed, so an interrupted or partially broken sweep still flushes
+	// everything it finished.
+	out := make([]metrics.Row, 0, len(rows))
+	var enc *json.Encoder
+	if opt.TelemetryOut != nil {
+		enc = json.NewEncoder(opt.TelemetryOut)
+	}
+	for i := range rows {
+		if !rowOK[i] {
+			continue
+		}
+		out = append(out, rows[i])
+		if enc == nil && opt.OnCell == nil {
+			continue
+		}
+		cell := CellTelemetry{Row: rows[i], Telemetry: tels[i], Decisions: digs[i], Faults: fstats[i]}
+		if enc != nil {
+			if err := enc.Encode(cell); err != nil {
+				return out, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
+			}
+		}
+		if opt.OnCell != nil {
+			opt.OnCell(cell)
+		}
+	}
+	if sweepErr != nil {
+		return out, sweepErr
+	}
+	return out, nil
 }
 
 // CellTelemetry is one line of the telemetry JSON stream: the figure row
@@ -298,6 +421,10 @@ type CellTelemetry struct {
 	metrics.Row
 	Telemetry *sim.Telemetry        `json:"telemetry"`
 	Decisions *sched.DecisionDigest `json:"decisions,omitempty"`
+	// Faults carries the first replica's fault/recovery counters; nil on
+	// fault-free runs, so fault-free telemetry lines are byte-identical
+	// to those of builds without fault injection.
+	Faults *sim.FaultStats `json:"faults,omitempty"`
 }
 
 // sweepETA estimates the remaining sweep duration from the average cell
@@ -354,6 +481,17 @@ func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
 // TestTelemetryDoesNotPerturbResults), and it feeds the IdleMS and
 // ReloadedMB columns of every row.
 func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool) (*sim.Result, error) {
+	return runOne(nil, inst, strat, plat, nsPerOp, seed, check, nil)
+}
+
+// RunOneFaulty is RunOne with fault injection and cancellation: faults
+// (nil or empty for none) is the injected fault plan, and ctx (nil for
+// none) stops the simulation at the next engine poll when cancelled.
+func RunOneFaulty(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
+	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults)
+}
+
+func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
 	s, pol := strat.New()
 	var ev sim.EvictionPolicy = pol
 	if ev == nil {
@@ -367,14 +505,17 @@ func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platfo
 		NsPerOp:         nsPerOp,
 		Telemetry:       true,
 		CheckInvariants: check,
+		Faults:          faults,
+		Context:         ctx,
 	})
 }
 
 // RunCell executes one fully instrumented cell for deep-dive tooling
 // (paperbench -trace-cell): the trace is retained and validated, the
 // telemetry cross-checked against it, and probe (optional) streams every
-// event. Attach a decision recorder via strat.WithRecorder beforehand.
-func RunCell(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, probe sim.Probe) (*sim.Result, error) {
+// event. faults (nil or empty for none) injects a fault plan into the
+// cell. Attach a decision recorder via strat.WithRecorder beforehand.
+func RunCell(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, probe sim.Probe, faults *fault.Plan) (*sim.Result, error) {
 	s, pol := strat.New()
 	var ev sim.EvictionPolicy = pol
 	if ev == nil {
@@ -390,6 +531,7 @@ func RunCell(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platf
 		RecordTrace:     true,
 		CheckInvariants: true,
 		Probe:           probe,
+		Faults:          faults,
 	})
 }
 

@@ -1,0 +1,200 @@
+package expr_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/expr"
+	"memsched/internal/fault"
+	"memsched/internal/metrics"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// testPlan exercises all three fault mechanisms at once.
+func testPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:      11,
+		Dropouts:  []fault.Dropout{{GPU: 1, At: 3 * time.Millisecond}},
+		Transient: &fault.Transient{Rate: 0.1, MaxRetries: 4, Backoff: 20 * time.Microsecond},
+		Pressures: []fault.Pressure{{GPU: 0, At: 2 * time.Millisecond, Duration: 5 * time.Millisecond, Bytes: 64 << 20}},
+	}
+}
+
+// TestFaultyWorkersConformance pins faulty-sweep determinism: with the
+// same fault plan, a sequential run and an 8-worker run produce
+// identical rows. Under -race it doubles as the shared-Strategy check:
+// concurrent faulty cells share the Strategy values of the figure while
+// each builds its own scheduler (and its own dropout state).
+func TestFaultyWorkersConformance(t *testing.T) {
+	run := func(workers int) []metrics.Row {
+		t.Helper()
+		f := expr.Fig6And7()
+		f.Points = f.Points[:2]
+		rows, err := f.Run(expr.RunOptions{
+			Workers:  workers,
+			Replicas: 2,
+			Faults:   testPlan(),
+		})
+		if err != nil {
+			t.Fatalf("Workers:%d faulty sweep: %v", workers, err)
+		}
+		return rows
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("faulty sweep differs across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFaultInvariantsAllStrategies runs every paper strategy under each
+// fault mechanism separately with CheckInvariants on: the recovery
+// machinery must produce traces the checker accepts (no dead-GPU use,
+// balanced busy spans, fault counters consistent with the trace).
+func TestFaultInvariantsAllStrategies(t *testing.T) {
+	strategies := []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.HMetisRStrategy(false),
+		sched.MHFPStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		sched.WorkStealingStrategy(),
+	}
+	plans := map[string]*fault.Plan{
+		"dropout":   {Dropouts: []fault.Dropout{{GPU: 1, At: 3 * time.Millisecond}}},
+		"transient": {Seed: 5, Transient: &fault.Transient{Rate: 0.2, MaxRetries: 4, Backoff: 20 * time.Microsecond}},
+		"pressure":  {Pressures: []fault.Pressure{{GPU: 0, At: 2 * time.Millisecond, Duration: 5 * time.Millisecond, Bytes: 64 << 20}}},
+		"combined":  testPlan(),
+	}
+	inst := workload.Matmul2D(12)
+	plat := platform.V100(2)
+	for name, plan := range plans {
+		for _, strat := range strategies {
+			res, err := expr.RunOneFaulty(nil, inst, strat, plat, 0, 1, true, plan)
+			if err != nil {
+				t.Errorf("%s under %s faults: %v", strat.Label, name, err)
+				continue
+			}
+			if res.Faults == nil {
+				t.Errorf("%s under %s faults: Result.Faults is nil", strat.Label, name)
+			}
+		}
+	}
+}
+
+// TestSweepIsolatesPanicAndCancellation is the harness acceptance test:
+// a sweep with one panicking cell and one cancelled cell completes,
+// reports both failures with their cell keys, and keeps the rows of the
+// healthy cells.
+func TestSweepIsolatesPanicAndCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := &expr.Figure{
+		ID:       "faketest",
+		Title:    "panic/cancel isolation",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(2),
+		Points: []expr.Point{
+			{N: 10, Build: func() *taskgraph.Instance { return workload.Matmul2D(10) }},
+			{N: 11, Build: func() *taskgraph.Instance { panic("boom: injected test panic") }},
+			{N: 40, Build: func() *taskgraph.Instance {
+				// Cancel mid-sweep: this cell's own simulation (big
+				// enough to reach the engine's periodic context poll)
+				// must abort.
+				cancel()
+				return workload.Matmul2D(40)
+			}},
+		},
+		Strategies: []sched.Strategy{sched.EagerStrategy()},
+		Seed:       1,
+	}
+	var cells []expr.CellTelemetry
+	rows, err := f.Run(expr.RunOptions{
+		Workers: 1,
+		Context: ctx,
+		OnCell:  func(c expr.CellTelemetry) { cells = append(cells, c) },
+	})
+	if err == nil {
+		t.Fatal("sweep with a panicking and a cancelled cell returned nil error")
+	}
+	var sweepErr *expr.SweepError
+	if !errors.As(err, &sweepErr) {
+		t.Fatalf("error %T is not a *SweepError: %v", err, err)
+	}
+	if len(sweepErr.Cells) != 2 {
+		t.Fatalf("SweepError has %d cells, want 2 (panic + cancel): %v", len(sweepErr.Cells), sweepErr)
+	}
+	var sawPanic, sawCancel bool
+	for _, ce := range sweepErr.Cells {
+		if ce.Figure != "faketest" || ce.Strategy != "EAGER" {
+			t.Errorf("cell error missing its key: %+v", ce)
+		}
+		if errors.Is(ce, context.Canceled) {
+			sawCancel = true
+			continue
+		}
+		sawPanic = true
+		if len(ce.Stack) == 0 {
+			t.Errorf("panicking cell has no stack: %v", ce)
+		}
+		if got := ce.Error(); !strings.Contains(got, "boom") {
+			t.Errorf("panic cell error %q does not carry the panic value", got)
+		}
+	}
+	if !sawPanic || !sawCancel {
+		t.Fatalf("want one panic and one cancelled cell, got: %v", sweepErr)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("SweepError does not unwrap to context.Canceled")
+	}
+	// The healthy first cell survived and was emitted.
+	if len(rows) != 1 || len(cells) != 1 {
+		t.Fatalf("rows %d, cells %d, want 1 healthy row each", len(rows), len(cells))
+	}
+	if rows[0].Workload != "matmul2d(n=10)" {
+		t.Errorf("surviving row is %q, want the healthy cell", rows[0].Workload)
+	}
+}
+
+// TestDegradationDeterministicAcrossWorkers pins the degradation sweep:
+// identical rows for any worker count, and a relative-throughput column
+// anchored at 1.0 for the fault-free rate.
+func TestDegradationDeterministicAcrossWorkers(t *testing.T) {
+	opt := expr.DegradationOptions{
+		Rates:      []float64{0, 0.2},
+		N:          10,
+		Strategies: []sched.Strategy{sched.EagerStrategy(), sched.DMDARStrategy()},
+		Seed:       1,
+	}
+	opt.Workers = 1
+	seq, err := expr.RunDegradation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	par, err := expr.RunDegradation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Workers:1 and Workers:8 degradation rows differ:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if len(seq) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 strategies x 2 rates)", len(seq))
+	}
+	for _, r := range seq {
+		if r.Rate == 0 && r.RelativeGFlops != 1 {
+			t.Errorf("%s at rate 0: relative %.3f, want 1.0", r.Scheduler, r.RelativeGFlops)
+		}
+		if r.Rate == 0 && (r.TransferRetries != 0 || r.BackoffMS != 0) {
+			t.Errorf("%s at rate 0 reports faults: %+v", r.Scheduler, r)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package fault defines deterministic, seeded fault plans for the
+// discrete-event simulator: permanent GPU dropouts, transient host-bus
+// and NVLink transfer failures with bounded retry, and memory-pressure
+// spikes that temporarily shrink a GPU's memory budget.
+//
+// A Plan is pure data: the engine (internal/sim) interprets it. The same
+// seed and the same plan always produce the identical faulty schedule,
+// and an empty plan is a strict no-op — the engine then posts no fault
+// events and consumes no fault randomness, so fault-free results stay
+// byte-identical to runs configured without a plan.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Dropout is a permanent GPU loss at simulated time At: the GPU's
+// resident data is lost, its in-flight task is killed, and it accepts no
+// further work. Killed and never-started tasks are re-enqueued to the
+// surviving GPUs through the scheduler's DropoutHandler hook.
+type Dropout struct {
+	// GPU is the accelerator that fails.
+	GPU int `json:"gpu"`
+	// At is the simulated time of the failure.
+	At time.Duration `json:"at_ns"`
+}
+
+// Transient parameterizes transient transfer failures: every host-bus or
+// NVLink transfer independently fails with probability Rate per attempt,
+// is retried after an exponentially growing backoff (Backoff, 2*Backoff,
+// 4*Backoff, ...), and succeeds at the latest after MaxRetries failed
+// attempts. The backoff is charged as simulated time on the transfer's
+// channel, so faulty runs are slower, not wrong.
+type Transient struct {
+	// Rate is the per-attempt failure probability in [0, 1).
+	Rate float64 `json:"rate"`
+	// MaxRetries bounds the failed attempts per transfer (>= 1).
+	MaxRetries int `json:"max_retries"`
+	// Backoff is the delay after the first failed attempt; attempt i
+	// waits Backoff << i.
+	Backoff time.Duration `json:"backoff_ns"`
+}
+
+// DefaultMaxRetries and DefaultBackoff are the ParseSpec defaults for
+// transient clauses that do not spell them out.
+const (
+	DefaultMaxRetries = 4
+	DefaultBackoff    = 20 * time.Microsecond
+)
+
+// Pressure is a memory-pressure spike: from At to At+Duration the memory
+// budget of GPU shrinks by Bytes (e.g. another tenant allocating on the
+// same device). The engine evicts unpinned data down to the shrunk
+// budget and parks new fetches that no longer fit.
+type Pressure struct {
+	// GPU is the accelerator under pressure.
+	GPU int `json:"gpu"`
+	// At is the start of the spike; Duration its length.
+	At       time.Duration `json:"at_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	// Bytes is how much memory the spike withholds.
+	Bytes int64 `json:"bytes"`
+}
+
+// Plan is one deterministic fault schedule. The zero value is the empty
+// plan (a strict no-op).
+type Plan struct {
+	// Seed feeds the fault randomness (the transient failure draws),
+	// independent of the scheduler's tie-break randomness so the same
+	// plan perturbs every strategy identically.
+	Seed int64 `json:"seed"`
+	// Dropouts lists the permanent GPU losses.
+	Dropouts []Dropout `json:"dropouts,omitempty"`
+	// Transient, when non-nil with Rate > 0, enables transient transfer
+	// failures.
+	Transient *Transient `json:"transient,omitempty"`
+	// Pressures lists the memory-pressure spikes.
+	Pressures []Pressure `json:"pressures,omitempty"`
+}
+
+// Empty reports whether the plan injects no faults at all. A nil or
+// empty plan makes the engine behave byte-identically to a run without
+// any plan.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.Dropouts) == 0 && len(p.Pressures) == 0 &&
+		(p.Transient == nil || p.Transient.Rate <= 0)
+}
+
+// Validate checks the plan against a machine with numGPUs accelerators.
+func (p *Plan) Validate(numGPUs int) error {
+	if p == nil {
+		return nil
+	}
+	seen := make(map[int]bool, len(p.Dropouts))
+	for i, d := range p.Dropouts {
+		if d.GPU < 0 || d.GPU >= numGPUs {
+			return fmt.Errorf("fault: dropout %d: gpu %d out of range [0, %d)", i, d.GPU, numGPUs)
+		}
+		if d.At <= 0 {
+			return fmt.Errorf("fault: dropout %d: time %v not positive", i, d.At)
+		}
+		if seen[d.GPU] {
+			return fmt.Errorf("fault: gpu %d dropped more than once", d.GPU)
+		}
+		seen[d.GPU] = true
+	}
+	if len(p.Dropouts) >= numGPUs && numGPUs > 0 {
+		return fmt.Errorf("fault: all %d GPUs drop out; at least one must survive", numGPUs)
+	}
+	if t := p.Transient; t != nil && t.Rate > 0 {
+		if t.Rate >= 1 {
+			return fmt.Errorf("fault: transient rate %g not in [0, 1)", t.Rate)
+		}
+		if t.MaxRetries < 1 || t.MaxRetries > 16 {
+			return fmt.Errorf("fault: transient max retries %d not in [1, 16]", t.MaxRetries)
+		}
+		if t.Backoff < 0 {
+			return fmt.Errorf("fault: negative transient backoff %v", t.Backoff)
+		}
+	}
+	for i, pr := range p.Pressures {
+		if pr.GPU < 0 || pr.GPU >= numGPUs {
+			return fmt.Errorf("fault: pressure %d: gpu %d out of range [0, %d)", i, pr.GPU, numGPUs)
+		}
+		if pr.At < 0 {
+			return fmt.Errorf("fault: pressure %d: negative start %v", i, pr.At)
+		}
+		if pr.Duration <= 0 {
+			return fmt.Errorf("fault: pressure %d: duration %v not positive", i, pr.Duration)
+		}
+		if pr.Bytes <= 0 {
+			return fmt.Errorf("fault: pressure %d: %d bytes not positive", i, pr.Bytes)
+		}
+	}
+	return nil
+}
+
+// String renders the plan in ParseSpec syntax (canonical clause order:
+// seed, drops, transient, pressures).
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "none"
+	}
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, d := range p.Dropouts {
+		parts = append(parts, fmt.Sprintf("drop=%d@%v", d.GPU, d.At))
+	}
+	if t := p.Transient; t != nil && t.Rate > 0 {
+		parts = append(parts, fmt.Sprintf("transient=%g:%d:%v", t.Rate, t.MaxRetries, t.Backoff))
+	}
+	for _, pr := range p.Pressures {
+		parts = append(parts, fmt.Sprintf("pressure=%d@%v+%v:%d", pr.GPU, pr.At, pr.Duration, pr.Bytes))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the command-line fault syntax used by
+// `paperbench -faults`: comma-separated clauses
+//
+//	seed=N
+//	drop=GPU@TIME                     e.g. drop=1@5ms
+//	transient=RATE[:RETRIES[:BACKOFF]] e.g. transient=0.05:4:20us
+//	pressure=GPU@START+DURATION:BYTES  e.g. pressure=0@2ms+3ms:256MB
+//
+// TIME/DURATION/BACKOFF use Go duration syntax; BYTES accepts a plain
+// byte count or a KB/MB/GB suffix. Returns the parsed plan, which is
+// nil-safe to pass to the engine even when empty.
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case "drop":
+			gpuStr, atStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: drop clause %q wants GPU@TIME", val)
+			}
+			gpu, err := strconv.Atoi(gpuStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: drop gpu %q: %v", gpuStr, err)
+			}
+			at, err := time.ParseDuration(atStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: drop time %q: %v", atStr, err)
+			}
+			p.Dropouts = append(p.Dropouts, Dropout{GPU: gpu, At: at})
+		case "transient":
+			t := Transient{MaxRetries: DefaultMaxRetries, Backoff: DefaultBackoff}
+			fields := strings.Split(val, ":")
+			if len(fields) > 3 {
+				return nil, fmt.Errorf("fault: transient clause %q wants RATE[:RETRIES[:BACKOFF]]", val)
+			}
+			rate, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: transient rate %q: %v", fields[0], err)
+			}
+			t.Rate = rate
+			if len(fields) > 1 {
+				if t.MaxRetries, err = strconv.Atoi(fields[1]); err != nil {
+					return nil, fmt.Errorf("fault: transient retries %q: %v", fields[1], err)
+				}
+			}
+			if len(fields) > 2 {
+				if t.Backoff, err = time.ParseDuration(fields[2]); err != nil {
+					return nil, fmt.Errorf("fault: transient backoff %q: %v", fields[2], err)
+				}
+			}
+			p.Transient = &t
+		case "pressure":
+			gpuStr, rest, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: pressure clause %q wants GPU@START+DURATION:BYTES", val)
+			}
+			gpu, err := strconv.Atoi(gpuStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: pressure gpu %q: %v", gpuStr, err)
+			}
+			span, bytesStr, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: pressure clause %q wants GPU@START+DURATION:BYTES", val)
+			}
+			startStr, durStr, ok := strings.Cut(span, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault: pressure span %q wants START+DURATION", span)
+			}
+			at, err := time.ParseDuration(startStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: pressure start %q: %v", startStr, err)
+			}
+			dur, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: pressure duration %q: %v", durStr, err)
+			}
+			bytes, err := parseBytes(bytesStr)
+			if err != nil {
+				return nil, err
+			}
+			p.Pressures = append(p.Pressures, Pressure{GPU: gpu, At: at, Duration: dur, Bytes: bytes})
+		default:
+			return nil, fmt.Errorf("fault: unknown clause %q (want seed/drop/transient/pressure)", key)
+		}
+	}
+	// Canonical event order keeps plans comparable and the engine's event
+	// posting deterministic regardless of how the spec was spelled.
+	sort.SliceStable(p.Dropouts, func(i, j int) bool { return p.Dropouts[i].At < p.Dropouts[j].At })
+	sort.SliceStable(p.Pressures, func(i, j int) bool { return p.Pressures[i].At < p.Pressures[j].At })
+	return p, nil
+}
+
+// parseBytes parses a byte count with an optional KB/MB/GB suffix.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fault: byte count %q: %v", s, err)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	if !(&Plan{Seed: 7, Transient: &Transient{Rate: 0}}).Empty() {
+		t.Error("zero-rate transient plan not empty")
+	}
+	if (&Plan{Dropouts: []Dropout{{GPU: 0, At: time.Millisecond}}}).Empty() {
+		t.Error("dropout plan reported empty")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "seed=7,drop=1@5ms,transient=0.05:4:20us,pressure=0@2ms+3ms:256MB"
+	p, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Dropouts) != 1 || p.Dropouts[0].GPU != 1 || p.Dropouts[0].At != 5*time.Millisecond {
+		t.Errorf("dropouts = %+v", p.Dropouts)
+	}
+	if p.Transient == nil || p.Transient.Rate != 0.05 || p.Transient.MaxRetries != 4 ||
+		p.Transient.Backoff != 20*time.Microsecond {
+		t.Errorf("transient = %+v", p.Transient)
+	}
+	if len(p.Pressures) != 1 || p.Pressures[0] != (Pressure{GPU: 0, At: 2 * time.Millisecond,
+		Duration: 3 * time.Millisecond, Bytes: 256 << 20}) {
+		t.Errorf("pressures = %+v", p.Pressures)
+	}
+	// String renders in ParseSpec syntax; re-parsing reproduces the plan.
+	p2, err := ParseSpec(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip: %q vs %q", p.String(), p2.String())
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	p, err := ParseSpec("transient=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Transient.MaxRetries != DefaultMaxRetries || p.Transient.Backoff != DefaultBackoff {
+		t.Errorf("defaults not applied: %+v", p.Transient)
+	}
+	if p, err = ParseSpec(""); err != nil || !p.Empty() {
+		t.Errorf("empty spec: %v, %v", p, err)
+	}
+	if p, err = ParseSpec("none"); err != nil || !p.Empty() {
+		t.Errorf("none spec: %v, %v", p, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1", "drop=1", "drop=x@5ms", "drop=1@xx",
+		"transient=x", "transient=0.1:x", "transient=0.1:2:zz", "transient=1:2:3:4",
+		"pressure=0", "pressure=0@1ms", "pressure=0@1ms+1ms", "pressure=0@1ms+1ms:xMB",
+		"seed=x", "justaword",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Plan{
+		Dropouts:  []Dropout{{GPU: 1, At: time.Millisecond}},
+		Transient: &Transient{Rate: 0.1, MaxRetries: 3, Backoff: time.Microsecond},
+		Pressures: []Pressure{{GPU: 0, At: 0, Duration: time.Millisecond, Bytes: 1 << 20}},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Plan
+		want string
+	}{
+		{"gpu range", &Plan{Dropouts: []Dropout{{GPU: 2, At: 1}}}, "out of range"},
+		{"time", &Plan{Dropouts: []Dropout{{GPU: 0, At: 0}}}, "not positive"},
+		{"dup", &Plan{Dropouts: []Dropout{{GPU: 0, At: 1}, {GPU: 0, At: 2}}}, "more than once"},
+		{"all dead", &Plan{Dropouts: []Dropout{{GPU: 0, At: 1}, {GPU: 1, At: 2}}}, "survive"},
+		{"rate", &Plan{Transient: &Transient{Rate: 1.5, MaxRetries: 1}}, "not in [0, 1)"},
+		{"retries", &Plan{Transient: &Transient{Rate: 0.1, MaxRetries: 0}}, "retries"},
+		{"backoff", &Plan{Transient: &Transient{Rate: 0.1, MaxRetries: 1, Backoff: -1}}, "backoff"},
+		{"pressure gpu", &Plan{Pressures: []Pressure{{GPU: 9, Duration: 1, Bytes: 1}}}, "out of range"},
+		{"pressure dur", &Plan{Pressures: []Pressure{{GPU: 0, Duration: 0, Bytes: 1}}}, "duration"},
+		{"pressure bytes", &Plan{Pressures: []Pressure{{GPU: 0, Duration: 1, Bytes: 0}}}, "bytes not positive"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(2); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}

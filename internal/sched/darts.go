@@ -584,6 +584,32 @@ func (s *DARTS) DataEvicted(gpu int, d taskgraph.DataID) {
 	s.planned[gpu] = kept
 }
 
+// GPUDropped returns everything the dead GPU owned to the shared pool:
+// its planned tasks (never handed to the runtime) and the requeued tasks
+// the engine got back (killed or buffered), each recorded as a requeue
+// decision. Survivors re-plan them through the normal selectData path.
+// The engine has already reported the lost replicas via DataEvicted;
+// the sweep below only clears data selected but not yet resident
+// (markUnloaded is a no-op on anything already unloaded).
+func (s *DARTS) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	for _, t := range s.planned[gpu] {
+		s.returnToPool(t)
+	}
+	s.planned[gpu] = nil
+	for _, t := range requeue {
+		s.returnToPool(t)
+		if s.rec != nil {
+			s.rec.Record(Decision{Kind: DecisionRequeue, GPU: -1, Victim: gpu,
+				Task: t, Data: taskgraph.NoData})
+		}
+	}
+	s.buffer[gpu] = nil
+	for _, d := range s.loadedList[gpu] {
+		s.markUnloaded(gpu, d)
+	}
+	s.loadedList[gpu] = nil
+}
+
 // LUF is the Least Used in the Future eviction policy (Algorithm 6). It
 // reads the plannedTasks and taskBuffer of its paired DARTS scheduler:
 // prefer evicting a data used by no in-flight task and by the fewest

@@ -35,6 +35,9 @@ type DecisionDigest struct {
 	Fallbacks  int `json:"fallbacks"`
 	Evictions  int `json:"evictions"`
 	Steals     int `json:"steals"`
+	// Requeues counts tasks reassigned away from a dead GPU after a
+	// fault-injected dropout; always 0 on fault-free runs.
+	Requeues int `json:"requeues,omitempty"`
 	// PrematureEvictions counts eviction victims that still had future
 	// uses — each one is a likely reload later.
 	PrematureEvictions int `json:"premature_evictions"`
@@ -48,7 +51,7 @@ type DecisionDigest struct {
 
 // Total returns the number of decisions folded into the digest.
 func (d *DecisionDigest) Total() int {
-	return d.SelectData + d.Fallbacks + d.Evictions + d.Steals
+	return d.SelectData + d.Fallbacks + d.Evictions + d.Steals + d.Requeues
 }
 
 // DigestRecorder is a DecisionRecorder folding the decision stream into
@@ -87,6 +90,8 @@ func (r *DigestRecorder) Record(dec Decision) {
 		}
 	case DecisionSteal:
 		r.d.Steals++
+	case DecisionRequeue:
+		r.d.Requeues++
 	}
 }
 
@@ -186,6 +191,10 @@ func JoinDigests(old, new *DecisionDigest) []string {
 	if old.Steals != new.Steals {
 		lines = append(lines, fmt.Sprintf(
 			"work steals: %d in old run vs %d in new run", old.Steals, new.Steals))
+	}
+	if old.Requeues != new.Requeues {
+		lines = append(lines, fmt.Sprintf(
+			"dropout requeues: %d in old run vs %d in new run", old.Requeues, new.Requeues))
 	}
 	if old.SelectData > 0 && new.SelectData > 0 && old.MeanFreedTasks != new.MeanFreedTasks {
 		lines = append(lines, fmt.Sprintf(

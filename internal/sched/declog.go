@@ -22,6 +22,9 @@ const (
 	DecisionEvict
 	// DecisionSteal is one task moving between work-stealing deques.
 	DecisionSteal
+	// DecisionRequeue is a task reassigned to a surviving GPU after a
+	// dropout (fault injection); Victim holds the dead GPU.
+	DecisionRequeue
 )
 
 // String returns the mnemonic of the kind.
@@ -35,6 +38,8 @@ func (k DecisionKind) String() string {
 		return "evict"
 	case DecisionSteal:
 		return "steal"
+	case DecisionRequeue:
+		return "requeue"
 	}
 	return "?"
 }
@@ -82,6 +87,11 @@ func (d Decision) String() string {
 			d.GPU, d.Data, d.Candidates, d.FutureUses)
 	case DecisionSteal:
 		return fmt.Sprintf("gpu %d steals task %d from gpu %d", d.GPU, d.Task, d.Victim)
+	case DecisionRequeue:
+		if d.GPU < 0 {
+			return fmt.Sprintf("task %d returned to the shared pool from dead gpu %d", d.Task, d.Victim)
+		}
+		return fmt.Sprintf("gpu %d takes over task %d from dead gpu %d", d.GPU, d.Task, d.Victim)
 	}
 	return "?"
 }

@@ -87,3 +87,9 @@ func (s *DMDAR) PopTask(gpu int) (taskgraph.TaskID, bool) {
 	s.queues[gpu] = removeAt(s.queues[gpu], i)
 	return t, true
 }
+
+// GPUDropped redistributes the dead GPU's allocation to the survivors
+// (DMDAR has no stealing, so without this its tasks would be stranded).
+func (s *DMDAR) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	requeueToAlive(s.view, s.queues, gpu, requeue, nil)
+}

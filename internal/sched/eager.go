@@ -40,3 +40,14 @@ func (s *Eager) PopTask(gpu int) (taskgraph.TaskID, bool) {
 	s.next++
 	return t, true
 }
+
+// GPUDropped puts the dead GPU's unfinished tasks back at the front of
+// the shared queue; survivors pick them up on demand like any other task.
+func (s *Eager) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	rest := s.queue[s.next:]
+	q := make([]taskgraph.TaskID, 0, len(requeue)+len(rest))
+	q = append(q, requeue...)
+	q = append(q, rest...)
+	s.queue = q
+	s.next = 0
+}

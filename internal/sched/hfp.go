@@ -294,3 +294,10 @@ func (s *MHFP) PopTask(gpu int) (taskgraph.TaskID, bool) {
 	s.queues[gpu] = removeAt(s.queues[gpu], i)
 	return t, true
 }
+
+// GPUDropped redistributes the dead GPU's package to the survivors (the
+// packages' internal order is preserved task by task; see GPUDropped on
+// HMetisR for why stealing alone cannot drain a dead queue).
+func (s *MHFP) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	requeueToAlive(s.view, s.queues, gpu, requeue, nil)
+}

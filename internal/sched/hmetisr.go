@@ -154,3 +154,10 @@ func (s *HMetisR) PopTask(gpu int) (taskgraph.TaskID, bool) {
 	s.queues[gpu] = removeAt(s.queues[gpu], i)
 	return t, true
 }
+
+// GPUDropped redistributes the dead GPU's partition to the survivors.
+// Stealing alone cannot drain it: stealHalf only splits queues of two or
+// more tasks, and the no-steal variants have no stealing at all.
+func (s *HMetisR) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	requeueToAlive(s.view, s.queues, gpu, requeue, nil)
+}

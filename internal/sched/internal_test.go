@@ -42,6 +42,7 @@ func newFakeView(inst *taskgraph.Instance, gpus int) *fakeView {
 func (v *fakeView) Instance() *taskgraph.Instance           { return v.inst }
 func (v *fakeView) Platform() platform.Platform             { return v.plat }
 func (v *fakeView) Now() time.Duration                      { return 0 }
+func (v *fakeView) Alive(g int) bool                        { return true }
 func (v *fakeView) Resident(g int, d taskgraph.DataID) bool { return v.resident[g][d] }
 func (v *fakeView) Arriving(g int, d taskgraph.DataID) bool { return v.arriving[g][d] }
 func (v *fakeView) Available(g int, d taskgraph.DataID) bool {

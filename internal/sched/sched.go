@@ -111,3 +111,38 @@ func stealHalf(queues [][]taskgraph.TaskID, thief int) bool {
 func removeAt(q []taskgraph.TaskID, i int) []taskgraph.TaskID {
 	return append(q[:i], q[i+1:]...)
 }
+
+// requeueToAlive is the shared dropout recovery of the per-GPU-queue
+// schedulers: the dead GPU's unserved queue plus the engine-reported
+// requeue list (its killed and windowed tasks) are redistributed to the
+// surviving GPUs, each task to the currently shortest queue. Explicit
+// redistribution is required even for the stealing schedulers: stealHalf
+// only splits queues holding at least two tasks, so a dead queue with a
+// single task would never be drained by a thief. rec, when non-nil,
+// records one DecisionRequeue per moved task.
+func requeueToAlive(view sim.RuntimeView, queues [][]taskgraph.TaskID, dead int, requeue []taskgraph.TaskID, rec DecisionRecorder) {
+	pending := make([]taskgraph.TaskID, 0, len(requeue)+len(queues[dead]))
+	pending = append(pending, requeue...)
+	pending = append(pending, queues[dead]...)
+	queues[dead] = nil
+	for _, t := range pending {
+		best := -1
+		for g := range queues {
+			if g == dead || !view.Alive(g) {
+				continue
+			}
+			if best < 0 || len(queues[g]) < len(queues[best]) {
+				best = g
+			}
+		}
+		if best < 0 {
+			// No survivor (the engine's plan validation prevents this);
+			// the stall diagnostic will name the stranded tasks.
+			return
+		}
+		queues[best] = append(queues[best], t)
+		if rec != nil {
+			rec.Record(Decision{Kind: DecisionRequeue, GPU: best, Victim: dead, Task: t, Data: taskgraph.NoData})
+		}
+	}
+}

@@ -80,6 +80,13 @@ func (s *WorkStealing) PopTask(gpu int) (taskgraph.TaskID, bool) {
 	return t, true
 }
 
+// GPUDropped rebalances the dead GPU's deque onto the survivors,
+// recording one requeue decision per task; subsequent steals keep
+// rebalancing as usual.
+func (s *WorkStealing) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	requeueToAlive(s.view, s.queues, gpu, requeue, s.rec)
+}
+
 // steal moves up to half of the most loaded victim's tail into the
 // thief's deque, preferring (within a bounded scan) the tasks whose
 // inputs are already available on the thief.

@@ -135,8 +135,12 @@ func (a *Analysis) String() string {
 		fmt.Fprintf(&b, "gpu %d: busy %v, idle %v", k, a.GPUBusy[k], a.GPUIdle[k])
 		if a.Telemetry != nil && k < len(a.Telemetry.GPU) {
 			g := a.Telemetry.GPU[k]
-			fmt.Fprintf(&b, " (starved %v, bus %v, peer %v, done %v)",
+			fmt.Fprintf(&b, " (starved %v, bus %v, peer %v, done %v",
 				g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done)
+			if g.Dead > 0 {
+				fmt.Fprintf(&b, ", dead %v", g.Dead)
+			}
+			b.WriteByte(')')
 		}
 		b.WriteByte('\n')
 	}

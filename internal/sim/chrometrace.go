@@ -82,6 +82,27 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				TID:   ev.GPU,
 				Cat:   "evict",
 			})
+		case TraceDropout:
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("gpu%d dropout", ev.GPU),
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "fault",
+			})
+		case TraceTaskKill:
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("kill %s", inst.Task(ev.Task).Name),
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "fault",
+			})
+			// The killed task's open compute span never gets a TraceEnd;
+			// forget it so a later span on this GPU row starts clean.
+			delete(running, ev.GPU)
 		}
 	}
 	enc := json.NewEncoder(w)

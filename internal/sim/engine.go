@@ -2,11 +2,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"memsched/internal/fault"
 	"memsched/internal/platform"
 	"memsched/internal/taskgraph"
 )
@@ -20,6 +22,10 @@ const (
 	evWake
 	evFairCheck
 	evWriteDone
+	// Fault administration (posted only for non-empty fault plans).
+	evDropout    // permanent GPU loss; gpu = victim
+	evPressureOn // memory-pressure spike start; gen = plan index
+	evPressureOff
 )
 
 type event struct {
@@ -77,6 +83,12 @@ type gpuState struct {
 	// one FIFO per destination GPU.
 	nvQueue  []fetchReq
 	nvActive bool
+	// Fault state: dead marks a permanent dropout, pressure the bytes
+	// withheld by active memory-pressure spikes, runStart when the
+	// running task began (for busy-time correction when it is killed).
+	dead     bool
+	pressure int64
+	runStart time.Duration
 }
 
 type busState struct {
@@ -117,6 +129,20 @@ type engine struct {
 	trace       []TraceEvent
 	probe       Probe
 	tel         *telemetryState // nil unless Config.Telemetry
+
+	// Fault injection (all zero/nil for fault-free runs).
+	faults              *fault.Plan
+	faultRNG            *rand.Rand // nil unless the plan has transient failures
+	fstats              *FaultStats
+	requeued            []bool // dropout-requeued tasks not yet restarted
+	recoveryOutstanding int
+	recoveryStart       time.Duration
+
+	// done marks completed tasks, for the stall diagnostic.
+	done []bool
+
+	ctx      context.Context // nil unless Config.Context
+	loopIter int
 }
 
 // Run executes the instance under the given configuration and returns the
@@ -180,7 +206,11 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	if cfg.Telemetry {
 		e.tel = newTelemetryState(cfg.Platform.NumGPUs, inst.NumData())
 	}
+	if cfg.Context != nil {
+		e.ctx = cfg.Context
+	}
 	e.loadsPerData = make([]int, inst.NumData())
+	e.done = make([]bool, inst.NumTasks())
 	e.gpus = make([]gpuState, cfg.Platform.NumGPUs)
 	for k := range e.gpus {
 		e.gpus[k] = gpuState{
@@ -198,6 +228,14 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	for k := range e.gpus {
 		e.gpus[k].schedClock = e.staticDelay
 	}
+	// An empty (or nil) fault plan is a strict no-op: no events posted, no
+	// fault RNG seeded, Result.Faults nil — byte-identical to a run
+	// configured without a plan.
+	if !cfg.Faults.Empty() {
+		if err := e.initFaults(cfg.Faults, maxFootprint); err != nil {
+			return nil, err
+		}
+	}
 
 	e.pass()
 	if e.tel != nil {
@@ -205,6 +243,21 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	}
 	for len(e.heap) > 0 {
 		ev := heap.Pop(&e.heap).(event)
+		// Fault administration scheduled past the last completion is
+		// dropped without advancing the clock: a dropout at t=1h must not
+		// stretch the makespan of a workload that finished at t=2ms.
+		if isFaultEvent(ev.kind) && e.completed == inst.NumTasks() {
+			continue
+		}
+		if e.ctx != nil {
+			e.loopIter++
+			if e.loopIter&1023 == 0 {
+				if err := e.ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: cancelled with %d/%d tasks completed: %w",
+						e.completed, inst.NumTasks(), err)
+				}
+			}
+		}
 		if e.tel != nil {
 			// Attribute the idle interval ending now, under the
 			// classification established at the previous fixpoint.
@@ -222,6 +275,12 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 			e.fairCheck(ev.gen)
 		case evWriteDone:
 			e.writeDone(ev.gpu, ev.task)
+		case evDropout:
+			e.dropout(ev.gpu)
+		case evPressureOn:
+			e.pressureOn(ev.gpu, e.faults.Pressures[ev.gen])
+		case evPressureOff:
+			e.pressureOff(ev.gpu, e.faults.Pressures[ev.gen])
 		case evWake:
 			// state re-examined by the pass below
 		}
@@ -232,8 +291,7 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	}
 
 	if e.completed != inst.NumTasks() {
-		return nil, fmt.Errorf("sim: stalled with %d/%d tasks completed (scheduler %s)",
-			e.completed, inst.NumTasks(), e.sched.Name())
+		return nil, e.stallError()
 	}
 	res := e.result()
 	if e.tel != nil {
@@ -265,6 +323,7 @@ func (e *engine) result() *Result {
 		Events:          e.seq,
 		GPU:             make([]GPUStats, len(e.gpus)),
 		Trace:           e.trace,
+		Faults:          e.fstats,
 	}
 	for k := range e.gpus {
 		res.GPU[k] = e.gpus[k].stats
@@ -288,6 +347,9 @@ func (e *engine) pass() {
 	for changed := true; changed; {
 		changed = false
 		for k := range e.gpus {
+			if e.gpus[k].dead {
+				continue
+			}
 			if e.refill(k) {
 				changed = true
 			}
@@ -421,6 +483,9 @@ func (e *engine) nvStartNext(k int) {
 	g.nvQueue = g.nvQueue[1:]
 	g.nvActive = true
 	dur := e.plat.PeerTransferDuration(e.inst.Data(req.data).Size)
+	if e.faultRNG != nil {
+		dur += e.transientDelay(req.gpu, req.data, taskgraph.NoTask)
+	}
 	if e.tel != nil {
 		e.tel.nvBusy[k] += dur
 	}
@@ -429,6 +494,11 @@ func (e *engine) nvStartNext(k int) {
 
 func (e *engine) peerDone(k int, d taskgraph.DataID) {
 	g := &e.gpus[k]
+	if g.dead {
+		// Discarded arrival; the NVLink queue was cleared at dropout.
+		e.nvStartNext(k)
+		return
+	}
 	size := e.inst.Data(d).Size
 	g.arriving[d] = false
 	g.arrivingPeer[d] = false
@@ -510,7 +580,7 @@ func (e *engine) protected(k int) map[taskgraph.DataID]bool {
 // false if not enough unpinned data can be evicted.
 func (e *engine) ensureSpace(k int, size int64) bool {
 	g := &e.gpus[k]
-	free := e.plat.MemoryBytes - g.residentBytes - g.reservedBytes
+	free := e.memLimit(k) - g.residentBytes - g.reservedBytes
 	if free >= size {
 		return true
 	}
@@ -534,7 +604,7 @@ func (e *engine) ensureSpace(k int, size int64) bool {
 			panic(fmt.Sprintf("sim: eviction policy %s chose invalid victim %d on gpu %d", e.evict.Name(), v, k))
 		}
 		e.doEvict(k, v)
-		free = e.plat.MemoryBytes - g.residentBytes - g.reservedBytes
+		free = e.memLimit(k) - g.residentBytes - g.reservedBytes
 	}
 	return true
 }
@@ -596,6 +666,15 @@ func (e *engine) busStartNext() {
 			size = e.inst.Data(req.data).Size
 		}
 		dur := e.plat.TransferDuration(size)
+		if e.faultRNG != nil {
+			// Transient failures hold the bus through the retries: the
+			// backoff is charged as extra transfer time.
+			if req.writeback {
+				dur += e.transientDelay(req.gpu, taskgraph.NoData, taskgraph.TaskID(req.data))
+			} else {
+				dur += e.transientDelay(req.gpu, req.data, taskgraph.NoTask)
+			}
+		}
 		if e.tel != nil {
 			// FIFO serializes transfers, so busy time is their sum.
 			e.tel.busBusy += dur
@@ -613,7 +692,11 @@ func (e *engine) busStartNext() {
 }
 
 func (e *engine) transferDone(k int, d taskgraph.DataID) {
-	e.hostArrived(k, d)
+	// A transfer that was in flight when its destination dropped out
+	// still occupied the bus, but its arrival is discarded.
+	if !e.gpus[k].dead {
+		e.hostArrived(k, d)
+	}
 	e.busStartNext()
 }
 
@@ -665,12 +748,16 @@ func (e *engine) tryStart(k int) bool {
 		}
 		g.buffer = append(g.buffer[:i], g.buffer[i+1:]...)
 		g.running = ent.task
+		g.runStart = e.now
 		for _, d := range e.inst.Inputs(ent.task) {
 			e.evict.Used(k, d)
 		}
 		dur := e.plat.TaskDurationOn(k, e.inst.Task(ent.task).Flops)
 		g.stats.BusyTime += dur
 		e.record(TraceEvent{At: e.now, Kind: TraceStart, GPU: k, Task: ent.task, Data: taskgraph.NoData})
+		if e.fstats != nil {
+			e.recoveredStart(ent.task)
+		}
 		e.post(event{at: e.now + dur, kind: evTaskDone, gpu: k, task: ent.task, data: taskgraph.NoData})
 		return true
 	}
@@ -679,12 +766,17 @@ func (e *engine) tryStart(k int) bool {
 
 func (e *engine) taskDone(k int, t taskgraph.TaskID) {
 	g := &e.gpus[k]
+	if g.dead {
+		// Stale completion of a task killed by the dropout.
+		return
+	}
 	if g.running != t {
 		panic(fmt.Sprintf("sim: completion of task %d on gpu %d but running is %d", t, k, g.running))
 	}
 	g.running = taskgraph.NoTask
 	g.stats.Tasks++
 	e.completed++
+	e.done[t] = true
 	e.record(TraceEvent{At: e.now, Kind: TraceEnd, GPU: k, Task: t, Data: taskgraph.NoData})
 	if out := e.inst.Task(t).OutputBytes; out > 0 {
 		// The result is written back to host memory over the shared
@@ -730,6 +822,10 @@ func (e *engine) Platform() platform.Platform { return e.plat }
 
 // Now returns the current simulated time.
 func (e *engine) Now() time.Duration { return e.now }
+
+// Alive reports whether gpu has not suffered a permanent dropout.
+// Always true on fault-free runs.
+func (e *engine) Alive(gpu int) bool { return !e.gpus[gpu].dead }
 
 // Resident reports whether d is in the memory of gpu.
 func (e *engine) Resident(gpu int, d taskgraph.DataID) bool {

@@ -39,6 +39,17 @@ func (e *engine) fairEnqueue(req fetchReq) {
 		bytes = e.inst.Data(req.data).Size
 	}
 	size := float64(bytes) + latencyBytes
+	if e.faultRNG != nil {
+		// Transient failures are folded into equivalent bytes, like the
+		// latency: the retries consume this transfer's bandwidth share.
+		var extra time.Duration
+		if req.writeback {
+			extra = e.transientDelay(req.gpu, taskgraph.NoData, taskgraph.TaskID(req.data))
+		} else {
+			extra = e.transientDelay(req.gpu, req.data, taskgraph.NoTask)
+		}
+		size += extra.Seconds() * e.plat.BusBytesPerSecond
+	}
 	e.fair.active = append(e.fair.active, fairTransfer{req: req, remaining: size})
 	e.fairReschedule()
 }
@@ -113,6 +124,11 @@ func (e *engine) fairCheck(gen int64) {
 			t := taskgraph.TaskID(req.data)
 			e.gpus[req.gpu].stats.BytesOut += e.inst.Task(t).OutputBytes
 			e.record(TraceEvent{At: e.now, Kind: TraceWriteBack, GPU: req.gpu, Task: t, Data: taskgraph.NoData})
+			continue
+		}
+		if e.gpus[req.gpu].dead {
+			// Loads to a dead GPU are removed at dropout; this guards the
+			// window where one completes in the same instant.
 			continue
 		}
 		e.hostArrived(req.gpu, req.data)

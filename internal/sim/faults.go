@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"memsched/internal/fault"
+	"memsched/internal/taskgraph"
+)
+
+// faultSeedSalt decorrelates the fault RNG stream from the scheduler
+// tie-break stream: the same plan seed must perturb every strategy's
+// transfers identically, independent of how much tie-break randomness
+// the strategy consumes.
+const faultSeedSalt = 0x6661756c74 // "fault"
+
+// FaultStats aggregates the degradation metrics of one faulty run,
+// attached as Result.Faults. It is nil on fault-free runs (no plan, or
+// an empty plan), keeping fault-free results byte-identical to runs
+// configured without a plan.
+type FaultStats struct {
+	// Dropouts is the number of permanent GPU losses that fired.
+	Dropouts int `json:"dropouts"`
+	// KilledTasks counts tasks killed mid-execution by a dropout.
+	KilledTasks int `json:"killed_tasks"`
+	// RequeuedTasks counts tasks handed back to the scheduler after a
+	// dropout (the killed task plus the dead GPU's window).
+	RequeuedTasks int `json:"requeued_tasks"`
+	// LostBytes is the volume of resident replicas lost to dropouts.
+	LostBytes int64 `json:"lost_bytes"`
+	// RetriedTransfers counts transfers that failed at least once;
+	// TransferRetries counts the individual failed attempts.
+	RetriedTransfers int `json:"retried_transfers"`
+	TransferRetries  int `json:"transfer_retries"`
+	// BackoffTime is the total simulated time spent in retry backoff.
+	BackoffTime time.Duration `json:"backoff_ns"`
+	// PressureEvictions counts evictions forced by memory-pressure
+	// spikes (also included in the ordinary eviction counters).
+	PressureEvictions int `json:"pressure_evictions"`
+	// RecoveryTime is the total simulated time between a dropout
+	// re-enqueueing tasks and the last of them starting on a survivor:
+	// how long the machine took to re-absorb the lost GPU's work.
+	RecoveryTime time.Duration `json:"recovery_ns"`
+}
+
+// initFaults validates and arms a non-empty fault plan on the engine:
+// it allocates the stats, seeds the independent fault RNG, and posts
+// the dropout and pressure events. Called once before the first pass;
+// never called for nil/empty plans, so fault-free runs post no events
+// and consume no fault randomness.
+func (e *engine) initFaults(plan *fault.Plan, maxFootprint int64) error {
+	if err := plan.Validate(e.plat.NumGPUs); err != nil {
+		return err
+	}
+	for i, p := range plan.Pressures {
+		// Same progress guarantee as the base memory check: under the
+		// spike, the running task and the window head must still fit.
+		if e.plat.MemoryBytes-p.Bytes < 2*maxFootprint {
+			return fmt.Errorf("sim: pressure %d withholds %d B, leaving %d B < two task footprints (%d B)",
+				i, p.Bytes, e.plat.MemoryBytes-p.Bytes, 2*maxFootprint)
+		}
+	}
+	e.faults = plan
+	e.fstats = &FaultStats{}
+	if t := plan.Transient; t != nil && t.Rate > 0 {
+		e.faultRNG = rand.New(rand.NewSource(plan.Seed ^ faultSeedSalt))
+	}
+	for _, d := range plan.Dropouts {
+		e.post(event{at: d.At, kind: evDropout, gpu: d.GPU, task: taskgraph.NoTask, data: taskgraph.NoData})
+	}
+	for i, p := range plan.Pressures {
+		e.post(event{at: p.At, kind: evPressureOn, gpu: p.GPU, task: taskgraph.NoTask, data: taskgraph.NoData, gen: int64(i)})
+		e.post(event{at: p.At + p.Duration, kind: evPressureOff, gpu: p.GPU, task: taskgraph.NoTask, data: taskgraph.NoData, gen: int64(i)})
+	}
+	return nil
+}
+
+// isFaultEvent reports whether kind is fault administration rather than
+// workload progress. Once every task has completed, pending fault events
+// are skipped without advancing the clock so they cannot stretch the
+// makespan or the telemetry accrual.
+func isFaultEvent(k eventKind) bool {
+	return k == evDropout || k == evPressureOn || k == evPressureOff
+}
+
+// memLimit is the effective memory budget of GPU k: the platform memory
+// minus any active pressure spike.
+func (e *engine) memLimit(k int) int64 {
+	return e.plat.MemoryBytes - e.gpus[k].pressure
+}
+
+// transientDelay draws the retry schedule for one transfer starting now:
+// the number of failed attempts (geometric with the plan's rate, capped
+// at MaxRetries so transfers always complete) and the total exponential
+// backoff to charge. Fault-free engines return (0, 0) without touching
+// any RNG. emit records one TraceRetry per failed attempt.
+func (e *engine) transientDelay(gpu int, d taskgraph.DataID, t taskgraph.TaskID) time.Duration {
+	if e.faultRNG == nil {
+		return 0
+	}
+	tr := e.faults.Transient
+	fails := 0
+	for fails < tr.MaxRetries && e.faultRNG.Float64() < tr.Rate {
+		fails++
+	}
+	if fails == 0 {
+		return 0
+	}
+	var extra time.Duration
+	for i := 0; i < fails; i++ {
+		extra += tr.Backoff << i
+		e.record(TraceEvent{At: e.now, Kind: TraceRetry, GPU: gpu, Task: t, Data: d})
+	}
+	e.fstats.RetriedTransfers++
+	e.fstats.TransferRetries += fails
+	e.fstats.BackoffTime += extra
+	return extra
+}
+
+// dropout executes a permanent GPU loss: kill the running task, drop all
+// resident replicas (notifying the eviction policy and scheduler, which
+// invalidates replica bookkeeping and revokes planned work), discard
+// transfers headed to the dead GPU, and hand the killed and never-started
+// tasks back to the scheduler through its DropoutHandler hook.
+func (e *engine) dropout(k int) {
+	g := &e.gpus[k]
+	if g.dead {
+		return
+	}
+	g.dead = true
+	e.fstats.Dropouts++
+	e.record(TraceEvent{At: e.now, Kind: TraceDropout, GPU: k, Task: taskgraph.NoTask, Data: taskgraph.NoData})
+
+	// Kill the in-flight task. Its completion event becomes stale
+	// (taskDone ignores dead GPUs); only the partial execution up to now
+	// counts as busy time, keeping the telemetry invariant exact.
+	var requeue []taskgraph.TaskID
+	if t := g.running; t != taskgraph.NoTask {
+		dur := e.plat.TaskDurationOn(k, e.inst.Task(t).Flops)
+		g.stats.BusyTime += (e.now - g.runStart) - dur
+		g.running = taskgraph.NoTask
+		e.fstats.KilledTasks++
+		e.record(TraceEvent{At: e.now, Kind: TraceTaskKill, GPU: k, Task: t, Data: taskgraph.NoData})
+		requeue = append(requeue, t)
+	}
+	for i := range g.buffer {
+		requeue = append(requeue, g.buffer[i].task)
+	}
+	g.buffer = nil
+	g.pendingFetch = nil
+
+	// Lose the resident replicas, in ascending data order for
+	// determinism. This goes through the same Evicted/DataEvicted
+	// notifications as an eviction (so LRU lists and DARTS' loaded sets
+	// stay coherent, and LUF revokes planned tasks reading the data) but
+	// not through doEvict: a lost replica is not an eviction decision
+	// and must not inflate the eviction counters.
+	for di := range g.resident {
+		if !g.resident[di] {
+			continue
+		}
+		d := taskgraph.DataID(di)
+		size := e.inst.Data(d).Size
+		g.resident[di] = false
+		g.residentBytes -= size
+		e.fstats.LostBytes += size
+		e.record(TraceEvent{At: e.now, Kind: TraceDataLost, GPU: k, Task: taskgraph.NoTask, Data: d})
+		e.evict.Evicted(k, d)
+		e.sched.DataEvicted(k, d)
+	}
+
+	// Discard transfers headed to the dead GPU. Queued host-bus loads
+	// are removed; the in-flight one completes on the bus but its
+	// arrival is discarded (transferDone/fairCheck/peerDone check dead).
+	// Write-backs already handed to the bus keep going: their payload
+	// left the GPU when they were enqueued. NVLink transfers already
+	// started snapshot their source, so in-flight ones deliver normally
+	// to live destinations.
+	for i := range g.arriving {
+		g.arriving[i] = false
+		g.arrivingPeer[i] = false
+	}
+	g.reservedBytes = 0
+	g.nvQueue = nil
+	if e.busModel == BusFairShare {
+		e.fairAdvance()
+		kept := e.fair.active[:0]
+		removed := false
+		for _, tr := range e.fair.active {
+			if tr.req.gpu == k && !tr.req.writeback {
+				removed = true
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		e.fair.active = kept
+		if removed {
+			if e.tel != nil && len(kept) == 0 {
+				e.tel.busBusy += e.now - e.tel.fairSince
+			}
+			e.fairReschedule()
+		}
+	} else {
+		kept := e.bus.queue[:0]
+		for _, req := range e.bus.queue {
+			if req.gpu == k {
+				continue
+			}
+			kept = append(kept, req)
+		}
+		e.bus.queue = kept
+	}
+
+	// Hand the dead GPU's popped-but-unfinished tasks back to the
+	// scheduler. A scheduler without the hook cannot reabsorb them; the
+	// run then drains and the stall diagnostic names the lost tasks.
+	if dh, ok := e.sched.(DropoutHandler); ok && len(requeue) > 0 {
+		if e.requeued == nil {
+			e.requeued = make([]bool, e.inst.NumTasks())
+		}
+		added := false
+		for _, t := range requeue {
+			if !e.requeued[t] {
+				e.requeued[t] = true
+				if e.recoveryOutstanding == 0 && !added {
+					e.recoveryStart = e.now
+				}
+				e.recoveryOutstanding++
+				added = true
+			}
+		}
+		e.fstats.RequeuedTasks += len(requeue)
+		dh.GPUDropped(k, requeue)
+	} else if len(requeue) > 0 {
+		e.fstats.RequeuedTasks += len(requeue)
+	}
+}
+
+// recoveredStart notes that a dropout-requeued task started on a
+// survivor; when the last outstanding one starts, the recovery interval
+// closes into FaultStats.RecoveryTime.
+func (e *engine) recoveredStart(t taskgraph.TaskID) {
+	if e.requeued == nil || !e.requeued[t] {
+		return
+	}
+	e.requeued[t] = false
+	e.recoveryOutstanding--
+	if e.recoveryOutstanding == 0 {
+		e.fstats.RecoveryTime += e.now - e.recoveryStart
+	}
+}
+
+// pressureOn applies a memory-pressure spike to GPU k: the budget
+// shrinks and unpinned data is evicted down to it (best effort — data
+// pinned by the running task or the window head stays, and in-flight
+// arrivals may briefly overshoot the shrunk budget).
+func (e *engine) pressureOn(k int, p fault.Pressure) {
+	g := &e.gpus[k]
+	if g.dead {
+		return
+	}
+	g.pressure += p.Bytes
+	e.record(TraceEvent{At: e.now, Kind: TracePressureOn, GPU: k, Task: taskgraph.NoTask, Data: taskgraph.NoData})
+	limit := e.memLimit(k)
+	var prot map[taskgraph.DataID]bool
+	for g.residentBytes+g.reservedBytes > limit {
+		if prot == nil {
+			prot = e.protected(k)
+		}
+		candidates := make([]taskgraph.DataID, 0, 64)
+		for di := range g.resident {
+			d := taskgraph.DataID(di)
+			if g.resident[di] && !prot[d] {
+				candidates = append(candidates, d)
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		v := e.evict.Victim(k, candidates)
+		if !g.resident[v] || prot[v] {
+			panic(fmt.Sprintf("sim: eviction policy %s chose invalid victim %d on gpu %d", e.evict.Name(), v, k))
+		}
+		e.doEvict(k, v)
+		e.fstats.PressureEvictions++
+	}
+}
+
+// pressureOff lifts a spike; the next pass retries parked fetches.
+func (e *engine) pressureOff(k int, p fault.Pressure) {
+	g := &e.gpus[k]
+	if g.dead {
+		return
+	}
+	g.pressure -= p.Bytes
+	e.record(TraceEvent{At: e.now, Kind: TracePressureOff, GPU: k, Task: taskgraph.NoTask, Data: taskgraph.NoData})
+}

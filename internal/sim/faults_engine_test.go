@@ -1,0 +1,218 @@
+package sim_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/fault"
+	"memsched/internal/memory"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// TestEmptyFaultPlanIsNoOp pins the no-op contract: a nil plan, the zero
+// plan and a rate-0 transient plan all produce results identical to a
+// run configured without fault injection at all.
+func TestEmptyFaultPlanIsNoOp(t *testing.T) {
+	run := func(plan *fault.Plan) *sim.Result {
+		t.Helper()
+		res, err := sim.Run(chain(6), sim.Config{
+			Platform:  tinyPlatform(2, 100),
+			Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}},
+			Eviction:  memory.NewLRU(),
+			Telemetry: true,
+			Faults:    plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(nil)
+	if want.Faults != nil {
+		t.Fatalf("fault-free run has Faults = %+v, want nil", want.Faults)
+	}
+	for name, plan := range map[string]*fault.Plan{
+		"zero":      {},
+		"rate-zero": {Seed: 7, Transient: &fault.Transient{Rate: 0, MaxRetries: 4, Backoff: time.Millisecond}},
+	} {
+		if got := run(plan); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s plan: result differs from fault-free run:\ngot  %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestFaultyRunIsDeterministic pins bit-determinism: the same seed and
+// plan produce the identical faulty schedule on repeated runs.
+func TestFaultyRunIsDeterministic(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:      3,
+		Dropouts:  []fault.Dropout{{GPU: 1, At: 1500 * time.Millisecond}},
+		Transient: &fault.Transient{Rate: 0.3, MaxRetries: 4, Backoff: 10 * time.Millisecond},
+		Pressures: []fault.Pressure{{GPU: 0, At: time.Second, Duration: 2 * time.Second, Bytes: 30}},
+	}
+	run := func() *sim.Result {
+		t.Helper()
+		res, err := sim.Run(chain(8), sim.Config{
+			Platform:  tinyPlatform(2, 100),
+			Scheduler: &requeueSched{listSched{queues: [][]taskgraph.TaskID{{0, 1, 2, 3}, {4, 5, 6, 7}}}},
+			Eviction:  memory.NewLRU(),
+			Telemetry: true,
+			Faults:    plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulty runs with identical seed+plan differ:\nfirst  %+v\nsecond %+v", a, b)
+	}
+	if a.Faults == nil || a.Faults.Dropouts != 1 {
+		t.Fatalf("Faults = %+v, want exactly 1 dropout recorded", a.Faults)
+	}
+	if a.Faults.RequeuedTasks == 0 {
+		t.Fatalf("Faults = %+v, want requeued tasks after the dropout", a.Faults)
+	}
+}
+
+// requeueSched is listSched plus the DropoutHandler hook: the dead GPU's
+// tasks are appended to GPU 0's list (or the first alive GPU).
+type requeueSched struct {
+	listSched
+}
+
+func (s *requeueSched) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
+	s.listSched.Init(inst, view)
+}
+
+func (s *requeueSched) GPUDropped(gpu int, requeue []taskgraph.TaskID) {
+	dest := -1
+	for g := range s.queues {
+		if g != gpu && s.view.Alive(g) {
+			dest = g
+			break
+		}
+	}
+	if dest < 0 {
+		return
+	}
+	s.queues[dest] = append(s.queues[dest], requeue...)
+	s.queues[dest] = append(s.queues[dest], s.queues[gpu]...)
+	s.queues[gpu] = nil
+}
+
+// TestDropoutWithoutHandlerStallsWithDiagnostic pins the livelock guard:
+// a scheduler without the DropoutHandler hook strands the dead GPU's
+// tasks, and the engine reports which tasks are stuck and why instead of
+// spinning.
+func TestDropoutWithoutHandlerStallsWithDiagnostic(t *testing.T) {
+	_, err := sim.Run(chain(6), sim.Config{
+		Platform:  tinyPlatform(2, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}},
+		Eviction:  memory.NewLRU(),
+		Faults: &fault.Plan{
+			Dropouts: []fault.Dropout{{GPU: 1, At: 500 * time.Millisecond}},
+		},
+	})
+	if err == nil {
+		t.Fatal("dropout with a handler-less scheduler completed, want stall error")
+	}
+	for _, want := range []string{"stalled", "dead GPUs [1]", "no DropoutHandler", "stranded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("stall diagnostic %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestStallDiagnosticNamesStrandedTasks pins the per-task detail lines
+// of the stall diagnostic on a hand-built stuck instance: tasks stranded
+// on the dead GPU are named individually.
+func TestStallDiagnosticNamesStrandedTasks(t *testing.T) {
+	_, err := sim.Run(chain(4), sim.Config{
+		Platform:  tinyPlatform(2, 100),
+		Scheduler: &listSched{queues: [][]taskgraph.TaskID{{0, 1}, {2, 3}}},
+		Eviction:  memory.NewLRU(),
+		Faults: &fault.Plan{
+			Dropouts: []fault.Dropout{{GPU: 1, At: 100 * time.Millisecond}},
+		},
+	})
+	if err == nil {
+		t.Fatal("want stall error")
+	}
+	// Tasks 2 and 3 belong to the dead GPU's list and were never handed
+	// out again; the diagnostic must name at least one of them.
+	msg := err.Error()
+	if !strings.Contains(msg, "task 2") && !strings.Contains(msg, "task 3") {
+		t.Errorf("stall diagnostic does not name the stranded tasks: %q", msg)
+	}
+}
+
+// TestContextCancelsRun pins cooperative cancellation: an already
+// cancelled context stops the engine at its first poll with a
+// progress-annotated error.
+func TestContextCancelsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Enough tasks that the event loop reaches its periodic context poll
+	// (every 1024 iterations) long before the run completes.
+	const m = 2000
+	queues := make([][]taskgraph.TaskID, 2)
+	for i := 0; i < m; i++ {
+		queues[i%2] = append(queues[i%2], taskgraph.TaskID(i))
+	}
+	_, err := sim.Run(chain(m), sim.Config{
+		Platform:  tinyPlatform(2, 100_000),
+		Scheduler: &listSched{queues: queues},
+		Eviction:  memory.NewLRU(),
+		Context:   ctx,
+	})
+	if err == nil {
+		t.Fatal("run with cancelled context completed, want error")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("error %q does not mention cancellation", err)
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %q does not wrap context.Canceled", err)
+	}
+}
+
+// TestCheckTraceRejectsDeadGPUUse pins the invariant checker's fault
+// semantics: activity on a GPU after its dropout (other than writebacks
+// and the dropout bookkeeping itself) must be rejected.
+func TestCheckTraceRejectsDeadGPUUse(t *testing.T) {
+	inst := chain(6)
+	res, err := sim.Run(inst, sim.Config{
+		Platform:  tinyPlatform(2, 100),
+		Scheduler: &requeueSched{listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}}},
+		Eviction:  memory.NewLRU(),
+		Telemetry: true,
+		RecordTrace: true,
+		CheckInvariants: true,
+		Faults: &fault.Plan{
+			Dropouts: []fault.Dropout{{GPU: 1, At: 1500 * time.Millisecond}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The genuine trace passed CheckInvariants inside Run. Now forge a
+	// task start on the dead GPU after its dropout.
+	forged := *res
+	forged.Trace = append(append([]sim.TraceEvent(nil), res.Trace...), sim.TraceEvent{
+		At:   res.Makespan,
+		Kind: sim.TraceStart,
+		GPU:  1,
+		Task: 0,
+	})
+	if err := sim.CheckTrace(inst, tinyPlatform(2, 100), &forged); err == nil {
+		t.Fatal("forged task start on a dead GPU passed CheckTrace")
+	} else if !strings.Contains(err.Error(), "after its dropout") {
+		t.Fatalf("rejection %q does not mention the dropout", err)
+	}
+}

@@ -52,6 +52,18 @@ type Scheduler interface {
 	DataEvicted(gpu int, d taskgraph.DataID)
 }
 
+// DropoutHandler is the optional recovery hook of a Scheduler. When a
+// fault plan drops a GPU, the engine first invalidates the lost replicas
+// (each reported through DataEvicted) and then calls GPUDropped with the
+// tasks that GPU had popped but not completed: the killed running task
+// (if any) followed by the window tasks in pop order. The scheduler must
+// make these tasks poppable again by surviving GPUs; RuntimeView.Alive
+// reports which GPUs those are. A scheduler without this hook strands
+// the tasks and the run fails with a stall diagnostic.
+type DropoutHandler interface {
+	GPUDropped(gpu int, requeue []taskgraph.TaskID)
+}
+
 // EvictionPolicy chooses which resident data to evict when a GPU memory is
 // full. The runtime guarantees that candidates is non-empty, sorted by
 // DataID, and contains only unpinned resident data (data used by the
@@ -90,6 +102,11 @@ type RuntimeView interface {
 
 	// Now returns the current simulated time.
 	Now() time.Duration
+
+	// Alive reports whether gpu has not suffered a permanent dropout.
+	// Always true on fault-free runs. Schedulers must not route tasks to
+	// a dead GPU; its PopTask is never called again.
+	Alive(gpu int) bool
 
 	// Resident reports whether d is in the memory of gpu.
 	Resident(gpu int, d taskgraph.DataID) bool

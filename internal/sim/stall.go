@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"memsched/internal/taskgraph"
+)
+
+// maxStallDetails bounds how many stuck tasks the stall diagnostic names.
+const maxStallDetails = 8
+
+// stallError builds the diagnostic returned when the event queue drains
+// with unfinished tasks: a recovery-path or scheduler bug. Instead of the
+// bare count it names the stuck tasks and what they are missing — popped
+// tasks waiting on inputs that will never arrive, and tasks the scheduler
+// never handed out (e.g. stranded on a dead GPU by a scheduler without a
+// DropoutHandler).
+func (e *engine) stallError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: stalled with %d/%d tasks completed (scheduler %s)",
+		e.completed, e.inst.NumTasks(), e.sched.Name())
+
+	var dead []int
+	for k := range e.gpus {
+		if e.gpus[k].dead {
+			dead = append(dead, k)
+		}
+	}
+	if len(dead) > 0 {
+		fmt.Fprintf(&b, "; dead GPUs %v", dead)
+		if _, ok := e.sched.(DropoutHandler); !ok {
+			fmt.Fprintf(&b, " (scheduler has no DropoutHandler, their tasks are stranded)")
+		}
+	}
+
+	details := 0
+	assigned := make([]bool, e.inst.NumTasks())
+	for k := range e.gpus {
+		g := &e.gpus[k]
+		if g.running != taskgraph.NoTask {
+			assigned[g.running] = true
+		}
+		for i := range g.buffer {
+			t := g.buffer[i].task
+			assigned[t] = true
+			if details >= maxStallDetails {
+				continue
+			}
+			details++
+			var missing []taskgraph.DataID
+			for _, d := range e.inst.Inputs(t) {
+				if !g.resident[d] {
+					missing = append(missing, d)
+				}
+			}
+			fmt.Fprintf(&b, "\n  task %d stuck in gpu %d window, missing data %v", t, k, missing)
+			for _, d := range missing {
+				state := "no transfer queued or in flight"
+				if g.arriving[d] {
+					state = "marked arriving but no completion pending"
+				} else {
+					for _, p := range g.pendingFetch {
+						if p.data == d {
+							state = "fetch parked waiting for memory"
+							break
+						}
+					}
+				}
+				fmt.Fprintf(&b, "\n    data %d: %s", d, state)
+			}
+		}
+	}
+
+	unassigned := 0
+	for t := 0; t < e.inst.NumTasks(); t++ {
+		if e.done[t] || assigned[taskgraph.TaskID(t)] {
+			continue
+		}
+		unassigned++
+		if details < maxStallDetails {
+			details++
+			fmt.Fprintf(&b, "\n  task %d never handed out by the scheduler", t)
+		}
+	}
+	if stuck := e.inst.NumTasks() - e.completed; details < stuck {
+		fmt.Fprintf(&b, "\n  ... and %d more stuck tasks (%d never handed out)", stuck-details, unassigned)
+	}
+	return fmt.Errorf("%s", b.String())
+}

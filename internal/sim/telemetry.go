@@ -30,8 +30,11 @@ const (
 	// IdleDone: the GPU had no popped tasks and no unassigned tasks
 	// remained anywhere — it had finished its share of the run.
 	IdleDone
+	// IdleDead: the GPU suffered a permanent dropout (fault injection);
+	// all idle time after the dropout lands here.
+	IdleDead
 
-	numIdleReasons = 4
+	numIdleReasons = 5
 )
 
 // String returns the mnemonic of the reason.
@@ -45,6 +48,8 @@ func (r IdleReason) String() string {
 		return "blocked-on-peer"
 	case IdleDone:
 		return "done"
+	case IdleDead:
+		return "dead"
 	}
 	return "?"
 }
@@ -57,6 +62,10 @@ type GPUTelemetry struct {
 	BlockedOnBus  time.Duration `json:"blocked_on_bus_ns"`
 	BlockedOnPeer time.Duration `json:"blocked_on_peer_ns"`
 	Done          time.Duration `json:"done_ns"`
+	// Dead is idle time after a permanent dropout (fault injection).
+	// omitempty keeps fault-free telemetry JSON byte-identical to
+	// pre-fault-injection output.
+	Dead time.Duration `json:"dead_ns,omitempty"`
 	// BusyTime mirrors GPUStats.BusyTime for self-contained JSON.
 	BusyTime time.Duration `json:"busy_ns"`
 	// OccupancyHighWater is the maximum resident bytes ever held.
@@ -68,9 +77,9 @@ type GPUTelemetry struct {
 	ReloadedBytes int64 `json:"reloaded_bytes"`
 }
 
-// IdleTotal returns the sum of the four idle buckets.
+// IdleTotal returns the sum of the idle buckets.
 func (g GPUTelemetry) IdleTotal() time.Duration {
-	return g.StarvedNoTask + g.BlockedOnBus + g.BlockedOnPeer + g.Done
+	return g.StarvedNoTask + g.BlockedOnBus + g.BlockedOnPeer + g.Done + g.Dead
 }
 
 // OccupancySample is one point of the memory-occupancy timeline.
@@ -116,9 +125,13 @@ func (t *Telemetry) String() string {
 	fmt.Fprintf(&b, "bus busy %v (%.0f%%), %d reloads (%.1f MB)\n",
 		t.BusBusy, 100*t.BusUtilization, t.Reloads, float64(t.ReloadedBytes)/platform.MB)
 	for k, g := range t.GPU {
-		fmt.Fprintf(&b, "gpu %d: busy %v, starved %v, blocked-on-bus %v, blocked-on-peer %v, done %v, high water %.1f MB, %d reloads\n",
+		fmt.Fprintf(&b, "gpu %d: busy %v, starved %v, blocked-on-bus %v, blocked-on-peer %v, done %v, high water %.1f MB, %d reloads",
 			k, g.BusyTime, g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done,
 			float64(g.OccupancyHighWater)/platform.MB, g.Reloads)
+		if g.Dead > 0 {
+			fmt.Fprintf(&b, ", dead %v", g.Dead)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -196,6 +209,9 @@ func (e *engine) telReclassify() {
 // task remains anywhere, starved otherwise.
 func (e *engine) classifyIdle(k int) IdleReason {
 	g := &e.gpus[k]
+	if g.dead {
+		return IdleDead
+	}
 	if len(g.buffer) > 0 || len(g.pendingFetch) > 0 {
 		peer := false
 		for i := range g.buffer {
@@ -289,6 +305,7 @@ func (e *engine) telemetryResult() *Telemetry {
 			BlockedOnBus:       tel.idle[k][IdleBlockedBus],
 			BlockedOnPeer:      tel.idle[k][IdleBlockedPeer],
 			Done:               tel.idle[k][IdleDone],
+			Dead:               tel.idle[k][IdleDead],
 			BusyTime:           e.gpus[k].stats.BusyTime,
 			OccupancyHighWater: tel.highWater[k],
 			Reloads:            tel.reloads[k],

@@ -16,11 +16,20 @@ import (
 //   - a data item is never loaded while already resident, and never
 //     evicted while absent;
 //   - a GPU runs at most one task at a time;
-//   - every task runs exactly once, and the aggregate counters of the
-//     result match the trace;
+//   - every task completes exactly once (a task killed by a GPU dropout
+//     restarts on a survivor), and the aggregate counters of the result
+//     match the trace;
+//   - a dead GPU is never used again: after a TraceDropout no load,
+//     eviction, start or end is accepted on that GPU, and fault events
+//     reconcile with Result.Faults (dropouts, kills, lost bytes,
+//     transfer retries);
 //   - when Result.Telemetry is present, its idle attribution sums to
 //     Makespan*NumGPUs - ΣBusyTime (per GPU: Makespan - BusyTime) and
 //     its reload counters match the load-after-evict pairs of the trace.
+//
+// The memory bound stays the base platform budget under pressure spikes:
+// a spike is advisory (in-flight arrivals may briefly overshoot the
+// shrunk limit) but the hard bound always holds.
 //
 // It returns the first violation found, or nil.
 func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) error {
@@ -44,6 +53,8 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 		evicted   map[taskgraph.DataID]bool
 		reloads   int
 		reloadedB int64
+		// Fault replay state.
+		dead bool
 	}
 	gpus := make([]gpuCheck, plat.NumGPUs)
 	for k := range gpus {
@@ -53,7 +64,10 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			running:  taskgraph.NoTask,
 		}
 	}
-	ran := make([]bool, inst.NumTasks())
+	ran := make([]bool, inst.NumTasks())    // completed
+	active := make([]bool, inst.NumTasks()) // started, not yet ended or killed
+	dropouts, kills, retries := 0, 0, 0
+	var lostBytes int64
 	last := res.Trace[0].At
 	for i, ev := range res.Trace {
 		if ev.At < last {
@@ -64,6 +78,17 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			return fmt.Errorf("trace[%d]: invalid gpu %d", i, ev.GPU)
 		}
 		g := &gpus[ev.GPU]
+		// Dead-GPU rejection: after a dropout the only events a GPU may
+		// still produce are the kill/loss bookkeeping of the dropout
+		// itself, write-backs already handed to the bus, and retries of
+		// bus transfers that were in flight.
+		if g.dead {
+			switch ev.Kind {
+			case TraceTaskKill, TraceDataLost, TraceWriteBack, TraceRetry:
+			default:
+				return fmt.Errorf("trace[%d]: %s on gpu %d after its dropout", i, ev.Kind, ev.GPU)
+			}
+		}
 		switch ev.Kind {
 		case TraceLoad, TracePeerLoad:
 			if g.resident[ev.Data] {
@@ -101,6 +126,9 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 				return fmt.Errorf("trace[%d]: gpu %d starts task %d while running %d", i, ev.GPU, ev.Task, g.running)
 			}
 			if ran[ev.Task] {
+				return fmt.Errorf("trace[%d]: task %d started after completing", i, ev.Task)
+			}
+			if active[ev.Task] {
 				return fmt.Errorf("trace[%d]: task %d started twice", i, ev.Task)
 			}
 			for _, d := range inst.Inputs(ev.Task) {
@@ -110,7 +138,7 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			}
 			g.running = ev.Task
 			g.startAt = ev.At
-			ran[ev.Task] = true
+			active[ev.Task] = true
 		case TraceEnd:
 			if g.running != ev.Task {
 				return fmt.Errorf("trace[%d]: gpu %d ends task %d but running is %d", i, ev.GPU, ev.Task, g.running)
@@ -118,6 +146,8 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 			g.running = taskgraph.NoTask
 			g.busy += ev.At - g.startAt
 			g.tasks++
+			active[ev.Task] = false
+			ran[ev.Task] = true
 		case TraceWriteBack:
 			if inst.Task(ev.Task).OutputBytes <= 0 {
 				return fmt.Errorf("trace[%d]: write-back for task %d without output", i, ev.Task)
@@ -126,6 +156,35 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 				return fmt.Errorf("trace[%d]: write-back for task %d before it ran", i, ev.Task)
 			}
 			g.bytesOut += inst.Task(ev.Task).OutputBytes
+		case TraceDropout:
+			// g.dead was rejected above, so this is the first dropout.
+			g.dead = true
+			dropouts++
+		case TraceTaskKill:
+			if !g.dead {
+				return fmt.Errorf("trace[%d]: task %d killed on live gpu %d", i, ev.Task, ev.GPU)
+			}
+			if g.running != ev.Task {
+				return fmt.Errorf("trace[%d]: gpu %d kills task %d but running is %d", i, ev.GPU, ev.Task, g.running)
+			}
+			g.running = taskgraph.NoTask
+			g.busy += ev.At - g.startAt
+			active[ev.Task] = false
+			kills++
+		case TraceDataLost:
+			if !g.dead {
+				return fmt.Errorf("trace[%d]: data %d lost on live gpu %d", i, ev.Data, ev.GPU)
+			}
+			if !g.resident[ev.Data] {
+				return fmt.Errorf("trace[%d]: data %d lost on gpu %d while not resident", i, ev.Data, ev.GPU)
+			}
+			delete(g.resident, ev.Data)
+			g.bytes -= inst.Data(ev.Data).Size
+			lostBytes += inst.Data(ev.Data).Size
+		case TraceRetry:
+			retries++
+		case TracePressureOn, TracePressureOff:
+			// Spike bracketing; the memory bound stays the base budget.
 		default:
 			return fmt.Errorf("trace[%d]: unknown kind %d", i, ev.Kind)
 		}
@@ -134,6 +193,17 @@ func CheckTrace(inst *taskgraph.Instance, plat platform.Platform, res *Result) e
 		if !ran[t] {
 			return fmt.Errorf("task %d never executed", t)
 		}
+	}
+	if fs := res.Faults; fs != nil {
+		if dropouts != fs.Dropouts || kills != fs.KilledTasks ||
+			lostBytes != fs.LostBytes || retries != fs.TransferRetries {
+			return fmt.Errorf(
+				"fault counters mismatch: trace (dropouts %d, kills %d, lost %d B, retries %d) vs result (%d, %d, %d, %d)",
+				dropouts, kills, lostBytes, retries,
+				fs.Dropouts, fs.KilledTasks, fs.LostBytes, fs.TransferRetries)
+		}
+	} else if dropouts+kills+retries > 0 || lostBytes > 0 {
+		return fmt.Errorf("trace contains fault events but Result.Faults is nil")
 	}
 	for k := range gpus {
 		g := &gpus[k]
@@ -178,8 +248,8 @@ func checkTelemetry(plat platform.Platform, res *Result, tel *Telemetry,
 		}
 		if idle := g.IdleTotal(); idle != res.Makespan-busy {
 			return fmt.Errorf(
-				"telemetry: gpu %d idle breakdown sums to %v (starved %v + bus %v + peer %v + done %v), want makespan-busy = %v",
-				k, idle, g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done, res.Makespan-busy)
+				"telemetry: gpu %d idle breakdown sums to %v (starved %v + bus %v + peer %v + done %v + dead %v), want makespan-busy = %v",
+				k, idle, g.StarvedNoTask, g.BlockedOnBus, g.BlockedOnPeer, g.Done, g.Dead, res.Makespan-busy)
 		}
 		if g.Reloads != wantReloads || g.ReloadedBytes != wantReloadedB {
 			return fmt.Errorf("telemetry: gpu %d reloads %d (%d B), trace has %d load-after-evict pairs (%d B)",

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"memsched/internal/fault"
 	"memsched/internal/platform"
 	"memsched/internal/taskgraph"
 )
@@ -59,6 +61,16 @@ type Config struct {
 	// splits the bandwidth evenly among in-flight transfers, as
 	// fluid-flow network simulators like the paper's SimGrid do.
 	BusModel BusModel
+	// Faults, when non-nil and non-empty, injects the deterministic
+	// fault plan (GPU dropouts, transient transfer failures,
+	// memory-pressure spikes) into the run; Result.Faults then carries
+	// the degradation metrics. A nil or empty plan is a strict no-op:
+	// the run is byte-identical to one configured without a plan.
+	Faults *fault.Plan
+	// Context, when non-nil, allows cancelling a long run: the event
+	// loop polls it periodically and returns an error wrapping
+	// Context.Err() once it is done. Nil means no cancellation.
+	Context context.Context
 }
 
 // BusModel selects the contention model of the shared host bus.
@@ -157,6 +169,10 @@ type Result struct {
 	// Telemetry is the observability summary when Config.Telemetry is
 	// set: idle-time attribution, bus utilization, occupancy, reloads.
 	Telemetry *Telemetry
+	// Faults carries the degradation metrics of a faulty run. It is nil
+	// on fault-free runs (no plan, or an empty plan), keeping fault-free
+	// results identical to runs configured without a plan.
+	Faults *FaultStats
 }
 
 // String summarizes the result on one line.
@@ -185,6 +201,19 @@ const (
 	// TraceWriteBack records a task's output finishing its transfer
 	// back to host memory.
 	TraceWriteBack
+	// TraceDropout records a permanent GPU loss (fault injection).
+	TraceDropout
+	// TraceTaskKill records a task killed mid-execution by a dropout.
+	TraceTaskKill
+	// TraceDataLost records a resident replica lost to a dropout.
+	TraceDataLost
+	// TraceRetry records one failed attempt of a transient transfer
+	// failure; the transfer is charged the retry backoff and succeeds.
+	TraceRetry
+	// TracePressureOn and TracePressureOff bracket a memory-pressure
+	// spike shrinking a GPU's memory budget.
+	TracePressureOn
+	TracePressureOff
 )
 
 // String returns the mnemonic of the kind.
@@ -202,6 +231,18 @@ func (k TraceKind) String() string {
 		return "PEER"
 	case TraceWriteBack:
 		return "WRITE"
+	case TraceDropout:
+		return "DROP"
+	case TraceTaskKill:
+		return "KILL"
+	case TraceDataLost:
+		return "LOST"
+	case TraceRetry:
+		return "RETRY"
+	case TracePressureOn:
+		return "PRESS+"
+	case TracePressureOff:
+		return "PRESS-"
 	}
 	return "?"
 }
@@ -223,8 +264,17 @@ type TraceEvent struct {
 // String formats the event for trace dumps.
 func (e TraceEvent) String() string {
 	switch e.Kind {
-	case TraceLoad, TraceEvict, TracePeerLoad:
+	case TraceLoad, TraceEvict, TracePeerLoad, TraceDataLost:
 		return fmt.Sprintf("%12v gpu%d %-5s data %d", e.At, e.GPU, e.Kind, e.Data)
+	case TraceRetry:
+		// A retry names the data being loaded, or the task whose output
+		// write-back failed.
+		if e.Data != taskgraph.NoData {
+			return fmt.Sprintf("%12v gpu%d %-5s data %d", e.At, e.GPU, e.Kind, e.Data)
+		}
+		return fmt.Sprintf("%12v gpu%d %-5s task %d", e.At, e.GPU, e.Kind, e.Task)
+	case TraceDropout, TracePressureOn, TracePressureOff:
+		return fmt.Sprintf("%12v gpu%d %-5s", e.At, e.GPU, e.Kind)
 	default:
 		return fmt.Sprintf("%12v gpu%d %-5s task %d", e.At, e.GPU, e.Kind, e.Task)
 	}

@@ -26,8 +26,10 @@
 package memsched
 
 import (
+	"context"
 	"io"
 
+	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/platform"
 	"memsched/internal/sched"
@@ -99,6 +101,24 @@ type (
 	MultiRecorder = sched.MultiRecorder
 	// MultiProbe fans trace events out to several probes.
 	MultiProbe = sim.MultiProbe
+	// FaultPlan is a deterministic fault schedule injected via
+	// Options.Faults: GPU dropouts, transient transfer failures with
+	// bounded retry, and memory-pressure spikes. The zero value (or nil)
+	// is a strict no-op.
+	FaultPlan = fault.Plan
+	// FaultDropout is a permanent GPU loss at a simulated time.
+	FaultDropout = fault.Dropout
+	// FaultTransient parameterizes transient transfer failures.
+	FaultTransient = fault.Transient
+	// FaultPressure is a temporary memory-budget shrink on one GPU.
+	FaultPressure = fault.Pressure
+	// FaultStats is Result.Faults: dropout/kill/requeue/retry/recovery
+	// counters of a faulty run (nil on fault-free runs).
+	FaultStats = sim.FaultStats
+	// DropoutHandler is the optional Scheduler extension that receives
+	// the unfinished tasks of a dropped GPU for re-enqueueing; the
+	// built-in strategies all implement it.
+	DropoutHandler = sim.DropoutHandler
 )
 
 // NewBuilder starts a custom instance with the given name.
@@ -224,6 +244,13 @@ type Options struct {
 	// Probe receives every trace event as it happens, without the
 	// retention cost of RecordTrace.
 	Probe Probe
+	// Faults injects a deterministic fault plan (see FaultPlan). Nil or
+	// empty keeps the run byte-identical to a fault-free one.
+	Faults *FaultPlan
+	// Context, when non-nil, cancels the simulation: the engine polls it
+	// periodically and Run returns ctx.Err() wrapped with the completed
+	// task count.
+	Context context.Context
 }
 
 // BusModel selects the host-bus contention model of a Run.
@@ -287,5 +314,11 @@ func Run(inst *Instance, strat Strategy, plat Platform, opts ...Options) (*Resul
 		BusModel:        o.BusModel,
 		Telemetry:       o.Telemetry,
 		Probe:           o.Probe,
+		Faults:          o.Faults,
+		Context:         o.Context,
 	})
 }
+
+// ParseFaultSpec parses the command-line fault-plan syntax used by
+// `paperbench -faults` (e.g. "drop=1@5ms,transient=0.05:4:20us").
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return fault.ParseSpec(spec) }
