@@ -5,6 +5,7 @@
 //
 //	memsched -workload matmul2d -n 50 -gpus 2 -sched DARTS+LUF
 //	memsched -workload cholesky -n 24 -gpus 4 -sched "hMETIS+R" -cost
+//	memsched -workload matmul2d -n 30 -gpus 4 -faults drop=1@5ms,transient=0.05
 //	memsched -list
 //
 // Workloads: matmul2d, matmul2d-rand, matmul3d, cholesky, sparse2d.
@@ -16,6 +17,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/platform"
 	"memsched/internal/sched"
@@ -39,6 +41,7 @@ func main() {
 		chrome    = flag.String("chrometrace", "", "write a Chrome trace-event JSON of the run to this file")
 		dump      = flag.String("dump", "", "write the generated instance as JSON to this file and exit")
 		load      = flag.String("load", "", "load the instance from a JSON file instead of generating it")
+		faults    = flag.String("faults", "", "fault plan, e.g. drop=1@5ms,transient=0.05 (see internal/fault)")
 		check     = flag.Bool("check", true, "verify trace invariants")
 		list      = flag.Bool("list", false, "list strategies and exit")
 		stats     = flag.Bool("stats", false, "print the instance's sharing-structure summary and exit")
@@ -93,6 +96,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	plan, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := plan.Validate(*gpus); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	plat := platform.V100(*gpus)
 	plat.MemoryBytes = *memMB * platform.MB
 	nsPerOp := 0.0
@@ -113,6 +125,7 @@ func main() {
 		NsPerOp:         nsPerOp,
 		RecordTrace:     *trace || *timeline || *chrome != "",
 		CheckInvariants: *check,
+		Faults:          plan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -173,6 +186,14 @@ func printResult(res *sim.Result, plat platform.Platform) {
 	fmt.Fprintf(w, "transferred\t%.1f MB (%d loads, %d evictions)\n",
 		float64(res.BytesTransferred)/platform.MB, res.Loads, res.Evictions)
 	fmt.Fprintf(w, "sched cost\tstatic %v, dynamic %v (%d ops)\n", res.StaticCost, res.DynamicCost, res.ChargedOps)
+	if f := res.Faults; f != nil {
+		fmt.Fprintf(w, "faults\t%d dropouts (%d tasks killed, %d requeued, %.1f MB lost)\n",
+			f.Dropouts, f.KilledTasks, f.RequeuedTasks, float64(f.LostBytes)/platform.MB)
+		fmt.Fprintf(w, "\t%d transfer retries on %d transfers, backoff %v\n",
+			f.TransferRetries, f.RetriedTransfers, f.BackoffTime)
+		fmt.Fprintf(w, "\t%d pressure evictions, recovery %v\n",
+			f.PressureEvictions, f.RecoveryTime)
+	}
 	for k, g := range res.GPU {
 		fmt.Fprintf(w, "gpu %d\t%d tasks, %d loads, %d evictions, busy %v\n",
 			k, g.Tasks, g.Loads, g.Evictions, g.BusyTime)

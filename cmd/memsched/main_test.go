@@ -45,6 +45,8 @@ func TestPrintResult(t *testing.T) {
 		GPU: []sim.GPUStats{{Tasks: 1}},
 	}
 	printResult(res, platform.V100(1))
+	res.Faults = &sim.FaultStats{Dropouts: 1, TransferRetries: 2}
+	printResult(res, platform.V100(1))
 }
 
 func TestWorkloadNamesMatchHelp(t *testing.T) {

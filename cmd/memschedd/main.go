@@ -1,0 +1,113 @@
+// Command memschedd is the long-running scheduling service: an HTTP/JSON
+// daemon that accepts simulation jobs, runs them on a bounded worker
+// pool with per-job deadlines and panic confinement, retries transient
+// failures under capped exponential backoff, trips a per-(workload,
+// strategy) circuit breaker on repeated failures, and sheds load with
+// 429 + Retry-After once its queue fills.
+//
+// Usage:
+//
+//	memschedd -addr 127.0.0.1:8080 -workers 4 -queue 64
+//
+// Endpoints: POST/GET /jobs, GET /jobs/{id} (?wait=1 long-polls),
+// DELETE /jobs/{id}, /healthz, /readyz, /metrics. On SIGTERM or SIGINT
+// the daemon drains: /readyz flips to 503, queued jobs are rejected,
+// in-flight jobs finish under -drain-timeout, then it exits 0 (1 if the
+// drain deadline forced cancellation).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memsched/internal/metrics"
+	"memsched/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queueCap     = flag.Int("queue", 64, "max queued jobs before submissions are shed with 429")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline")
+		maxTimeout   = flag.Duration("max-job-timeout", 10*time.Minute, "cap on per-request timeout overrides")
+		retries      = flag.Int("retries", 3, "max retries of a transiently failing job (-1 disables)")
+		baseBackoff  = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff")
+		maxBackoff   = flag.Duration("max-backoff", 5*time.Second, "retry backoff cap")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that open a (workload, strategy) breaker (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker sheds before probing")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
+		maxN         = flag.Int("max-n", 300, "admission cap on workload size")
+		maxGPUs      = flag.Int("max-gpus", 8, "admission cap on GPU count")
+	)
+	flag.Parse()
+
+	gauges := new(metrics.Gauges)
+	gauges.Publish("memschedd")
+	s := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		JobTimeout:       *jobTimeout,
+		MaxJobTimeout:    *maxTimeout,
+		MaxRetries:       *retries,
+		BaseBackoff:      *baseBackoff,
+		MaxBackoff:       *maxBackoff,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		MaxN:             *maxN,
+		MaxGPUs:          *maxGPUs,
+		Gauges:           gauges,
+	})
+
+	// Listen explicitly so "-addr :0" prints the real port before any
+	// client needs it (the drain e2e test depends on this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("memschedd listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		fmt.Printf("memschedd: %v: draining (timeout %v)\n", got, *drainTimeout)
+	case err := <-httpErr:
+		fmt.Fprintf(os.Stderr, "memschedd: http server failed: %v\n", err)
+		return 1
+	}
+
+	// Drain while the HTTP server keeps answering, so /readyz reports 503
+	// and polls on in-flight jobs still resolve during the drain.
+	code := 0
+	if err := s.Drain(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "memschedd: %v\n", err)
+		code = 1
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "memschedd: http shutdown: %v\n", err)
+		code = 1
+	}
+	m := s.Snapshot()
+	fmt.Printf("memschedd: drained (done %d, failed %d, canceled %d); exiting\n",
+		m.JobsDone, m.JobsFailed, m.JobsCanceled)
+	return code
+}

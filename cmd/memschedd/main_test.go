@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"memsched/internal/serve"
+)
+
+// TestGracefulDrainE2E exercises the deployed shape of the daemon: build
+// the binary, run it, put a slow job in flight plus queued jobs behind
+// it, then SIGTERM the process. The in-flight job must complete, the
+// queued jobs must be rejected with a drain error, /readyz must report
+// 503 while /healthz stays 200, and the process must exit 0 within the
+// drain deadline.
+func TestGracefulDrainE2E(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "memschedd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "20s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its resolved address before serving.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line; stderr: %s", stderr.String())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	tail := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		tail <- rest.String()
+	}()
+
+	post := func(body string) (*http.Response, serve.JobStatus) {
+		t.Helper()
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /jobs: %v", err)
+		}
+		var st serve.JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+		}
+		resp.Body.Close()
+		return resp, st
+	}
+	getStatus := func(id string, wait bool) serve.JobStatus {
+		t.Helper()
+		url := base + "/jobs/" + id
+		if wait {
+			url += "?wait=1"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		return st
+	}
+
+	// One slow job (~1s of simulation) for the single worker, then quick
+	// jobs that stay queued behind it.
+	resp, slow := post(`{"workload":"matmul2d","n":300,"gpus":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job POST = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(slow.ID, false).State != serve.JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("slow job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, q1 := post(`{"workload":"matmul2d","n":4}`)
+	_, q2 := post(`{"workload":"matmul2d","n":4}`)
+
+	// Long-poll both fates concurrently, then pull the trigger.
+	slowCh := make(chan serve.JobStatus, 1)
+	queuedCh := make(chan serve.JobStatus, 1)
+	go func() { slowCh <- getStatus(slow.ID, true) }()
+	go func() { queuedCh <- getStatus(q2.ID, true) }()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readiness flips to 503 while liveness stays 200.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(base + "/readyz")
+		if err == nil {
+			code := r.StatusCode
+			r.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r, err := http.Get(base + "/healthz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain: %v %v", r, err)
+	}
+
+	// New submissions are refused while draining.
+	if resp, _ := post(`{"workload":"matmul2d","n":4}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight job completed; the queued job was rejected unstarted.
+	select {
+	case st := <-slowCh:
+		if st.State != serve.JobDone || st.Result == nil {
+			t.Fatalf("in-flight job after SIGTERM: %+v", st)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("in-flight job long-poll never resolved")
+	}
+	select {
+	case st := <-queuedCh:
+		if st.State != serve.JobCanceled || !strings.Contains(st.Error, "draining") {
+			t.Fatalf("queued job after SIGTERM: %+v", st)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("queued job long-poll never resolved")
+	}
+	_ = q1
+
+	// Clean exit within the drain deadline.
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("memschedd exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("memschedd did not exit after drain")
+	}
+	if rest := <-tail; !strings.Contains(rest, "drained") {
+		t.Fatalf("final output missing drain summary: %q", rest)
+	}
+}
+
+func TestListeningLineFormat(t *testing.T) {
+	// The e2e test and the CI smoke parse this exact prefix; keep it
+	// stable.
+	line := fmt.Sprintf("memschedd listening on http://%s\n", "127.0.0.1:1234")
+	_, rest, ok := strings.Cut(line, "listening on ")
+	if !ok || !strings.HasPrefix(rest, "http://") {
+		t.Fatalf("listening line drifted: %q", line)
+	}
+}

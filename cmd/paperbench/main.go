@@ -21,6 +21,7 @@
 //	paperbench -baseline-check  # diff the run against BENCH_*.json; exit 1 on regression
 //	paperbench -faults drop=1@5ms,transient=0.05  # inject a fault plan into every cell
 //	paperbench -degradation     # sweep GFlop/s vs transfer failure rate
+//	paperbench -resume sweep.ckpt  # crash-safe sweep: journal cells, skip completed ones on rerun
 //	paperbench compare old.jsonl new.jsonl  # diff two -telemetry captures
 //
 // SIGINT cancels the sweep: in-flight simulations stop, completed rows
@@ -78,6 +79,7 @@ func run() int {
 		httpAddr   = flag.String("http", "", "serve expvar counters and pprof on this address (e.g. :6060)")
 		faultSpec  = flag.String("faults", "", "inject a fault plan into every cell: seed=N,drop=GPU@TIME,transient=RATE[:RETRIES[:BACKOFF]],pressure=GPU@START+DURATION:BYTES")
 		degrade    = flag.Bool("degradation", false, "run the fault-degradation sweep (GFlop/s vs transfer failure rate) instead of the figures")
+		resume     = flag.String("resume", "", "crash-safe sweep journal (JSONL): completed cells are fsync'd here as the sweep runs, and a rerun against the same journal skips them, reproducing the uninterrupted output byte-identically")
 
 		baselineWrite  = flag.Bool("baseline-write", false, "record the run's cells into BENCH_<figure>.json (merging into existing files)")
 		baselineCheck  = flag.Bool("baseline-check", false, "diff the run against BENCH_<figure>.json; exit non-zero on regression")
@@ -157,6 +159,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	// The sweep journal. Its header fingerprints every flag that shapes
+	// cell results or output, so a resume under different flags is
+	// rejected instead of replaying rows the current run would not have
+	// produced. (-fig is deliberately absent: keys embed the figure ID,
+	// so one journal backs any figure subset.)
+	var ckpt *expr.Checkpoint
+	if *resume != "" {
+		if *degrade || *ablations || *traceCell != "" {
+			fmt.Fprintln(os.Stderr, "-resume only applies to figure sweeps (not -degradation/-ablations/-trace-cell)")
+			return 2
+		}
+		cfg := fmt.Sprintf("v1 quick=%v maxn=%d replicas=%d faults=%s", *quick, *maxN, *replicas, plan)
+		var err error
+		if ckpt, err = expr.OpenCheckpoint(*resume, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer ckpt.Close()
+		if n := ckpt.Restored(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed cells journaled in %s\n", n, *resume)
+		}
+	}
+
 	if *traceCell != "" {
 		if err := runTraceCell(*traceCell, *outDir, plan); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -210,12 +235,13 @@ func run() int {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i].regressed, results[i].err = runFigure(f, &results[i].out, *outDir, expr.RunOptions{
-				Quick:    *quick,
-				MaxN:     *maxN,
-				Replicas: *replicas,
-				Workers:  *workers,
-				Context:  ctx,
-				Faults:   plan,
+				Quick:      *quick,
+				MaxN:       *maxN,
+				Replicas:   *replicas,
+				Workers:    *workers,
+				Context:    ctx,
+				Faults:     plan,
+				Checkpoint: ckpt,
 			}, *verbose, *plot, *telemetry, bl)
 		}(i, f)
 	}

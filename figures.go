@@ -1,6 +1,7 @@
 package memsched
 
 import (
+	"fmt"
 	"io"
 
 	"memsched/internal/expr"
@@ -37,6 +38,13 @@ type ReproduceOptions struct {
 	// (point, strategy) row; with Workers > 1 lines arrive in
 	// completion order.
 	Progress io.Writer
+	// Checkpoint, when non-empty, is the path of a crash-safe sweep
+	// journal: completed rows are appended (fsync'd per row) as the
+	// sweep runs, and a rerun with the same options skips them and
+	// reproduces the uninterrupted result exactly. Rerunning with
+	// different Quick/MaxN/Replicas against the same journal is
+	// rejected.
+	Checkpoint string
 }
 
 // ReproduceFigure reruns the experiment behind one of the paper's figures
@@ -47,13 +55,24 @@ func ReproduceFigure(id string, opt ReproduceOptions) ([]FigureRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Run(expr.RunOptions{
+	ro := expr.RunOptions{
 		Quick:    opt.Quick,
 		MaxN:     opt.MaxN,
 		Replicas: opt.Replicas,
 		Workers:  opt.Workers,
 		Progress: opt.Progress,
-	})
+	}
+	if opt.Checkpoint != "" {
+		cfg := fmt.Sprintf("v1 quick=%v maxn=%d replicas=%d faults=none",
+			opt.Quick, opt.MaxN, opt.Replicas)
+		ckpt, err := expr.OpenCheckpoint(opt.Checkpoint, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+		ro.Checkpoint = ckpt
+	}
+	return f.Run(ro)
 }
 
 // FormatFigureTable renders figure rows as an aligned text table for the

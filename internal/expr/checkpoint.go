@@ -1,0 +1,240 @@
+package expr
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointVersion is the journal format version; bump on incompatible
+// record changes so a resume against an old journal fails loudly instead
+// of silently replaying stale cells.
+const checkpointVersion = 1
+
+// checkpointHeader is the first line of every journal: the format
+// version plus the sweep configuration fingerprint. A resume against a
+// journal written under a different configuration is rejected, because
+// its cells would not be byte-identical to what the current run would
+// compute.
+type checkpointHeader struct {
+	Version int    `json:"checkpoint_version"`
+	Config  string `json:"config"`
+}
+
+// checkpointRecord is one completed (point, strategy) row: the cell key
+// plus the full CellTelemetry (row, telemetry, decision digest, fault
+// stats), so a resumed run can replay CSV, tables and telemetry JSONL
+// byte-identically.
+type checkpointRecord struct {
+	Key  string        `json:"key"`
+	Cell CellTelemetry `json:"cell"`
+}
+
+// Checkpoint is a crash-safe sweep journal: an append-only JSONL file
+// holding one record per completed (point, strategy) row, fsync'd after
+// every record. Opening an existing journal loads the completed cells so
+// Run can skip them; because every cell is an independent deterministic
+// simulation, a resumed sweep produces output byte-identical to an
+// uninterrupted one (see TestCheckpointResumeByteIdentical).
+//
+// The file survives SIGKILL mid-write: at most the final line is torn,
+// and Open tolerates (and truncates away on the next append) a torn
+// tail. A torn line anywhere else means real corruption and is rejected.
+//
+// A Checkpoint is safe for concurrent use by the sweep workers of
+// multiple figures; keys embed the figure ID so one journal can back a
+// whole multi-figure paperbench run.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	done     map[string]CellTelemetry
+	restored int // cells loaded from an existing journal
+	firstErr error
+}
+
+// checkpointKey names one (figure, point, strategy) row. It uses the
+// sweep point's N rather than the built instance's name so lookups need
+// no instance construction.
+func checkpointKey(figID string, n int, strategy string) string {
+	return fmt.Sprintf("%s|N=%d|%s", figID, n, strategy)
+}
+
+// OpenCheckpoint opens or creates the sweep journal at path. config is
+// the caller's fingerprint of everything that affects cell results or
+// output (sweep trim flags, replicas, fault plan, telemetry shape); an
+// existing journal with a different fingerprint is rejected.
+func OpenCheckpoint(path, config string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("expr: checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, path: path, done: make(map[string]CellTelemetry)}
+	keep, err := c.load(config)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop the torn tail (if any) so appends start on a line boundary,
+	// and make sure a fresh journal's header is durable before any cell
+	// work is invested against it.
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("expr: checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("expr: checkpoint %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("expr: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// load reads the journal, verifying the header (writing one into an
+// empty file) and collecting the completed cells. It returns the byte
+// offset of the end of the last intact line.
+func (c *Checkpoint) load(config string) (keep int64, err error) {
+	st, err := c.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("expr: checkpoint %s: %w", c.path, err)
+	}
+	if st.Size() == 0 {
+		hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Config: config})
+		if err != nil {
+			return 0, err
+		}
+		hdr = append(hdr, '\n')
+		if _, err := c.f.Write(hdr); err != nil {
+			return 0, fmt.Errorf("expr: checkpoint %s: %w", c.path, err)
+		}
+		return int64(len(hdr)), nil
+	}
+
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var off int64
+	lineNo := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1 // +1 for the newline Scan strips
+		whole := off+lineLen <= st.Size()
+		lineNo++
+		if lineNo == 1 {
+			var hdr checkpointHeader
+			if err := json.Unmarshal(line, &hdr); err != nil || !whole {
+				return 0, fmt.Errorf("expr: checkpoint %s: corrupt header line", c.path)
+			}
+			if hdr.Version != checkpointVersion {
+				return 0, fmt.Errorf("expr: checkpoint %s: version %d, want %d",
+					c.path, hdr.Version, checkpointVersion)
+			}
+			if hdr.Config != config {
+				return 0, fmt.Errorf("expr: checkpoint %s was written under a different configuration\n  journal: %s\n  current: %s\ndelete the journal (or rerun with the original flags) to proceed",
+					c.path, hdr.Config, config)
+			}
+			off += lineLen
+			continue
+		}
+		if !whole {
+			// Unterminated final line: the crash landed mid-write. Drop it
+			// even if its prefix happens to parse — appending after an
+			// unterminated line would corrupt the journal — and let the
+			// cell be recomputed.
+			return off, nil
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			return 0, fmt.Errorf("expr: checkpoint %s: corrupt record on line %d", c.path, lineNo)
+		}
+		c.done[rec.Key] = rec.Cell
+		c.restored++
+		off += lineLen
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("expr: checkpoint %s: %w", c.path, err)
+	}
+	return off, nil
+}
+
+// Lookup returns the journaled cell for key, if any.
+func (c *Checkpoint) Lookup(key string) (CellTelemetry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell, ok := c.done[key]
+	return cell, ok
+}
+
+// Add journals one completed cell: the record is appended as a single
+// JSON line and fsync'd before Add returns, so a SIGKILL immediately
+// after never loses it. Errors are sticky (see Err); the first one is
+// also returned.
+func (c *Checkpoint) Add(key string, cell CellTelemetry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.done[key]; ok {
+		return c.firstErr
+	}
+	line, err := json.Marshal(checkpointRecord{Key: key, Cell: cell})
+	if err == nil {
+		_, err = c.f.Write(append(line, '\n'))
+	}
+	if err == nil {
+		err = c.f.Sync()
+	}
+	if err != nil {
+		err = fmt.Errorf("expr: checkpoint %s: %w", c.path, err)
+		if c.firstErr == nil {
+			c.firstErr = err
+		}
+		return err
+	}
+	c.done[key] = cell
+	return c.firstErr
+}
+
+// Len returns the number of completed cells the journal holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Restored returns how many cells were loaded from the pre-existing
+// journal (as opposed to added by this process).
+func (c *Checkpoint) Restored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.restored
+}
+
+// Path returns the journal file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Err returns the first append failure, if any. Run surfaces it at the
+// end of the sweep so a journal on a full disk fails the run instead of
+// silently losing durability.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstErr
+}
+
+// Close syncs and closes the journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}

@@ -1,0 +1,204 @@
+package expr_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+	"memsched/internal/workload"
+)
+
+// ckptFigure is a small 3-point x 2-strategy sweep whose Build calls are
+// counted, so tests can assert which cells a resume actually recomputed.
+func ckptFigure(builds *atomic.Int32) *expr.Figure {
+	ns := []int{5, 8, 10}
+	pts := make([]expr.Point, len(ns))
+	for i, n := range ns {
+		n := n
+		pts[i] = expr.Point{N: n, Build: func() *taskgraph.Instance {
+			builds.Add(1)
+			return workload.Matmul2D(n)
+		}}
+	}
+	return &expr.Figure{
+		ID:       "ckpttest",
+		Title:    "checkpoint test sweep",
+		Metrics:  []string{"gflops"},
+		Platform: platform.V100(2),
+		NsPerOp:  sim.DefaultNsPerOp,
+		Points:   pts,
+		Strategies: []sched.Strategy{
+			sched.DMDARStrategy(),
+			sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		},
+		Seed: 1,
+	}
+}
+
+// sweepOutput captures everything a paperbench run renders from rows:
+// the CSV bytes and the telemetry JSONL bytes.
+func sweepOutput(t *testing.T, f *expr.Figure, ckpt *expr.Checkpoint) (rows []metrics.Row, csv, tel []byte) {
+	t.Helper()
+	var telBuf bytes.Buffer
+	rows, err := f.Run(expr.RunOptions{Workers: 4, TelemetryOut: &telBuf, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := metrics.WriteCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows, csvBuf.Bytes(), telBuf.Bytes()
+}
+
+// TestCheckpointResumeByteIdentical is the crash-resume contract: a
+// sweep whose journal is truncated mid-stream (simulating a SIGKILL,
+// torn final line included) and then resumed produces CSV and telemetry
+// output byte-identical to an uninterrupted sweep, and recomputes only
+// the cells the journal lost.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	var refBuilds atomic.Int32
+	refFig := ckptFigure(&refBuilds)
+	_, refCSV, refTel := sweepOutput(t, refFig, nil)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	ckpt, err := expr.OpenCheckpoint(path, "cfg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullBuilds atomic.Int32
+	if _, _, tel := func() ([]metrics.Row, []byte, []byte) {
+		r, c, te := sweepOutput(t, ckptFigure(&fullBuilds), ckpt)
+		return r, c, te
+	}(); !bytes.Equal(tel, refTel) {
+		t.Fatal("checkpointed run's telemetry differs from the plain run")
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fullBuilds.Load(); got != 6 {
+		t.Fatalf("first run built %d cells, want 6", got)
+	}
+
+	// Simulate the SIGKILL: keep the header and the first two records,
+	// then append a torn partial record (a crash mid-write).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want >= 4", len(lines))
+	}
+	torn := append([]byte{}, lines[0]...)
+	torn = append(torn, lines[1]...)
+	torn = append(torn, lines[2]...)
+	torn = append(torn, lines[3][:len(lines[3])/2]...) // no newline: torn
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt2, err := expr.OpenCheckpoint(path, "cfg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Restored() != 2 {
+		t.Fatalf("restored %d cells from the truncated journal, want 2", ckpt2.Restored())
+	}
+	var resumeBuilds atomic.Int32
+	_, resCSV, resTel := sweepOutput(t, ckptFigure(&resumeBuilds), ckpt2)
+	if got := resumeBuilds.Load(); got != 4 {
+		t.Errorf("resume built %d cells, want 4 (2 journaled rows skipped)", got)
+	}
+	if !bytes.Equal(resCSV, refCSV) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", resCSV, refCSV)
+	}
+	if !bytes.Equal(resTel, refTel) {
+		t.Errorf("resumed telemetry differs from uninterrupted run")
+	}
+	if ckpt2.Len() != 6 {
+		t.Errorf("journal holds %d cells after resume, want 6", ckpt2.Len())
+	}
+
+	// A second resume recomputes nothing at all and still replays the
+	// identical output.
+	ckpt2.Close()
+	ckpt3, err := expr.OpenCheckpoint(path, "cfg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt3.Close()
+	var replayBuilds atomic.Int32
+	_, replayCSV, replayTel := sweepOutput(t, ckptFigure(&replayBuilds), ckpt3)
+	if got := replayBuilds.Load(); got != 0 {
+		t.Errorf("full-journal resume built %d cells, want 0", got)
+	}
+	if !bytes.Equal(replayCSV, refCSV) || !bytes.Equal(replayTel, refTel) {
+		t.Error("full-journal replay output differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointConfigMismatch: resuming under different sweep flags
+// must be rejected, naming both fingerprints.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ckpt, err := expr.OpenCheckpoint(path, "quick=true maxn=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = expr.OpenCheckpoint(path, "quick=false maxn=15")
+	if err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "quick=true") || !strings.Contains(err.Error(), "quick=false") {
+		t.Errorf("mismatch error does not name both configs: %v", err)
+	}
+}
+
+// TestCheckpointCorruptRecord: garbage on an interior, newline-terminated
+// line is corruption, not a torn tail, and must be rejected.
+func TestCheckpointCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ckpt, err := expr.OpenCheckpoint(path, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"key\":\"broken\n{\"key\":\"x\",\"cell\":{}}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := expr.OpenCheckpoint(path, "cfg"); err == nil {
+		t.Fatal("corrupt interior record accepted")
+	}
+}
+
+// TestCheckpointTornHeader: a journal that died before its header line
+// was complete is unusable and must say so.
+func TestCheckpointTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, []byte(`{"checkpoint_version":1,"con`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expr.OpenCheckpoint(path, "cfg"); err == nil {
+		t.Fatal("torn header accepted")
+	}
+}

@@ -7,6 +7,7 @@ package expr
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -114,6 +115,13 @@ type RunOptions struct {
 	// (each cell still simulates it independently and deterministically).
 	// Nil (or an empty plan) reproduces the fault-free sweep exactly.
 	Faults *fault.Plan
+	// Checkpoint, when non-nil, makes the sweep crash-safe: rows already
+	// journaled are restored instead of recomputed, and every freshly
+	// completed row is appended to the journal (fsync'd) before the sweep
+	// moves on. Because each cell is an independent deterministic
+	// simulation, a killed-and-resumed sweep produces output
+	// byte-identical to an uninterrupted one.
+	Checkpoint *Checkpoint
 }
 
 // CellError reports the failure of one (point, strategy, replica) cell
@@ -232,7 +240,9 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	// Decision digests are only worth the recording overhead when someone
 	// will see them; recording is pure observation either way (guarded
 	// recorder calls, deterministic results — TestDigestsDoNotPerturbRows).
-	wantDigests := opt.TelemetryOut != nil || opt.OnCell != nil
+	// Checkpointed sweeps always record them so the journal can replay
+	// telemetry output regardless of which flags the resuming run adds.
+	wantDigests := opt.TelemetryOut != nil || opt.OnCell != nil || opt.Checkpoint != nil
 
 	rows := make([]metrics.Row, len(specs))
 	rowOK := make([]bool, len(specs))
@@ -248,6 +258,36 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	cellErrs := make([]*CellError, numJobs)
 	var rowsDone atomic.Int32
 	started := time.Now()
+
+	// Restore journaled rows before any work is dispatched: a resumed
+	// sweep only computes the cells the interrupted run never finished.
+	ckpt := opt.Checkpoint
+	var restored []bool
+	dispatchable := numJobs
+	if ckpt != nil {
+		restored = make([]bool, len(specs))
+		for ri, sp := range specs {
+			cell, ok := ckpt.Lookup(checkpointKey(f.ID, sp.point.N, sp.strat.Label))
+			if !ok {
+				continue
+			}
+			rows[ri] = cell.Row
+			rowOK[ri] = true
+			tels[ri] = cell.Telemetry
+			digs[ri] = cell.Decisions
+			fstats[ri] = cell.Faults
+			restored[ri] = true
+			dispatchable -= reps
+			rowsDone.Add(1)
+		}
+		if n := numJobs - dispatchable; n > 0 && opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "%s: resumed %d/%d rows from %s\n",
+				f.ID, n/reps, len(specs), ckpt.Path())
+		}
+		if workers > dispatchable && dispatchable > 0 {
+			workers = dispatchable
+		}
+	}
 
 	// Progress lines from concurrent workers are serialized through one
 	// channel so each line reaches the writer whole.
@@ -351,6 +391,12 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 				rows[ri] = row
 				rowOK[ri] = true
 				gauges.CellsCompleted.Add(1)
+				if ckpt != nil {
+					// Journal the finished row before reporting progress:
+					// once the line is fsync'd a crash cannot lose it.
+					ckpt.Add(checkpointKey(f.ID, sp.point.N, sp.strat.Label),
+						CellTelemetry{Row: row, Telemetry: tels[ri], Decisions: digs[ri], Faults: fstats[ri]})
+				}
 				if progCh != nil {
 					progCh <- fmt.Sprintf("[%d/%d eta %v] %s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
 						done, len(specs), sweepETA(started, int(done), len(specs)),
@@ -360,6 +406,9 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		}()
 	}
 	for j := 0; j < numJobs; j++ {
+		if restored != nil && restored[j/reps] {
+			continue
+		}
 		jobs <- j
 	}
 	close(jobs)
@@ -373,7 +422,7 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	for _, ce := range cellErrs {
 		if ce != nil {
 			if sweepErr == nil {
-				sweepErr = &SweepError{Total: numJobs}
+				sweepErr = &SweepError{Total: dispatchable}
 			}
 			sweepErr.Cells = append(sweepErr.Cells, ce)
 		}
@@ -400,15 +449,48 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			if err := enc.Encode(cell); err != nil {
 				return out, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
 			}
+			// Make each line durable on its own: a SIGKILL between cells
+			// then truncates the stream at a line boundary, leaving valid
+			// JSONL instead of a torn tail.
+			flushLine(opt.TelemetryOut)
 		}
 		if opt.OnCell != nil {
 			opt.OnCell(cell)
+		}
+	}
+	if ckpt != nil {
+		if err := ckpt.Err(); err != nil {
+			// A journal that stopped persisting (full disk, yanked volume)
+			// must fail the sweep: the rows are fine, but the crash-safety
+			// contract is not.
+			return out, errors.Join(err, errOrNil(sweepErr))
 		}
 	}
 	if sweepErr != nil {
 		return out, sweepErr
 	}
 	return out, nil
+}
+
+// errOrNil converts a possibly-nil *SweepError into a plain error
+// without the typed-nil-in-interface trap.
+func errOrNil(e *SweepError) error {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// flushLine pushes a just-encoded telemetry line as far toward the disk
+// as the writer allows: through Flush for buffered writers, through Sync
+// (fsync) for files. Writers offering neither are already unbuffered.
+func flushLine(w io.Writer) {
+	switch t := w.(type) {
+	case interface{ Flush() error }:
+		t.Flush()
+	case interface{ Sync() error }:
+		t.Sync()
+	}
 }
 
 // CellTelemetry is one line of the telemetry JSON stream: the figure row

@@ -1,0 +1,100 @@
+package expr_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"memsched/internal/expr"
+	"memsched/internal/fault"
+	"memsched/internal/platform"
+	"memsched/internal/sched"
+	"memsched/internal/workload"
+)
+
+// FuzzFaultPlan is the chaos test of the fault machinery: every valid
+// fault plan — dropouts, transient transfer failures, memory-pressure
+// spikes, in any combination — must leave every strategy with a trace
+// that passes the invariant checker and with every task completed
+// exactly once on a surviving GPU.
+//
+// The fuzzed scalars are folded into valid ranges rather than rejected,
+// so every input exercises a run; Plan.Validate then double-checks that
+// the folding really only produces valid plans.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(1), true, uint8(1), uint16(3000), 0.1, uint8(3), uint16(20), true, uint8(0), uint16(2000), uint16(5000), uint16(64))
+	f.Add(int64(7), false, uint8(0), uint16(0), 0.0, uint8(0), uint16(0), false, uint8(0), uint16(0), uint16(0), uint16(0))
+	f.Add(int64(99), true, uint8(0), uint16(1), 0.9, uint8(15), uint16(999), true, uint8(1), uint16(0), uint16(1), uint16(127))
+	f.Add(int64(-3), false, uint8(0), uint16(0), 0.5, uint8(1), uint16(0), true, uint8(0), uint16(60000), uint16(60000), uint16(1))
+
+	strategies := []sched.Strategy{
+		sched.EagerStrategy(),
+		sched.DMDARStrategy(),
+		sched.HMetisRStrategy(false),
+		sched.MHFPStrategy(false),
+		sched.DARTSStrategy(sched.DARTSOptions{LUF: true}),
+		sched.WorkStealingStrategy(),
+	}
+	inst := workload.Matmul2D(8)
+	plat := platform.V100(2)
+	plat.MemoryBytes = 256 * platform.MB
+
+	f.Fuzz(func(t *testing.T, seed int64, withDrop bool, dropGPU uint8, dropAtUS uint16,
+		rate float64, retries uint8, backoffUS uint16,
+		withPressure bool, pGPU uint8, pAtUS, pDurUS uint16, pMB uint16) {
+
+		plan := &fault.Plan{Seed: seed}
+		if withDrop {
+			// One dropout at most, so a survivor is guaranteed on 2 GPUs.
+			plan.Dropouts = []fault.Dropout{{
+				GPU: int(dropGPU % 2),
+				At:  time.Duration(1+int64(dropAtUS)) * time.Microsecond,
+			}}
+		}
+		r := math.Abs(rate)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			r = 0.3
+		}
+		r -= math.Floor(r) // into [0, 1)
+		if r > 0 {
+			plan.Transient = &fault.Transient{
+				Rate:       r,
+				MaxRetries: 1 + int(retries%16),
+				Backoff:    time.Duration(backoffUS%1000) * time.Microsecond,
+			}
+		}
+		if withPressure {
+			// Withhold at most half the 256 MB budget so tasks still fit.
+			plan.Pressures = []fault.Pressure{{
+				GPU:      int(pGPU % 2),
+				At:       time.Duration(pAtUS) * time.Microsecond,
+				Duration: time.Duration(1+int64(pDurUS)) * time.Microsecond,
+				Bytes:    (1 + int64(pMB%128)) * platform.MB,
+			}}
+		}
+		if err := plan.Validate(plat.NumGPUs); err != nil {
+			t.Fatalf("fuzz produced an invalid plan %q: %v", plan, err)
+		}
+
+		for _, strat := range strategies {
+			res, err := expr.RunOneFaulty(nil, inst, strat, plat, 0, 1, true, plan)
+			if err != nil {
+				t.Fatalf("%s under %q: %v", strat.Label, plan, err)
+			}
+			done := 0
+			for _, g := range res.GPU {
+				done += g.Tasks
+			}
+			if done != inst.NumTasks() {
+				t.Fatalf("%s under %q: %d tasks completed, want %d",
+					strat.Label, plan, done, inst.NumTasks())
+			}
+			if !plan.Empty() && res.Faults == nil {
+				t.Fatalf("%s under %q: Result.Faults is nil for a non-empty plan", strat.Label, plan)
+			}
+			if plan.Empty() && res.Faults != nil {
+				t.Fatalf("%s under empty plan: Result.Faults = %+v, want nil", strat.Label, res.Faults)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec pins the parser against arbitrary input: it must never
+// panic, and any spec it accepts must survive a parse → String → parse
+// round trip with String as a fixed point (the canonical rendering).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"seed=7",
+		"drop=1@5ms",
+		"transient=0.05",
+		"transient=0.05:4:20us",
+		"pressure=0@2ms+3ms:256MB",
+		"seed=7,drop=1@5ms,transient=0.05:4:20us,pressure=0@2ms+3ms:256MB",
+		"drop=1@5ms,drop=0@1ms",
+		"pressure=0@1ms+1ms:17",
+		"pressure=2@0s+1us:3KB",
+		// Malformed seeds steer the fuzzer toward the error paths.
+		"bogus=1", "drop=1", "drop=x@5ms", "transient=0.1:2:zz",
+		"pressure=0@1ms", "seed=x", "justaword", ",,,", "drop=@",
+		"transient=", "=", "drop=1@5ms,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) returned nil plan without error", spec)
+		}
+		s := p.String()
+		p2, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("String %q of accepted spec %q does not re-parse: %v", s, spec, err)
+		}
+		if got := p2.String(); got != s {
+			t.Fatalf("String is not a fixed point: %q -> %q (from %q)", s, got, spec)
+		}
+	})
+}

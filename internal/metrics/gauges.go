@@ -12,7 +12,9 @@ import (
 // like. Publication on the process-global expvar registry is a separate,
 // explicit step because expvar panics on duplicate names: exactly one
 // instance per process may Publish a given prefix (cmd/paperbench
-// publishes the canonical memsched_* names once at startup).
+// publishes the canonical memsched_* names once at startup, and
+// cmd/memschedd publishes its pool's gauges as memschedd_* — the same
+// instance internal/serve reads for its /metrics snapshot).
 type Gauges struct {
 	// CellsCompleted counts fully aggregated (point, strategy) rows.
 	CellsCompleted expvar.Int

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// transienter is the error capability that opts a failure into the retry
+// path. Anything can implement it; MarkTransient wraps an arbitrary
+// error with it.
+type transienter interface {
+	Transient() bool
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true: the job scheduler
+// will retry it under backoff instead of failing the job. Use it for
+// failures expected to clear on their own (resource exhaustion, racing
+// tenants) — deterministic simulation errors retry into the same error
+// and should stay permanent.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) declares itself
+// transient.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// backoff is the retry delay policy: exponential growth from Base,
+// capped at Max, with full jitter on the upper half (the delay for
+// attempt i is uniform in [d/2, d] where d = min(Base<<i, Max)). The
+// jitter decorrelates retry storms without ever shrinking the delay
+// below half the deterministic schedule.
+type backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// delay returns the wait before retry attempt (0-based: the delay after
+// the first failure is delay(0)).
+func (b backoff) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := b.Base
+	// Shift with an overflow guard: 40 doublings overflow any sane Base.
+	for i := 0; i < attempt && i < 40 && d < b.Max; i++ {
+		d <<= 1
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
+}

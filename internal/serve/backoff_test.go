@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 12; attempt++ {
+		want := b.Base << attempt
+		if attempt >= 6 { // 100ms<<6 = 6.4s > 5s cap
+			want = b.Max
+		}
+		for i := 0; i < 200; i++ {
+			d := b.delay(attempt, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestBackoffHugeAttemptDoesNotOverflow(t *testing.T) {
+	b := backoff{Base: time.Second, Max: time.Minute}
+	rng := rand.New(rand.NewSource(1))
+	for _, attempt := range []int{50, 500, 1 << 20} {
+		d := b.delay(attempt, rng)
+		if d < b.Max/2 || d > b.Max {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, b.Max/2, b.Max)
+		}
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("gpu budget race")
+	if IsTransient(base) {
+		t.Fatal("plain error reported transient")
+	}
+	te := MarkTransient(base)
+	if !IsTransient(te) {
+		t.Fatal("marked error not reported transient")
+	}
+	// The capability survives further wrapping and still unwraps to base.
+	wrapped := fmt.Errorf("attempt 2: %w", te)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient error not reported transient")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("MarkTransient broke the Unwrap chain")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-key circuit breaker. Keys are (workload, strategy)
+// pairs (JobRequest.Key): because the simulator is deterministic, a
+// combination that fails permanently will keep failing, so after
+// Threshold consecutive permanent failures the breaker opens and
+// submissions for that key are shed immediately (503 + Retry-After)
+// instead of burning queue slots and worker time.
+//
+// After Cooldown the breaker goes half-open: the next submission is
+// admitted as a probe. A probe success closes the breaker; a probe
+// failure re-opens it for another full Cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+	trips  int64
+}
+
+type breakerState struct {
+	fails     int       // consecutive permanent failures while closed
+	openUntil time.Time // zero when closed
+	tripped   bool      // open or half-open
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		states:    make(map[string]*breakerState),
+	}
+}
+
+// allow reports whether a submission for key may be admitted; when it
+// may not, retryAfter is the remaining cooldown.
+func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.tripped {
+		return true, 0
+	}
+	if remaining := st.openUntil.Sub(b.now()); remaining > 0 {
+		return false, remaining
+	}
+	// Cooldown elapsed: half-open. Admit one probe at a time; further
+	// submissions stay shed until the probe settles.
+	if st.probing {
+		return false, b.cooldown
+	}
+	st.probing = true
+	return true, 0
+}
+
+// onSuccess records a permanent success for key, closing its breaker.
+func (b *breaker) onSuccess(key string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.states[key]; st != nil {
+		st.fails, st.tripped, st.probing, st.openUntil = 0, false, false, time.Time{}
+	}
+}
+
+// onFailure records a permanent failure for key, tripping the breaker
+// after threshold consecutive failures (or immediately when a half-open
+// probe fails).
+func (b *breaker) onFailure(key string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	if st.tripped {
+		// Half-open probe failed (or a straggler from before the trip):
+		// re-open for a full cooldown.
+		st.openUntil = b.now().Add(b.cooldown)
+		st.probing = false
+		b.trips++
+		return
+	}
+	st.fails++
+	if st.fails >= b.threshold {
+		st.tripped = true
+		st.openUntil = b.now().Add(b.cooldown)
+		st.fails = 0
+		b.trips++
+	}
+}
+
+// tripCount returns the total number of times any key's breaker opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// openKeys returns the keys whose breakers are currently open or
+// half-open, for the /metrics snapshot.
+func (b *breaker) openKeys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var keys []string
+	for k, st := range b.states {
+		if st.tripped {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}

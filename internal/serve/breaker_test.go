@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Minute, clk.now)
+	const key = "matmul2d|DARTS+LUF"
+
+	// Below threshold: stays closed.
+	b.onFailure(key)
+	b.onFailure(key)
+	if ok, _ := b.allow(key); !ok {
+		t.Fatal("breaker opened below threshold")
+	}
+	// Third consecutive failure trips it.
+	b.onFailure(key)
+	ok, retryAfter := b.allow(key)
+	if ok {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if retryAfter <= 0 || retryAfter > time.Minute {
+		t.Fatalf("retryAfter = %v, want (0, 1m]", retryAfter)
+	}
+	if got := b.tripCount(); got != 1 {
+		t.Fatalf("tripCount = %d, want 1", got)
+	}
+	if keys := b.openKeys(); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("openKeys = %v, want [%s]", keys, key)
+	}
+
+	// Other keys are unaffected.
+	if ok, _ := b.allow("other|Eager"); !ok {
+		t.Fatal("unrelated key was shed")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clk.advance(time.Minute + time.Second)
+	if ok, _ := b.allow(key); !ok {
+		t.Fatal("half-open breaker did not admit a probe")
+	}
+	if ok, _ := b.allow(key); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: re-open for a full cooldown.
+	b.onFailure(key)
+	if ok, _ := b.allow(key); ok {
+		t.Fatal("breaker closed after failed probe")
+	}
+	if got := b.tripCount(); got != 2 {
+		t.Fatalf("tripCount = %d, want 2", got)
+	}
+
+	// Next probe succeeds: fully closed again.
+	clk.advance(time.Minute + time.Second)
+	if ok, _ := b.allow(key); !ok {
+		t.Fatal("breaker did not half-open after second cooldown")
+	}
+	b.onSuccess(key)
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(key); !ok {
+			t.Fatal("breaker not closed after probe success")
+		}
+	}
+	// ...and the failure count restarted from zero.
+	b.onFailure(key)
+	b.onFailure(key)
+	if ok, _ := b.allow(key); !ok {
+		t.Fatal("failure count was not reset by success")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(0, time.Minute, clk.now)
+	for i := 0; i < 10; i++ {
+		b.onFailure("k")
+	}
+	if ok, _ := b.allow("k"); !ok {
+		t.Fatal("disabled breaker shed a submission")
+	}
+	if got := b.tripCount(); got != 0 {
+		t.Fatalf("disabled breaker counted %d trips", got)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+)
+
+// Handler returns the HTTP API of the server:
+//
+//	POST   /jobs        submit a JobRequest; 202 + JobStatus, or 400 /
+//	                    429 (+Retry-After) / 503 (+Retry-After)
+//	GET    /jobs        list all jobs in submission order
+//	GET    /jobs/{id}   poll one job; ?wait=1 long-polls until it is
+//	                    terminal (bounded by the request context)
+//	DELETE /jobs/{id}   cancel a queued or running job
+//	GET    /healthz     liveness: 200 while the process runs
+//	GET    /readyz      readiness: 200, or 503 once draining
+//	GET    /metrics     JSON metrics snapshot (see Metrics)
+//
+// All responses are JSON.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeReject(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var st JobStatus
+	var err error
+	if r.URL.Query().Get("wait") != "" {
+		// Long-poll: the request context bounds the wait, so a client
+		// disconnect or timeout releases the handler immediately.
+		st, err = s.Wait(r.Context(), id)
+	} else {
+		st, err = s.Job(id)
+	}
+	if errors.Is(err, ErrUnknownJob) {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if errors.Is(err, ErrUnknownJob) {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// writeReject maps a Submit rejection onto its HTTP status and
+// Retry-After header.
+func writeReject(w http.ResponseWriter, err error) {
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if rej.RetryAfter > 0 {
+		secs := int(math.Ceil(rej.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, rej.Status, map[string]string{"error": rej.Reason})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

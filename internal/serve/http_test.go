@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/sim"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(5 * time.Second)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	return resp
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) JobStatus {
+	t.Helper()
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode JobStatus: %v", err)
+	}
+	return st
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return okResult(req), nil
+	}
+	_, ts := newHTTPServer(t, cfg)
+
+	resp := postJob(t, ts, `{"workload":"matmul2d","n":2,"gpus":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want 202", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.ID == "" {
+		t.Fatal("accepted job has no id")
+	}
+
+	// Long-poll until terminal.
+	resp2, err := http.Get(ts.URL + "/jobs/" + st.ID + "?wait=1")
+	if err != nil {
+		t.Fatalf("GET wait: %v", err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET wait status = %d", resp2.StatusCode)
+	}
+	final := decodeStatus(t, resp2)
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("long-polled job: %+v", final)
+	}
+
+	// Listing shows it.
+	resp3, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp3.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	resp3.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Unknown ids are 404.
+	resp4, _ := http.Get(ts.URL + "/jobs/job-999999")
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown = %d, want 404", resp4.StatusCode)
+	}
+	resp4.Body.Close()
+
+	// Metrics reflect the run.
+	resp5, _ := http.Get(ts.URL + "/metrics")
+	var m Metrics
+	if err := json.NewDecoder(resp5.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	resp5.Body.Close()
+	if m.JobsSubmitted != 1 || m.JobsDone != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newHTTPServer(t, fastCfg())
+	for _, body := range []string{
+		`{not json`,
+		`{"workload":"nope","n":2}`,
+		`{"workload":"matmul2d","n":2,"bogus_field":1}`, // unknown fields rejected
+	} {
+		resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Fatalf("400 body for %s: %v %v", body, e, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestHTTPOverloadRetryAfter(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.QueueCap = 1
+	cfg.RetryAfterHint = 2 * time.Second
+	cfg.Runner = blockingRunner(started, release)
+	_, ts := newHTTPServer(t, cfg)
+
+	postJob(t, ts, `{"workload":"matmul2d","n":2}`).Body.Close()
+	<-started
+	postJob(t, ts, `{"workload":"matmul2d","n":2}`).Body.Close() // fills the queue
+
+	resp := postJob(t, ts, `{"workload":"matmul2d","n":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload POST = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	resp.Body.Close()
+	close(release)
+}
+
+func TestHTTPCancel(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = blockingRunner(started, release)
+	_, ts := newHTTPServer(t, cfg)
+
+	st := decodeStatus(t, postJob(t, ts, `{"workload":"matmul2d","n":2}`))
+	<-started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp2, _ := http.Get(ts.URL + "/jobs/" + st.ID + "?wait=1")
+	final := decodeStatus(t, resp2)
+	if final.State != JobCanceled {
+		t.Fatalf("state after DELETE = %q", final.State)
+	}
+	close(release)
+}
+
+func TestHTTPHealthReadyDrain(t *testing.T) {
+	s, ts := newHTTPServer(t, fastCfg())
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Liveness stays green; readiness flips; submissions are refused.
+	resp, _ := http.Get(ts.URL + "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJob(t, ts, `{"workload":"matmul2d","n":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST during drain = %d, want 503", resp.StatusCode)
+	}
+	var e map[string]string
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if !strings.Contains(e["error"], "draining") {
+		t.Fatalf("drain rejection body: %v", e)
+	}
+}
+
+func TestWriteRejectRoundsUp(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeReject(rec, &RejectError{Status: 429, RetryAfter: 1500 * time.Millisecond, Reason: "full"})
+	if rec.Code != 429 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2 (ceil of 1.5s)", got)
+	}
+	// Sub-second hints still advertise at least one second.
+	rec = httptest.NewRecorder()
+	writeReject(rec, &RejectError{Status: 503, RetryAfter: 10 * time.Millisecond, Reason: "breaker"})
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+	// Non-RejectError falls back to 500.
+	rec = httptest.NewRecorder()
+	writeReject(rec, fmt.Errorf("boom"))
+	if rec.Code != 500 {
+		t.Fatalf("fallback status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/sim"
+)
+
+// okResult is a minimal successful simulation result for fake runners.
+func okResult(req JobRequest) *sim.Result {
+	return &sim.Result{
+		SchedulerName: req.Strategy,
+		InstanceName:  req.Workload,
+		NumGPUs:       req.GPUs,
+		Makespan:      time.Millisecond,
+		GFlops:        1,
+		Events:        10,
+	}
+}
+
+func validReq() JobRequest {
+	return JobRequest{Workload: "matmul2d", N: 2}
+}
+
+// fastCfg returns a config with short backoffs so retry tests run in
+// milliseconds.
+func fastCfg() Config {
+	return Config{
+		Workers:     2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() { s.Drain(5 * time.Second) })
+	return s
+}
+
+func mustSubmit(t *testing.T, s *Server, req JobRequest) JobStatus {
+	t.Helper()
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	if !st.State.Terminal() {
+		t.Fatalf("Wait(%s) returned non-terminal state %q", id, st.State)
+	}
+	return st
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return okResult(req), nil
+	}
+	s := newTestServer(t, cfg)
+
+	st := mustSubmit(t, s, validReq())
+	if st.State != JobQueued && st.State != JobRunning {
+		t.Fatalf("fresh job state = %q", st.State)
+	}
+	// Defaults were normalized in.
+	if st.Request.Strategy != "DARTS+LUF" || st.Request.GPUs != 1 || st.Request.Seed != 1 {
+		t.Fatalf("defaults not applied: %+v", st.Request)
+	}
+
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("state = %q (err %q), want done", final.State, final.Error)
+	}
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", final.Attempts)
+	}
+	if final.Result == nil || final.Result.Workload != "matmul2d" {
+		t.Fatalf("result row missing or wrong: %+v", final.Result)
+	}
+	if final.SubmittedMS == 0 || final.StartedMS == 0 || final.FinishedMS == 0 {
+		t.Fatalf("timestamps missing: %+v", final)
+	}
+
+	m := s.Snapshot()
+	if m.JobsSubmitted != 1 || m.JobsDone != 1 || m.SimEvents != 10 || m.CellsCompleted != 1 {
+		t.Fatalf("metrics after success: %+v", m)
+	}
+}
+
+func TestRealRunnerEndToEnd(t *testing.T) {
+	// No Runner override: the production path builds and simulates the
+	// instance, fault plan included.
+	s := newTestServer(t, Config{Workers: 1})
+	st := mustSubmit(t, s, JobRequest{
+		Workload: "matmul2d", N: 2, GPUs: 2,
+		Strategy: "DMDAR", Faults: "seed=7,transient=0.05",
+	})
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("state = %q (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.GFlops <= 0 {
+		t.Fatalf("result = %+v, want positive throughput", final.Result)
+	}
+	if final.Result.Faults == nil {
+		t.Fatal("fault stats missing from faulty run result")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, fastCfg())
+	cases := []JobRequest{
+		{Workload: "nope", N: 2},
+		{Workload: "matmul2d", N: 0},
+		{Workload: "matmul2d", N: 10_000},
+		{Workload: "matmul2d", N: 2, GPUs: 99},
+		{Workload: "matmul2d", N: 2, Strategy: "NotAScheduler"},
+		{Workload: "matmul2d", N: 2, Faults: "bogus-spec"},
+		{Workload: "matmul2d", N: 2, MemMB: -1},
+		{Workload: "matmul2d", N: 2, TimeoutMS: -1},
+	}
+	for _, req := range cases {
+		_, err := s.Submit(req)
+		var rej *RejectError
+		if !errors.As(err, &rej) || rej.Status != 400 {
+			t.Fatalf("Submit(%+v) err = %v, want 400 RejectError", req, err)
+		}
+	}
+	if m := s.Snapshot(); m.RejectedInvalid != int64(len(cases)) || m.JobsSubmitted != 0 {
+		t.Fatalf("metrics after invalid submissions: %+v", m)
+	}
+}
+
+func TestRetryTransientThenSucceed(t *testing.T) {
+	var calls int
+	ch := make(chan int, 8)
+	cfg := fastCfg()
+	cfg.MaxRetries = 3
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		calls++
+		ch <- calls
+		if calls < 3 {
+			return nil, MarkTransient(errors.New("spurious"))
+		}
+		return okResult(req), nil
+	}
+	cfg.Workers = 1 // serialize so the counter is race-free
+	s := newTestServer(t, cfg)
+
+	st := mustSubmit(t, s, validReq())
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("state = %q (err %q), want done after retries", final.State, final.Error)
+	}
+	if final.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", final.Attempts)
+	}
+	if m := s.Snapshot(); m.JobsRetried != 2 || m.JobsFailed != 0 {
+		t.Fatalf("metrics after retried success: %+v", m)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MaxRetries = 2
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return nil, MarkTransient(errors.New("always flaky"))
+	}
+	s := newTestServer(t, cfg)
+
+	final := waitDone(t, s, mustSubmit(t, s, validReq()).ID)
+	if final.State != JobFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if final.Attempts != 3 { // first try + 2 retries
+		t.Fatalf("attempts = %d, want 3", final.Attempts)
+	}
+	if !strings.Contains(final.Error, "always flaky") {
+		t.Fatalf("error = %q", final.Error)
+	}
+}
+
+func TestPermanentErrorDoesNotRetry(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return nil, errors.New("deterministic failure")
+	}
+	s := newTestServer(t, cfg)
+
+	final := waitDone(t, s, mustSubmit(t, s, validReq()).ID)
+	if final.State != JobFailed || final.Attempts != 1 {
+		t.Fatalf("state = %q attempts = %d, want failed after 1 attempt", final.State, final.Attempts)
+	}
+	if m := s.Snapshot(); m.JobsRetried != 0 {
+		t.Fatalf("permanent failure was retried: %+v", m)
+	}
+}
+
+func TestPanicConfined(t *testing.T) {
+	cfg := fastCfg()
+	var boom bool
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		if !boom {
+			boom = true
+			panic("scheduler bug")
+		}
+		return okResult(req), nil
+	}
+	cfg.Workers = 1
+	s := newTestServer(t, cfg)
+
+	bad := waitDone(t, s, mustSubmit(t, s, validReq()).ID)
+	if bad.State != JobFailed || !strings.Contains(bad.Error, "panic: scheduler bug") {
+		t.Fatalf("panicking job: state %q err %q", bad.State, bad.Error)
+	}
+	// The worker survived and keeps serving.
+	good := waitDone(t, s, mustSubmit(t, s, validReq()).ID)
+	if good.State != JobDone {
+		t.Fatalf("job after panic: state %q err %q", good.State, good.Error)
+	}
+	if m := s.Snapshot(); m.PanicsConfined != 1 {
+		t.Fatalf("PanicsConfined = %d, want 1", m.PanicsConfined)
+	}
+}
+
+// blockingRunner parks every attempt until release is closed, reporting
+// each start on started. It honors context cancellation.
+func blockingRunner(started chan string, release chan struct{}) Runner {
+	return func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		started <- req.Workload
+		select {
+		case <-release:
+			return okResult(req), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.QueueCap = 2
+	cfg.RetryAfterHint = 3 * time.Second
+	cfg.Runner = blockingRunner(started, release)
+	s := newTestServer(t, cfg)
+
+	first := mustSubmit(t, s, validReq())
+	<-started // the single worker now holds the first job; queue is empty
+
+	q1 := mustSubmit(t, s, validReq())
+	q2 := mustSubmit(t, s, validReq())
+
+	// Queue is at capacity: the next submission is shed, not queued.
+	_, err := s.Submit(validReq())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Status != 429 {
+		t.Fatalf("overload Submit err = %v, want 429 RejectError", err)
+	}
+	if rej.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", rej.RetryAfter)
+	}
+	if m := s.Snapshot(); m.RejectedFull != 1 || m.QueueDepth != 2 {
+		t.Fatalf("metrics under overload: %+v", m)
+	}
+
+	// Releasing the pool drains the backlog; nothing was lost.
+	close(release)
+	for _, id := range []string{first.ID, q1.ID, q2.ID} {
+		if st := waitDone(t, s, id); st.State != JobDone {
+			t.Fatalf("job %s after release: %q (err %q)", id, st.State, st.Error)
+		}
+	}
+}
+
+func TestBreakerShedsRepeatedFailures(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		if req.Workload == "cholesky" {
+			return okResult(req), nil
+		}
+		return nil, errors.New("bad combination")
+	}
+	s := newTestServer(t, cfg)
+
+	for i := 0; i < 2; i++ {
+		if st := waitDone(t, s, mustSubmit(t, s, validReq()).ID); st.State != JobFailed {
+			t.Fatalf("failure %d: state %q", i, st.State)
+		}
+	}
+	// Third submission for the same (workload, strategy) is shed.
+	_, err := s.Submit(validReq())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Status != 503 {
+		t.Fatalf("breaker Submit err = %v, want 503 RejectError", err)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("breaker rejection missing RetryAfter: %+v", rej)
+	}
+	m := s.Snapshot()
+	if m.BreakerTrips != 1 || m.RejectedBreaker != 1 {
+		t.Fatalf("breaker metrics: %+v", m)
+	}
+	if len(m.BreakersOpen) != 1 || m.BreakersOpen[0] != "matmul2d|DARTS+LUF" {
+		t.Fatalf("BreakersOpen = %v", m.BreakersOpen)
+	}
+
+	// A different key is unaffected.
+	ok := waitDone(t, s, mustSubmit(t, s, JobRequest{Workload: "cholesky", N: 2}).ID)
+	if ok.State != JobDone {
+		t.Fatalf("unrelated key: state %q (err %q)", ok.State, ok.Error)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = blockingRunner(started, release)
+	s := newTestServer(t, cfg)
+
+	running := mustSubmit(t, s, validReq())
+	<-started
+	queued := mustSubmit(t, s, validReq())
+
+	// Canceling a queued job is immediate.
+	st, err := s.Cancel(queued.ID)
+	if err != nil || st.State != JobCanceled {
+		t.Fatalf("cancel queued: %+v, %v", st, err)
+	}
+	// Canceling the running job cancels its context; the runner returns
+	// ctx.Err() and the job lands in canceled, not failed.
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	final := waitDone(t, s, running.ID)
+	if final.State != JobCanceled {
+		t.Fatalf("canceled running job: state %q (err %q)", final.State, final.Error)
+	}
+	if m := s.Snapshot(); m.JobsCanceled != 2 {
+		t.Fatalf("JobsCanceled = %d, want 2", m.JobsCanceled)
+	}
+	if _, err := s.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+	close(release)
+}
+
+func TestDrainFinishesInFlightRejectsQueued(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = blockingRunner(started, release)
+	s := New(cfg) // not newTestServer: this test owns the drain
+
+	inflight := mustSubmit(t, s, validReq())
+	<-started
+	queued := mustSubmit(t, s, validReq())
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(10 * time.Second) }()
+
+	// Drain flips readiness and starts rejecting new submissions.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Draining() never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := s.Submit(validReq())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Status != 503 || !strings.Contains(rej.Reason, "draining") {
+		t.Fatalf("submit during drain: %v", err)
+	}
+
+	// The in-flight job completes; the queued one is rejected unstarted.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := waitDone(t, s, inflight.ID); st.State != JobDone {
+		t.Fatalf("in-flight job after drain: %q (err %q)", st.State, st.Error)
+	}
+	st := waitDone(t, s, queued.ID)
+	if st.State != JobCanceled || !strings.Contains(st.Error, "draining") {
+		t.Fatalf("queued job after drain: %q (err %q)", st.State, st.Error)
+	}
+	// A second drain is a no-op.
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestDrainDeadlineCancelsStuckJobs(t *testing.T) {
+	started := make(chan string, 8)
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		started <- req.Workload
+		<-ctx.Done() // never finishes on its own
+		return nil, ctx.Err()
+	}
+	s := New(cfg)
+
+	st := mustSubmit(t, s, validReq())
+	<-started
+	err := s.Drain(50 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("Drain past deadline = %v, want deadline error", err)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != JobCanceled {
+		t.Fatalf("stuck job after forced drain: %q (err %q)", final.State, final.Error)
+	}
+}
+
+func TestDrainAbortsRetryBackoff(t *testing.T) {
+	started := make(chan string, 8)
+	cfg := Config{
+		Workers:     1,
+		MaxRetries:  3,
+		BaseBackoff: time.Hour, // a drain must not wait this out
+		MaxBackoff:  time.Hour,
+	}
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		started <- req.Workload
+		return nil, MarkTransient(errors.New("flaky"))
+	}
+	s := New(cfg)
+
+	st := mustSubmit(t, s, validReq())
+	<-started // first attempt failed; the worker is now in backoff
+	t0 := time.Now()
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("drain waited %v; backoff was not aborted", elapsed)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != JobFailed {
+		t.Fatalf("state after aborted backoff = %q, want failed", final.State)
+	}
+}
+
+func TestWaitAndList(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return okResult(req), nil
+	}
+	s := newTestServer(t, cfg)
+
+	a := mustSubmit(t, s, validReq())
+	b := mustSubmit(t, s, JobRequest{Workload: "cholesky", N: 2})
+	waitDone(t, s, a.ID)
+	waitDone(t, s, b.ID)
+
+	list := s.List()
+	if len(list) != 2 || list[0].ID != a.ID || list[1].ID != b.ID {
+		t.Fatalf("List order: %+v", list)
+	}
+	if _, err := s.Wait(context.Background(), "job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Wait unknown: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Wait(ctx, a.ID); err != nil {
+		t.Fatalf("Wait on done job with canceled ctx: %v", err)
+	}
+}
