@@ -287,6 +287,48 @@ func BenchmarkPartitioner(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineEventsPerSec is the regression gate for raw engine
+// speed: figure-scale workloads run back to back on one recycled
+// Scratch (the sweep harness's steady state) and the headline metric is
+// discrete events simulated per wall-clock second. CI runs this with
+// -benchtime 1x and archives the numbers; compare events/s across
+// commits to catch event-core regressions.
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	cases := []struct {
+		name  string
+		inst  *memsched.Instance
+		strat memsched.Strategy
+		plat  memsched.Platform
+	}{
+		// The fig3 and fig5 headline points: DARTS+LUF at the most
+		// memory-constrained sweep point, 1 and 2 GPUs.
+		{"fig3-darts-luf", memsched.Matmul2D(68), memsched.DARTSLUF(), memsched.V100(1)},
+		{"fig5-darts-luf-2gpu", memsched.Matmul2D(68), memsched.DARTSLUF(), memsched.V100(2)},
+		// The cheapest scheduler: engine overhead dominates.
+		{"eager-2gpu", memsched.Matmul2D(80), memsched.Eager(), memsched.V100(2)},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			sc := memsched.NewScratch()
+			opt := memsched.Options{Seed: 1, Telemetry: true, Scratch: sc}
+			var events int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := memsched.Run(c.inst, c.strat, c.plat, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorEvents measures raw simulator throughput
 // (events processed per second) under the cheapest scheduler.
 func BenchmarkSimulatorEvents(b *testing.B) {

@@ -408,6 +408,8 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	if bl.active() {
 		opt.OnCell = func(c expr.CellTelemetry) { cells = append(cells, c) }
 	}
+	var speed expr.SweepSpeed
+	opt.Speed = &speed
 	rows, runErr := f.Run(opt)
 	var sweepErr *expr.SweepError
 	if runErr != nil && !errors.As(runErr, &sweepErr) {
@@ -425,6 +427,18 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 		}
 	}
 	printHeadlines(out, f.ID, rows)
+	if speed.Cells > 0 {
+		fmt.Fprintf(out, "engine: %d sim events across %d cells in %.2fs wall (%.0f events/s)\n",
+			speed.Events, speed.Cells, speed.Wall.Seconds(), speed.EventsPerSec())
+	}
+	if telemetry && speed.Cells > 0 {
+		// Engine speed goes to its own file: the telemetry JSONL is
+		// byte-compared across runs (crash-resume smoke, compare mode)
+		// and wall time is not deterministic.
+		if err := writeSpeedRecord(filepath.Join(outDir, slug+"_speed.jsonl"), f.ID, speed); err != nil {
+			return false, err
+		}
+	}
 
 	csvFile, err := os.Create(filepath.Join(outDir, slug+".csv"))
 	if err != nil {
@@ -445,6 +459,28 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	}
 	fmt.Fprintln(out)
 	return regressed, runErr
+}
+
+// writeSpeedRecord appends one JSON line with the figure's aggregate
+// engine throughput to its own file, kept apart from the telemetry
+// JSONL so byte-level comparisons of the latter stay meaningful.
+func writeSpeedRecord(path, figID string, speed expr.SweepSpeed) error {
+	sf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := struct {
+		Figure       string  `json:"figure"`
+		Events       int64   `json:"events"`
+		Cells        int     `json:"cells"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	}{figID, speed.Events, speed.Cells, speed.Wall.Seconds(), speed.EventsPerSec()}
+	if err := json.NewEncoder(sf).Encode(rec); err != nil {
+		sf.Close()
+		return err
+	}
+	return sf.Close()
 }
 
 // runDegradation executes the fault-degradation sweep (expr.RunDegradation):

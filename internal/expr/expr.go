@@ -122,6 +122,32 @@ type RunOptions struct {
 	// simulation, a killed-and-resumed sweep produces output
 	// byte-identical to an uninterrupted one.
 	Checkpoint *Checkpoint
+	// Speed, when non-nil, accumulates the raw engine throughput of the
+	// sweep: simulated events, wall-clock time, and cell count of the
+	// cells actually computed (checkpoint-restored rows contribute
+	// nothing). The fields are added to, not overwritten, so one
+	// SweepSpeed can total several figures.
+	Speed *SweepSpeed
+}
+
+// SweepSpeed totals the engine throughput of one or more sweeps; see
+// RunOptions.Speed. EventsPerSec derives the headline rate.
+type SweepSpeed struct {
+	// Events is the number of discrete events the computed cells
+	// processed.
+	Events int64
+	// Wall is the wall-clock duration of the compute phases.
+	Wall time.Duration
+	// Cells is the number of (point, strategy, replica) cells simulated.
+	Cells int
+}
+
+// EventsPerSec returns the aggregate simulation rate, 0 before any work.
+func (s *SweepSpeed) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
 }
 
 // CellError reports the failure of one (point, strategy, replica) cell
@@ -307,7 +333,9 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	// runJob executes one (point, strategy, replica) cell. Panics are
 	// confined to the cell: the recover below turns them into a CellError
 	// carrying the worker stack, and only that cell's row is lost.
-	runJob := func(j int) (cellErr *CellError) {
+	var simEvents atomic.Int64 // events processed by computed cells
+	var simCells atomic.Int32
+	runJob := func(j int, sc *sim.Scratch) (cellErr *CellError) {
 		ri, rep := j/reps, j%reps
 		sp := specs[ri]
 		fail := func(workload string, err error, stack []byte) *CellError {
@@ -334,13 +362,15 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		}
 		gauges.SimsRunning.Add(1)
 		res, err := runOne(opt.Context, inst, strat, f.Platform, f.NsPerOp,
-			f.Seed+int64(rep), opt.CheckInvariants, opt.Faults)
+			f.Seed+int64(rep), opt.CheckInvariants, opt.Faults, sc)
 		gauges.SimsRunning.Add(-1)
 		if err != nil {
 			return fail(inst.Name(), err, nil)
 		}
 		cells[ri][rep] = metrics.FromResult(f.ID, res)
 		gauges.SimEvents.Add(res.Events)
+		simEvents.Add(res.Events)
+		simCells.Add(1)
 		if rep == 0 {
 			tels[ri] = res.Telemetry
 			fstats[ri] = res.Faults
@@ -357,10 +387,14 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Scratch per worker: cells on this goroutine recycle the
+			// engine's transient state. Results stay byte-identical
+			// (TestWorkersConformance runs Workers 1 vs 8).
+			sc := sim.NewScratch()
 			for j := range jobs {
 				ri := j / reps
 				sp := specs[ri]
-				cellErr := runJob(j)
+				cellErr := runJob(j, sc)
 				cellErrs[j] = cellErr
 				if atomic.AddInt32(&remaining[ri], -1) != 0 {
 					continue
@@ -413,6 +447,11 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if opt.Speed != nil {
+		opt.Speed.Events += simEvents.Load()
+		opt.Speed.Wall += time.Since(started)
+		opt.Speed.Cells += int(simCells.Load())
+	}
 	if progCh != nil {
 		close(progCh)
 		progWG.Wait()
@@ -563,17 +602,17 @@ func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
 // TestTelemetryDoesNotPerturbResults), and it feeds the IdleMS and
 // ReloadedMB columns of every row.
 func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool) (*sim.Result, error) {
-	return runOne(nil, inst, strat, plat, nsPerOp, seed, check, nil)
+	return runOne(nil, inst, strat, plat, nsPerOp, seed, check, nil, nil)
 }
 
 // RunOneFaulty is RunOne with fault injection and cancellation: faults
 // (nil or empty for none) is the injected fault plan, and ctx (nil for
 // none) stops the simulation at the next engine poll when cancelled.
 func RunOneFaulty(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
-	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults)
+	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults, nil)
 }
 
-func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
+func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan, sc *sim.Scratch) (*sim.Result, error) {
 	s, pol := strat.New()
 	var ev sim.EvictionPolicy = pol
 	if ev == nil {
@@ -589,6 +628,7 @@ func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy,
 		CheckInvariants: check,
 		Faults:          faults,
 		Context:         ctx,
+		Scratch:         sc,
 	})
 }
 

@@ -25,12 +25,22 @@ func match(h *Hypergraph, rng *rand.Rand) (partner []int32, coarse int, ops int6
 		partner[v] = -1
 	}
 	order := rng.Perm(n)
-	score := make(map[int32]float64)
-	for _, v := range order {
+	// Dense epoch-marked scoring: score[u] is live only when mark[u]
+	// equals the current vertex's epoch, so the arrays reset in O(1) per
+	// vertex instead of clearing a map. Accumulation order (per net, in
+	// incidence order) and the ascending candidate scan are identical to
+	// the map-based version, so the matching is unchanged.
+	score := make([]float64, n)
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	cands := make([]int32, 0, 64)
+	for epoch, v := range order {
 		if partner[v] >= 0 {
 			continue
 		}
-		clear(score)
+		cands = cands[:0]
 		for _, ni := range h.Incidence(v) {
 			net := h.Net(int(ni))
 			if len(net) > maxNetSizeForMatching {
@@ -39,18 +49,20 @@ func match(h *Hypergraph, rng *rand.Rand) (partner []int32, coarse int, ops int6
 			r := float64(h.NetWeight(int(ni))) / float64(len(net)-1)
 			for _, u := range net {
 				if int(u) != v && partner[u] < 0 {
-					score[u] += r
+					if seen[u] != int32(epoch) {
+						seen[u] = int32(epoch)
+						score[u] = r
+						cands = append(cands, u)
+					} else {
+						score[u] += r
+					}
 				}
 			}
 			ops += int64(len(net))
 		}
 		best := int32(-1)
 		bestScore := 0.0
-		// Deterministic iteration: collect and sort candidates.
-		cands := make([]int32, 0, len(score))
-		for u := range score {
-			cands = append(cands, u)
-		}
+		// Deterministic iteration: sort candidates ascending.
 		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 		for _, u := range cands {
 			s := score[u]

@@ -3,6 +3,8 @@ package hypergraph
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Config parameterizes Partition. The defaults mirror the paper's hMETIS
@@ -29,6 +31,11 @@ type Config struct {
 	MinCoarse int
 	// MaxPasses bounds FM refinement passes per level. Zero selects 4.
 	MaxPasses int
+	// Parallel runs the V-cycles concurrently on a bounded worker pool.
+	// Each cycle already owns an independent RNG stream seeded from
+	// (Seed, cycle), and the winning partition is folded in cycle order,
+	// so the result is bit-identical to the sequential run.
+	Parallel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,16 +78,17 @@ func Partition(h *Hypergraph, cfg Config) ([]int, Stats, error) {
 		return part, Stats{}, nil
 	}
 	var stats Stats
-	best := make([]int, h.NumVertices())
-	bestObj := int64(-1)
-	for cycle := 0; cycle < cfg.VCycles; cycle++ {
+	// Each V-cycle is an independent multilevel run with its own RNG
+	// stream; runCycle is the unit both the sequential and the parallel
+	// paths execute.
+	runCycle := func(cycle int) ([]int, int64, int64) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(cycle)*7919))
 		cur := make([]int, h.NumVertices())
 		ids := make([]int32, h.NumVertices())
 		for v := range ids {
 			ids[v] = int32(v)
 		}
-		stats.Ops += recursiveBisect(h, ids, cfg.K, 0, cfg, rng, cur)
+		ops := recursiveBisect(h, ids, cfg.K, 0, cfg, rng, cur)
 		if cfg.K > 2 {
 			// Direct K-way refinement sees gains across the bisection
 			// cuts that recursive FM cannot.
@@ -93,13 +101,54 @@ func Partition(h *Hypergraph, cfg Config) ([]int, Stats, error) {
 			for i := range maxW {
 				maxW[i] = total/int64(cfg.K) + slack
 			}
-			stats.Ops += kwayRefine(h, cur, cfg.K, maxW, rng, cfg.MaxPasses)
+			ops += kwayRefine(h, cur, cfg.K, maxW, rng, cfg.MaxPasses)
 		}
 		obj := h.ConnectivityMinusOne(cur, cfg.K)
-		stats.Ops += int64(h.NumPins())
-		if bestObj < 0 || obj < bestObj {
-			bestObj = obj
-			copy(best, cur)
+		ops += int64(h.NumPins())
+		return cur, obj, ops
+	}
+
+	parts := make([][]int, cfg.VCycles)
+	objs := make([]int64, cfg.VCycles)
+	opsPer := make([]int64, cfg.VCycles)
+	if cfg.Parallel && cfg.VCycles > 1 {
+		// Bounded worker pool; cycles land in their slot, so the
+		// cycle-order fold below (and therefore the winner on ties) is
+		// identical to the sequential loop. Ops is an order-independent
+		// sum.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > cfg.VCycles {
+			workers = cfg.VCycles
+		}
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for cycle := range jobs {
+					parts[cycle], objs[cycle], opsPer[cycle] = runCycle(cycle)
+				}
+			}()
+		}
+		for cycle := 0; cycle < cfg.VCycles; cycle++ {
+			jobs <- cycle
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for cycle := 0; cycle < cfg.VCycles; cycle++ {
+			parts[cycle], objs[cycle], opsPer[cycle] = runCycle(cycle)
+		}
+	}
+
+	best := make([]int, h.NumVertices())
+	bestObj := int64(-1)
+	for cycle := 0; cycle < cfg.VCycles; cycle++ {
+		stats.Ops += opsPer[cycle]
+		if bestObj < 0 || objs[cycle] < bestObj {
+			bestObj = objs[cycle]
+			copy(best, parts[cycle])
 		}
 	}
 	stats.Cut = bestObj

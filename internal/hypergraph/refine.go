@@ -1,9 +1,5 @@
 package hypergraph
 
-import (
-	"container/heap"
-)
-
 // bisection holds the mutable state of a 2-way partition under refinement.
 type bisection struct {
 	h     *Hypergraph
@@ -116,23 +112,68 @@ type gainEntry struct {
 	gen  int32
 }
 
-type gainHeap []gainEntry
-
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+// before orders entries best-gain-first, vertex index ascending on ties.
+// Entries can collide only as stale duplicates of the same vertex (same
+// gain, same v, older gen); those pop adjacently under any heap shape and
+// the gen check skips all but the live one, so the applied-move sequence
+// is independent of the heap arity.
+func (a gainEntry) before(o gainEntry) bool {
+	if a.gain != o.gain {
+		return a.gain > o.gain
 	}
-	return h[i].v < h[j].v
+	return a.v < o.v
 }
-func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
-func (h *gainHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// gainHeap is a 4-ary max-heap of gain entries. Like the simulator's
+// event queue it avoids container/heap: Push(any)/Pop() any box every
+// entry, and the FM inner loop pushes one entry per refreshed neighbor.
+type gainHeap struct {
+	a []gainEntry
+}
+
+func (h *gainHeap) len() int { return len(h.a) }
+
+func (h *gainHeap) push(e gainEntry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.a[i].before(h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *gainHeap) pop() gainEntry {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.a[c].before(h.a[best]) {
+				best = c
+			}
+		}
+		if !h.a[best].before(h.a[i]) {
+			break
+		}
+		h.a[i], h.a[best] = h.a[best], h.a[i]
+		i = best
+	}
+	return top
 }
 
 // fmPass runs one Fiduccia–Mattheyses pass: vertices are tentatively moved
@@ -143,20 +184,19 @@ func (b *bisection) fmPass() (improved int64, ops int64) {
 	n := b.h.NumVertices()
 	locked := make([]bool, n)
 	gen := make([]int32, n)
-	gh := make(gainHeap, 0, n)
+	gh := gainHeap{a: make([]gainEntry, 0, n)}
 	for v := 0; v < n; v++ {
-		gh = append(gh, gainEntry{gain: b.gain(v), v: v})
+		gh.push(gainEntry{gain: b.gain(v), v: v})
 		ops += int64(len(b.h.Incidence(v)))
 	}
-	heap.Init(&gh)
 
 	type moveRec struct{ v int }
 	var moves []moveRec
 	var cum, bestCum int64
 	bestIdx := 0 // number of moves of the best prefix
 
-	for gh.Len() > 0 {
-		e := heap.Pop(&gh).(gainEntry)
+	for gh.len() > 0 {
+		e := gh.pop()
 		if locked[e.v] || e.gen != gen[e.v] {
 			continue
 		}
@@ -188,7 +228,7 @@ func (b *bisection) fmPass() (improved int64, ops int64) {
 					gen[u]++
 					ng := b.gain(int(u))
 					ops += int64(len(b.h.Incidence(int(u))))
-					heap.Push(&gh, gainEntry{gain: ng, v: int(u), gen: gen[u]})
+					gh.push(gainEntry{gain: ng, v: int(u), gen: gen[u]})
 				}
 			}
 		}

@@ -61,9 +61,13 @@ type DARTS struct {
 	poolIndex []int32 // task -> index in poolSlice, -1 if absent
 
 	// activeDeg[d] counts pool tasks reading d; singles[d] counts pool
-	// tasks whose only input is d.
-	activeDeg []int64
-	singles   map[taskgraph.DataID]int64
+	// tasks whose only input is d, with singleList enumerating the data
+	// whose count is positive (swap-remove, singleIx holds positions) so
+	// a decision walks only live entries.
+	activeDeg  []int64
+	singles    []int64
+	singleList []taskgraph.DataID
+	singleIx   []int32
 
 	// loaded is DARTS' per-GPU bookkeeping: the complement of the
 	// paper's dataNotInMem_k. A data is "loaded" once selected for or
@@ -82,6 +86,34 @@ type DARTS struct {
 
 	visited []int32 // per-task epoch marks for frontier scans
 	epoch   int32
+
+	// missing[k][t] counts inputs of t not loaded on GPU k, maintained
+	// incrementally by markLoaded/markUnloaded. From it, ready1Fix keeps
+	// the aggregate the frontier scan of selectData computes: cnt1[k][d]
+	// is the number of multi-input pool tasks on k whose one missing
+	// input is d, and cand1[k] lists the data with cnt1 > 0 (swap-remove,
+	// cand1Ix holds positions). miss1[k][t] caches which input is the
+	// missing one while t is in the set (NoData when it is not) — valid
+	// because membership changes one load/unload/pool step at a time, so
+	// the singleton can only change by leaving and re-entering. A
+	// decision then reads the candidates directly instead of walking
+	// every consumer of every loaded data: the candidate sets and counts
+	// are identical (both sides sort before use), only the enumeration
+	// cost changes.
+	missing [][]int32
+	miss1   [][]taskgraph.DataID
+	cnt1    [][]int64
+	cand1   [][]taskgraph.DataID
+	cand1Ix [][]int32
+	multiIn []bool // task has >= 2 inputs
+
+	// LUF.Victim scratch: per-data use counts over taskBuffer and
+	// plannedTasks, epoch-marked so a Victim call touches only the data
+	// its scan reads (the naive version allocated three maps per call).
+	lufMark    []int32
+	lufNb      []int64
+	lufNp      []int64
+	lufNextUse []int32
 
 	// Per-decision scratch, reused across pops. The naive implementation
 	// allocated a map plus a sort.Slice closure on every PopTask; these
@@ -136,13 +168,18 @@ func (s *DARTS) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
 		s.poolIndex[i] = int32(i)
 	}
 	s.activeDeg = make([]int64, n)
-	s.singles = make(map[taskgraph.DataID]int64)
+	s.singles = make([]int64, n)
+	s.singleList = s.singleList[:0]
+	s.singleIx = make([]int32, n)
+	for d := range s.singleIx {
+		s.singleIx[d] = -1
+	}
 	for _, t := range inst.Tasks() {
 		for _, d := range t.Inputs {
 			s.activeDeg[d]++
 		}
 		if len(t.Inputs) == 1 {
-			s.singles[t.Inputs[0]]++
+			s.singleBump(t.Inputs[0], 1)
 		}
 	}
 	var totalDeg int64
@@ -163,6 +200,69 @@ func (s *DARTS) Init(inst *taskgraph.Instance, view sim.RuntimeView) {
 	s.candCount = make([]int64, n)
 	s.candMark = make([]int32, n)
 	s.candList = make([]taskgraph.DataID, 0, 64)
+	s.multiIn = make([]bool, m)
+	for t := 0; t < m; t++ {
+		s.multiIn[t] = len(inst.Inputs(taskgraph.TaskID(t))) >= 2
+	}
+	s.missing = make([][]int32, k)
+	s.miss1 = make([][]taskgraph.DataID, k)
+	s.cnt1 = make([][]int64, k)
+	s.cand1 = make([][]taskgraph.DataID, k)
+	s.cand1Ix = make([][]int32, k)
+	for g := 0; g < k; g++ {
+		s.missing[g] = make([]int32, m)
+		s.miss1[g] = make([]taskgraph.DataID, m)
+		for t := 0; t < m; t++ {
+			s.missing[g][t] = int32(len(inst.Inputs(taskgraph.TaskID(t))))
+			s.miss1[g][t] = taskgraph.NoData
+		}
+		s.cnt1[g] = make([]int64, n)
+		s.cand1Ix[g] = make([]int32, n)
+		for d := range s.cand1Ix[g] {
+			s.cand1Ix[g][d] = -1
+		}
+	}
+	s.lufMark = make([]int32, n)
+	s.lufNb = make([]int64, n)
+	s.lufNp = make([]int64, n)
+	s.lufNextUse = make([]int32, n)
+}
+
+// ready1Fix reconciles t's contribution to cnt1/cand1 on GPU g with its
+// current state: a multi-input pool task with exactly one missing input
+// counts toward that input's candidate tally.
+func (s *DARTS) ready1Fix(g int, t taskgraph.TaskID) {
+	want := s.poolIndex[t] >= 0 && s.missing[g][t] == 1 && s.multiIn[t]
+	cur := s.miss1[g][t]
+	if want == (cur != taskgraph.NoData) {
+		return
+	}
+	if want {
+		d := taskgraph.NoData
+		for _, in := range s.inst.Inputs(t) {
+			if !s.loaded[g][in] {
+				d = in
+				break
+			}
+		}
+		s.miss1[g][t] = d
+		if s.cnt1[g][d]++; s.cnt1[g][d] == 1 {
+			s.cand1Ix[g][d] = int32(len(s.cand1[g]))
+			s.cand1[g] = append(s.cand1[g], d)
+		}
+		return
+	}
+	d := cur
+	s.miss1[g][t] = taskgraph.NoData
+	if s.cnt1[g][d]--; s.cnt1[g][d] == 0 {
+		ix := s.cand1Ix[g][d]
+		last := len(s.cand1[g]) - 1
+		moved := s.cand1[g][last]
+		s.cand1[g][ix] = moved
+		s.cand1Ix[g][moved] = ix
+		s.cand1[g] = s.cand1[g][:last]
+		s.cand1Ix[g][d] = -1
+	}
 }
 
 // bump adds c to the scratch count of d for the current decision epoch,
@@ -190,6 +290,9 @@ func (s *DARTS) removeFromPool(t taskgraph.TaskID) {
 	s.poolIndex[moved] = i
 	s.poolSlice = s.poolSlice[:last]
 	s.poolIndex[t] = -1
+	for g := range s.loaded {
+		s.ready1Fix(g, t)
+	}
 	in := s.inst.Inputs(t)
 	for _, d := range in {
 		s.activeDeg[d]--
@@ -200,9 +303,26 @@ func (s *DARTS) removeFromPool(t taskgraph.TaskID) {
 		}
 	}
 	if len(in) == 1 {
-		if s.singles[in[0]]--; s.singles[in[0]] == 0 {
-			delete(s.singles, in[0])
-		}
+		s.singleBump(in[0], -1)
+	}
+}
+
+// singleBump adjusts the single-input-task count of d, maintaining the
+// swap-remove enumeration list.
+func (s *DARTS) singleBump(d taskgraph.DataID, by int64) {
+	was := s.singles[d]
+	s.singles[d] = was + by
+	if was == 0 && by > 0 {
+		s.singleIx[d] = int32(len(s.singleList))
+		s.singleList = append(s.singleList, d)
+	} else if was+by == 0 && by < 0 {
+		ix := s.singleIx[d]
+		last := len(s.singleList) - 1
+		moved := s.singleList[last]
+		s.singleList[ix] = moved
+		s.singleIx[moved] = ix
+		s.singleList = s.singleList[:last]
+		s.singleIx[d] = -1
 	}
 }
 
@@ -213,6 +333,9 @@ func (s *DARTS) returnToPool(t taskgraph.TaskID) {
 	}
 	s.poolIndex[t] = int32(len(s.poolSlice))
 	s.poolSlice = append(s.poolSlice, t)
+	for g := range s.loaded {
+		s.ready1Fix(g, t)
+	}
 	in := s.inst.Inputs(t)
 	for _, d := range in {
 		s.activeDeg[d]++
@@ -223,7 +346,7 @@ func (s *DARTS) returnToPool(t taskgraph.TaskID) {
 		}
 	}
 	if len(in) == 1 {
-		s.singles[in[0]]++
+		s.singleBump(in[0], 1)
 	}
 }
 
@@ -236,6 +359,15 @@ func (s *DARTS) markLoaded(gpu int, d taskgraph.DataID) {
 	s.loadedCount[gpu]++
 	s.loadedList[gpu] = append(s.loadedList[gpu], d)
 	s.sumDeg[gpu] -= s.activeDeg[d]
+	for _, t := range s.inst.Consumers(d) {
+		m := s.missing[gpu][t] - 1
+		s.missing[gpu][t] = m
+		// Membership can only change crossing missing==1: enter at m==1
+		// (was 2), leave at m==0 (was 1).
+		if m <= 1 {
+			s.ready1Fix(gpu, t)
+		}
+	}
 }
 
 // markUnloaded records that d left the memory of gpu.
@@ -246,6 +378,14 @@ func (s *DARTS) markUnloaded(gpu int, d taskgraph.DataID) {
 	s.loaded[gpu][d] = false
 	s.loadedCount[gpu]--
 	s.sumDeg[gpu] += s.activeDeg[d]
+	for _, t := range s.inst.Consumers(d) {
+		m := s.missing[gpu][t] + 1
+		s.missing[gpu][t] = m
+		// Enter at m==1 (was 0), leave at m==2 (was 1).
+		if m <= 2 {
+			s.ready1Fix(gpu, t)
+		}
+	}
 	// loadedList is compacted lazily during scans.
 }
 
@@ -336,40 +476,51 @@ func (s *DARTS) selectData(gpu int) (taskgraph.DataID, bool) {
 	s.epoch++
 	s.candList = s.candList[:0]
 	// Single-input tasks are free as soon as their data loads.
-	for d, c := range s.singles {
+	for _, d := range s.singleList {
 		if !s.loaded[gpu][d] {
-			s.bump(d, c)
+			s.bump(d, s.singles[d])
 		}
 	}
 	var scanOps int64
-	stopEarly := s.opts.Opti
-	list := s.compactLoadedList(gpu)
-scan:
-	for li := range list {
-		// OPTI stops at the first data enabling a task, so scan from the
-		// most recently loaded data: the first hit then extends the
-		// locality the GPU already built, instead of resurrecting the
-		// neighborhood of its oldest data.
-		r := list[li]
-		if stopEarly {
-			r = list[len(list)-1-li]
-		}
-		if !s.loaded[gpu][r] {
-			continue
-		}
-		for _, t := range s.inst.Consumers(r) {
-			if !s.inPool(t) || s.visited[t] == s.epoch {
+	if stopEarly := s.opts.Opti; stopEarly {
+		// OPTI's early stop depends on the scan order (it keeps the first
+		// data enabling a task), and its charge on the work actually done,
+		// so it walks the frontier of loaded data exactly as the paper's
+		// pseudo-code does.
+		list := s.compactLoadedList(gpu)
+	scan:
+		for li := range list {
+			// OPTI stops at the first data enabling a task, so scan from
+			// the most recently loaded data: the first hit then extends the
+			// locality the GPU already built, instead of resurrecting the
+			// neighborhood of its oldest data.
+			r := list[len(list)-1-li]
+			if !s.loaded[gpu][r] {
 				continue
 			}
-			s.visited[t] = s.epoch
-			scanOps += int64(len(s.inst.Inputs(t)))
-			missing, miss := s.missingInputs(gpu, t)
-			if missing == 1 {
-				s.bump(miss, 1)
-				if stopEarly {
+			for _, t := range s.inst.Consumers(r) {
+				if !s.inPool(t) || s.visited[t] == s.epoch {
+					continue
+				}
+				s.visited[t] = s.epoch
+				scanOps += int64(len(s.inst.Inputs(t)))
+				missing, miss := s.missingInputs(gpu, t)
+				if missing == 1 {
+					s.bump(miss, 1)
 					break scan
 				}
 			}
+		}
+	} else {
+		// The frontier scan bumps, once each, exactly the multi-input pool
+		// tasks with one missing input (such a task has a loaded input, so
+		// it is a consumer of some loaded data, and the visited marks
+		// deduplicate). cnt1/cand1 maintain those tallies incrementally,
+		// so a decision costs O(candidates) instead of O(loaded x
+		// consumers). The charge below stays the naive scan's (sumDeg):
+		// that is what the paper's implementation pays.
+		for _, d := range s.cand1[gpu] {
+			s.bump(d, s.cnt1[gpu][d])
 		}
 	}
 	if len(s.candList) == 0 {
@@ -377,7 +528,20 @@ scan:
 		return taskgraph.NoData, false
 	}
 	keys := s.candList
-	slices.Sort(keys)
+	if len(keys)*4 >= len(s.candMark) {
+		// Dense candidate set: rebuilding the list by an ascending scan
+		// of the epoch marks yields exactly the sorted order a comparison
+		// sort would, in O(data) instead of O(c log c).
+		keys = keys[:0]
+		for d := range s.candMark {
+			if s.candMark[d] == s.epoch {
+				keys = append(keys, taskgraph.DataID(d))
+			}
+		}
+		s.candList = keys
+	} else {
+		slices.Sort(keys)
+	}
 	if s.opts.Threshold > 0 && len(keys) > s.opts.Threshold {
 		// Examine only Threshold candidates, chosen at random as the
 		// paper's bounded scan would encounter them.
@@ -456,17 +620,9 @@ func (s *DARTS) scanCharge(gpu int, actualOps int64) int64 {
 func (s *DARTS) fillPlanned(gpu int, dopt taskgraph.DataID) {
 	free := s.freeList[:0]
 	for _, t := range s.inst.Consumers(dopt) {
-		if !s.inPool(t) {
-			continue
-		}
-		ok := true
-		for _, d := range s.inst.Inputs(t) {
-			if d != dopt && !s.loaded[gpu][d] {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		// dopt is unloaded (selectData only proposes missing data), so a
+		// pool consumer is free exactly when dopt is its one missing input.
+		if s.inPool(t) && s.missing[gpu][t] == 1 {
 			free = append(free, t)
 		}
 	}
@@ -630,57 +786,78 @@ func (p *LUF) Loaded(gpu int, d taskgraph.DataID) {}
 // Used is a no-op.
 func (p *LUF) Used(gpu int, d taskgraph.DataID) {}
 
-// Victim implements Algorithm 6.
+// Victim implements Algorithm 6. The per-data use counts live in
+// epoch-marked scratch arrays of the paired scheduler (data whose mark is
+// stale counts as zero), so a call allocates nothing — the naive version
+// built three maps per eviction.
 func (p *LUF) Victim(gpu int, candidates []taskgraph.DataID) taskgraph.DataID {
 	s := p.d
+	s.epoch++
+	touch := func(d taskgraph.DataID, i int32) {
+		if s.lufMark[d] != s.epoch {
+			s.lufMark[d] = s.epoch
+			s.lufNb[d] = 0
+			s.lufNp[d] = 0
+			s.lufNextUse[d] = i
+		}
+	}
 	// nb(D): first (and count of) uses in taskBuffer, in execution order.
-	nb := make(map[taskgraph.DataID]int64)
-	nextUse := make(map[taskgraph.DataID]int)
 	for i, t := range s.buffer[gpu] {
 		for _, d := range s.inst.Inputs(t) {
-			nb[d]++
-			if _, ok := nextUse[d]; !ok {
-				nextUse[d] = i
-			}
+			touch(d, int32(i))
+			s.lufNb[d]++
 		}
 	}
 	// np(D): uses in plannedTasks.
-	np := make(map[taskgraph.DataID]int64)
 	for _, t := range s.planned[gpu] {
 		for _, d := range s.inst.Inputs(t) {
-			np[d]++
+			touch(d, 0)
+			s.lufNp[d]++
 		}
+	}
+	nb := func(d taskgraph.DataID) int64 {
+		if s.lufMark[d] != s.epoch {
+			return 0
+		}
+		return s.lufNb[d]
+	}
+	np := func(d taskgraph.DataID) int64 {
+		if s.lufMark[d] != s.epoch {
+			return 0
+		}
+		return s.lufNp[d]
 	}
 	best := taskgraph.NoData
 	var bestNp int64
 	for _, d := range candidates {
-		if nb[d] != 0 {
+		if nb(d) != 0 {
 			continue
 		}
-		if best == taskgraph.NoData || np[d] < bestNp {
-			best, bestNp = d, np[d]
+		if best == taskgraph.NoData || np(d) < bestNp {
+			best, bestNp = d, np(d)
 		}
 	}
 	if best != taskgraph.NoData {
 		if s.rec != nil {
 			s.rec.Record(Decision{Kind: DecisionEvict, GPU: gpu, Data: best,
 				Task: taskgraph.NoTask, Victim: -1,
-				Candidates: len(candidates), FutureUses: np[best]})
+				Candidates: len(candidates), FutureUses: np(best)})
 		}
 		return best
 	}
 	// All candidates are used by in-flight tasks: Belady on taskBuffer.
+	// Every candidate here has nb != 0, so its nextUse mark is current.
 	far := candidates[0]
-	farUse := nextUse[far]
+	farUse := s.lufNextUse[far]
 	for _, d := range candidates[1:] {
-		if nextUse[d] > farUse {
-			far, farUse = d, nextUse[d]
+		if s.lufNextUse[d] > farUse {
+			far, farUse = d, s.lufNextUse[d]
 		}
 	}
 	if s.rec != nil {
 		s.rec.Record(Decision{Kind: DecisionEvict, GPU: gpu, Data: far,
 			Task: taskgraph.NoTask, Victim: -1,
-			Candidates: len(candidates), FutureUses: nb[far] + np[far]})
+			Candidates: len(candidates), FutureUses: nb(far) + np(far)})
 	}
 	return far
 }

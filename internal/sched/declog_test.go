@@ -124,7 +124,10 @@ func TestDecisionLogWriter(t *testing.T) {
 // TestDARTSPopAllocs guards the nil-recorder hot path: attaching the
 // observability hooks must not cost the undecorated scheduler any
 // allocations (BenchmarkDARTSPop measured ~147 allocs/op for the full
-// drain before the hooks landed; 160 leaves headroom for noise only).
+// drain before the hooks landed). The budget covers Init plus the whole
+// drain: the incremental ready1/missing/LUF-scratch arrays added ~17
+// fixed Init allocations, so 180 leaves headroom for noise only — any
+// per-pop allocation would blow past it immediately.
 func TestDARTSPopAllocs(t *testing.T) {
 	inst := workload.Matmul2D(30)
 	pair := NewDARTSPair(DARTSOptions{LUF: true})
@@ -140,7 +143,7 @@ func TestDARTSPopAllocs(t *testing.T) {
 			}
 		}
 	})
-	if allocs > 160 {
-		t.Fatalf("full DARTS drain costs %.0f allocs, budget 160", allocs)
+	if allocs > 180 {
+		t.Fatalf("full DARTS drain costs %.0f allocs, budget 180", allocs)
 	}
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -38,19 +37,6 @@ type event struct {
 	gen  int64 // fair-share bus check generation
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
 type fetchReq struct {
 	gpu  int
 	data taskgraph.DataID
@@ -74,14 +60,18 @@ type gpuState struct {
 	reservedBytes int64  // reserved for queued or in-flight transfers
 	arriving      []bool // indexed by DataID
 	arrivingPeer  []bool // indexed by DataID; arriving over NVLink, not the host bus
-	buffer        []bufEntry
-	running       taskgraph.TaskID
-	pendingFetch  []fetchReq // fetches waiting for memory space
-	schedClock    time.Duration
-	stats         GPUStats
+	// residentList mirrors the resident flags as an ascending id list, so
+	// building eviction candidates costs O(resident) instead of a scan
+	// over every data id of the instance.
+	residentList []taskgraph.DataID
+	buffer       []bufEntry
+	running      taskgraph.TaskID
+	pendingFetch []fetchReq // fetches waiting for memory space
+	schedClock   time.Duration
+	stats        GPUStats
 	// NVLink receive channel (when the platform enables peer links):
 	// one FIFO per destination GPU.
-	nvQueue  []fetchReq
+	nvq      reqQueue
 	nvActive bool
 	// Fault state: dead marks a permanent dropout, pressure the bytes
 	// withheld by active memory-pressure spikes, runStart when the
@@ -92,7 +82,7 @@ type gpuState struct {
 }
 
 type busState struct {
-	queue  []fetchReq
+	q      reqQueue
 	active bool
 }
 
@@ -108,7 +98,8 @@ type engine struct {
 
 	now       time.Duration
 	seq       int64
-	heap      eventHeap
+	eq        eventQueue
+	sc        *Scratch
 	gpus      []gpuState
 	bus       busState
 	busModel  BusModel
@@ -203,24 +194,20 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 		recordTrace: cfg.RecordTrace || cfg.CheckInvariants,
 		probe:       cfg.Probe,
 	}
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.attach(e, cfg.Platform.NumGPUs, inst.NumData(), inst.NumTasks())
+	defer sc.detach(e, cfg.RecordTrace)
 	if cfg.Telemetry {
-		e.tel = newTelemetryState(cfg.Platform.NumGPUs, inst.NumData())
+		e.tel = sc.telemetryState(cfg.Platform.NumGPUs, inst.NumData())
 	}
 	if cfg.Context != nil {
 		e.ctx = cfg.Context
 	}
+	// loadsPerData is retained by the Result, so it is never pooled.
 	e.loadsPerData = make([]int, inst.NumData())
-	e.done = make([]bool, inst.NumTasks())
-	e.gpus = make([]gpuState, cfg.Platform.NumGPUs)
-	for k := range e.gpus {
-		e.gpus[k] = gpuState{
-			id:           k,
-			resident:     make([]bool, inst.NumData()),
-			arriving:     make([]bool, inst.NumData()),
-			arrivingPeer: make([]bool, inst.NumData()),
-			running:      taskgraph.NoTask,
-		}
-	}
 
 	e.sched.Init(inst, e)
 	e.evict.Init(inst, e)
@@ -241,8 +228,8 @@ func Run(inst *taskgraph.Instance, cfg Config) (*Result, error) {
 	if e.tel != nil {
 		e.telReclassify()
 	}
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(event)
+	for e.eq.len() > 0 {
+		ev := e.eq.pop()
 		// Fault administration scheduled past the last completion is
 		// dropped without advancing the clock: a dropout at t=1h must not
 		// stretch the makespan of a workload that finished at t=2ms.
@@ -467,7 +454,7 @@ func (e *engine) route(req fetchReq) {
 func (e *engine) nvEnqueue(req fetchReq) {
 	g := &e.gpus[req.gpu]
 	g.arrivingPeer[req.data] = true
-	g.nvQueue = append(g.nvQueue, req)
+	g.nvq.push(req)
 	if !g.nvActive {
 		e.nvStartNext(req.gpu)
 	}
@@ -475,12 +462,11 @@ func (e *engine) nvEnqueue(req fetchReq) {
 
 func (e *engine) nvStartNext(k int) {
 	g := &e.gpus[k]
-	if len(g.nvQueue) == 0 {
+	if g.nvq.len() == 0 {
 		g.nvActive = false
 		return
 	}
-	req := g.nvQueue[0]
-	g.nvQueue = g.nvQueue[1:]
+	req := g.nvq.pop()
 	g.nvActive = true
 	dur := e.plat.PeerTransferDuration(e.inst.Data(req.data).Size)
 	if e.faultRNG != nil {
@@ -504,6 +490,7 @@ func (e *engine) peerDone(k int, d taskgraph.DataID) {
 	g.arrivingPeer[d] = false
 	g.reservedBytes -= size
 	g.resident[d] = true
+	g.residentList = insertID(g.residentList, d)
 	g.residentBytes += size
 	g.stats.Loads++
 	g.stats.PeerLoads++
@@ -525,7 +512,6 @@ func (e *engine) retryPending(k int) bool {
 		return false
 	}
 	pending := g.pendingFetch
-	g.pendingFetch = nil
 	issued := false
 	for i, req := range pending {
 		if g.resident[req.data] || g.arriving[req.data] {
@@ -533,77 +519,106 @@ func (e *engine) retryPending(k int) bool {
 		}
 		size := e.inst.Data(req.data).Size
 		if !e.ensureSpace(k, size) {
-			g.pendingFetch = append(g.pendingFetch, pending[i:]...)
+			// Still blocked: keep this and the remaining requests parked.
+			// Nothing appends to pendingFetch inside this loop, so the
+			// in-place compaction is safe and reuses the backing array.
+			n := copy(pending, pending[i:])
+			g.pendingFetch = pending[:n]
 			e.dedupePending(g)
-			break
+			return issued
 		}
 		g.reservedBytes += size
 		g.arriving[req.data] = true
 		e.busEnqueue(req)
 		issued = true
 	}
+	g.pendingFetch = pending[:0]
 	return issued
 }
 
 func (e *engine) dedupePending(g *gpuState) {
-	seen := make(map[taskgraph.DataID]bool, len(g.pendingFetch))
+	seen, epoch := e.sc.marks()
 	out := g.pendingFetch[:0]
 	for _, req := range g.pendingFetch {
-		if seen[req.data] || g.resident[req.data] || g.arriving[req.data] {
+		if seen[req.data] == epoch || g.resident[req.data] || g.arriving[req.data] {
 			continue
 		}
-		seen[req.data] = true
+		seen[req.data] = epoch
 		out = append(out, req)
 	}
 	g.pendingFetch = out
 }
 
-// protected returns the set of data on GPU k that must not be evicted:
-// inputs of the running task and inputs of the head window task.
-func (e *engine) protected(k int) map[taskgraph.DataID]bool {
+// markProtected marks the data on GPU k that must not be evicted — inputs
+// of the running task and inputs of the head window task — under a fresh
+// epoch of the shared mark array, and returns (marks, epoch). Membership
+// is mark[d] == epoch; no per-call map is built.
+func (e *engine) markProtected(k int) ([]int64, int64) {
+	mark, epoch := e.sc.marks()
 	g := &e.gpus[k]
-	prot := make(map[taskgraph.DataID]bool)
 	if g.running != taskgraph.NoTask {
 		for _, d := range e.inst.Inputs(g.running) {
-			prot[d] = true
+			mark[d] = epoch
 		}
 	}
 	if len(g.buffer) > 0 {
 		for _, d := range e.inst.Inputs(g.buffer[0].task) {
-			prot[d] = true
+			mark[d] = epoch
 		}
 	}
-	return prot
+	return mark, epoch
+}
+
+// evictionCandidates builds the ascending list of unprotected resident
+// data of GPU k into the shared scratch buffer, alongside the protection
+// marks used to build it. The buffer is valid until the next candidate
+// build; eviction policies must not retain it past their Victim call.
+func (e *engine) evictionCandidates(k int) ([]taskgraph.DataID, []int64, int64) {
+	mark, epoch := e.markProtected(k)
+	g := &e.gpus[k]
+	cands := e.sc.cands[:0]
+	for _, d := range g.residentList {
+		if mark[d] != epoch {
+			cands = append(cands, d)
+		}
+	}
+	e.sc.cands = cands
+	return cands, mark, epoch
 }
 
 // ensureSpace evicts data from GPU k until size bytes are free, or reports
 // false if not enough unpinned data can be evicted.
+//
+// The candidate list is built once per call and the victim removed from it
+// after each eviction: within the loop residency only changes through
+// doEvict (the Evicted/DataEvicted hooks are pure notifications), and the
+// protected set depends only on the running task and the window head,
+// which no eviction can change — so the pruned list is exactly what a
+// per-iteration rebuild would produce, in the same ascending order.
 func (e *engine) ensureSpace(k int, size int64) bool {
 	g := &e.gpus[k]
 	free := e.memLimit(k) - g.residentBytes - g.reservedBytes
 	if free >= size {
 		return true
 	}
-	var prot map[taskgraph.DataID]bool
+	var cands []taskgraph.DataID
+	var mark []int64
+	var epoch int64
+	built := false
 	for free < size {
-		if prot == nil {
-			prot = e.protected(k)
+		if !built {
+			cands, mark, epoch = e.evictionCandidates(k)
+			built = true
 		}
-		candidates := make([]taskgraph.DataID, 0, 64)
-		for di := range g.resident {
-			d := taskgraph.DataID(di)
-			if g.resident[di] && !prot[d] {
-				candidates = append(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
+		if len(cands) == 0 {
 			return false
 		}
-		v := e.evict.Victim(k, candidates)
-		if !g.resident[v] || prot[v] {
+		v := e.evict.Victim(k, cands)
+		if !g.resident[v] || mark[v] == epoch {
 			panic(fmt.Sprintf("sim: eviction policy %s chose invalid victim %d on gpu %d", e.evict.Name(), v, k))
 		}
 		e.doEvict(k, v)
+		cands = removeID(cands, v)
 		free = e.memLimit(k) - g.residentBytes - g.reservedBytes
 	}
 	return true
@@ -612,6 +627,7 @@ func (e *engine) ensureSpace(k int, size int64) bool {
 func (e *engine) doEvict(k int, d taskgraph.DataID) {
 	g := &e.gpus[k]
 	g.resident[d] = false
+	g.residentList = removeID(g.residentList, d)
 	g.residentBytes -= e.inst.Data(d).Size
 	g.stats.Evictions++
 	if e.tel != nil {
@@ -633,16 +649,15 @@ func (e *engine) busEnqueue(req fetchReq) {
 		e.fairEnqueue(req)
 		return
 	}
-	e.bus.queue = append(e.bus.queue, req)
+	e.bus.q.push(req)
 	if !e.bus.active {
 		e.busStartNext()
 	}
 }
 
 func (e *engine) busStartNext() {
-	for len(e.bus.queue) > 0 {
-		req := e.bus.queue[0]
-		e.bus.queue = e.bus.queue[1:]
+	for e.bus.q.len() > 0 {
+		req := e.bus.q.pop()
 		// A peer copy may have landed while the request waited in the
 		// bus queue; divert it to NVLink and keep the host bus free.
 		// (Write-backs always use the host bus: the data's home is the
@@ -717,6 +732,7 @@ func (e *engine) hostArrived(k int, d taskgraph.DataID) {
 	g.arrivingPeer[d] = false
 	g.reservedBytes -= size
 	g.resident[d] = true
+	g.residentList = insertID(g.residentList, d)
 	g.residentBytes += size
 	g.stats.Loads++
 	g.stats.BytesIn += size
@@ -800,7 +816,7 @@ func (e *engine) allResident(k int, t taskgraph.TaskID) bool {
 func (e *engine) post(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.heap, ev)
+	e.eq.push(ev)
 }
 
 func (e *engine) record(ev TraceEvent) {

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"memsched/internal/taskgraph"
+)
+
+// eventQueue is the engine's pending-event min-heap, specialized to avoid
+// the interface boxing of container/heap (whose Push(any)/Pop() any
+// allocate on every event). It is a 4-ary implicit heap: children of slot
+// i live at 4i+1..4i+4, so the tree is half as deep as a binary heap and
+// sift-down touches one cache line of siblings per level.
+//
+// The ordering key is (at, seq). seq is unique per event (the engine's
+// monotone post counter), so the key order is total: any correct min-heap
+// pops the exact same global sequence, which is why swapping the heap
+// shape cannot change simulation results (see DESIGN.md).
+type eventQueue struct {
+	a []event
+}
+
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+// push inserts ev, sifting it up toward the root.
+func (q *eventQueue) push(ev event) {
+	a := append(q.a, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !a[i].before(a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	q.a = a
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() event {
+	a := q.a
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	q.a = a
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if a[c].before(a[m]) {
+				m = c
+			}
+		}
+		if !a[m].before(a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// reqQueue is a FIFO of transfer requests backed by a reusable slice.
+// Dequeuing advances a head index instead of re-slicing (the a = a[1:]
+// idiom leaks capacity at the front and forces periodic reallocation);
+// the backing array is reclaimed whenever the queue drains, so a
+// steady-state run enqueues with zero allocations.
+type reqQueue struct {
+	a    []fetchReq
+	head int
+}
+
+func (q *reqQueue) len() int { return len(q.a) - q.head }
+
+func (q *reqQueue) push(r fetchReq) {
+	if q.head == len(q.a) {
+		q.a = q.a[:0]
+		q.head = 0
+	}
+	q.a = append(q.a, r)
+}
+
+func (q *reqQueue) pop() fetchReq {
+	r := q.a[q.head]
+	q.head++
+	if q.head == len(q.a) {
+		q.a = q.a[:0]
+		q.head = 0
+	}
+	return r
+}
+
+func (q *reqQueue) reset() {
+	q.a = q.a[:0]
+	q.head = 0
+}
+
+// dropGPU removes every queued request destined to GPU k, preserving the
+// order of the rest (dropout handling).
+func (q *reqQueue) dropGPU(k int) {
+	kept := q.a[:q.head]
+	for _, req := range q.a[q.head:] {
+		if req.gpu == k {
+			continue
+		}
+		kept = append(kept, req)
+	}
+	q.a = kept
+}
+
+// insertID inserts d into the ascending-sorted id list s (no-op duplicates
+// are the caller's responsibility; the engine only inserts on a
+// false->true residency flip).
+func insertID(s []taskgraph.DataID, d taskgraph.DataID) []taskgraph.DataID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = d
+	return s
+}
+
+// removeID removes d from the ascending-sorted id list s, preserving order.
+func removeID(s []taskgraph.DataID, d taskgraph.DataID) []taskgraph.DataID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == d {
+		copy(s[lo:], s[lo+1:])
+		s = s[:len(s)-1]
+	}
+	return s
+}

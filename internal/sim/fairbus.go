@@ -106,7 +106,7 @@ func (e *engine) fairCheck(gen int64) {
 	e.fairAdvance()
 	const eps = 0.5 // bytes; transfers within half a byte are complete
 	kept := e.fair.active[:0]
-	var done []fetchReq
+	done := e.sc.fairDone[:0]
 	for _, tr := range e.fair.active {
 		if tr.remaining <= eps {
 			done = append(done, tr.req)
@@ -133,5 +133,6 @@ func (e *engine) fairCheck(gen int64) {
 		}
 		e.hostArrived(req.gpu, req.data)
 	}
+	e.sc.fairDone = done[:0]
 	e.fairReschedule()
 }

@@ -169,6 +169,7 @@ func (e *engine) dropout(k int) {
 		e.evict.Evicted(k, d)
 		e.sched.DataEvicted(k, d)
 	}
+	g.residentList = g.residentList[:0] // every replica was just lost
 
 	// Discard transfers headed to the dead GPU. Queued host-bus loads
 	// are removed; the in-flight one completes on the bus but its
@@ -182,7 +183,7 @@ func (e *engine) dropout(k int) {
 		g.arrivingPeer[i] = false
 	}
 	g.reservedBytes = 0
-	g.nvQueue = nil
+	g.nvq.reset()
 	if e.busModel == BusFairShare {
 		e.fairAdvance()
 		kept := e.fair.active[:0]
@@ -202,14 +203,7 @@ func (e *engine) dropout(k int) {
 			e.fairReschedule()
 		}
 	} else {
-		kept := e.bus.queue[:0]
-		for _, req := range e.bus.queue {
-			if req.gpu == k {
-				continue
-			}
-			kept = append(kept, req)
-		}
-		e.bus.queue = kept
+		e.bus.q.dropGPU(k)
 	}
 
 	// Hand the dead GPU's popped-but-unfinished tasks back to the
@@ -263,26 +257,27 @@ func (e *engine) pressureOn(k int, p fault.Pressure) {
 	g.pressure += p.Bytes
 	e.record(TraceEvent{At: e.now, Kind: TracePressureOn, GPU: k, Task: taskgraph.NoTask, Data: taskgraph.NoData})
 	limit := e.memLimit(k)
-	var prot map[taskgraph.DataID]bool
+	// As in ensureSpace, the candidate list is built once and the victim
+	// removed after each eviction — byte-identical to the per-iteration
+	// rebuild, since only doEvict changes residency here.
+	var cands []taskgraph.DataID
+	var mark []int64
+	var epoch int64
+	built := false
 	for g.residentBytes+g.reservedBytes > limit {
-		if prot == nil {
-			prot = e.protected(k)
+		if !built {
+			cands, mark, epoch = e.evictionCandidates(k)
+			built = true
 		}
-		candidates := make([]taskgraph.DataID, 0, 64)
-		for di := range g.resident {
-			d := taskgraph.DataID(di)
-			if g.resident[di] && !prot[d] {
-				candidates = append(candidates, d)
-			}
-		}
-		if len(candidates) == 0 {
+		if len(cands) == 0 {
 			return
 		}
-		v := e.evict.Victim(k, candidates)
-		if !g.resident[v] || prot[v] {
+		v := e.evict.Victim(k, cands)
+		if !g.resident[v] || mark[v] == epoch {
 			panic(fmt.Sprintf("sim: eviction policy %s chose invalid victim %d on gpu %d", e.evict.Name(), v, k))
 		}
 		e.doEvict(k, v)
+		cands = removeID(cands, v)
 		e.fstats.PressureEvictions++
 	}
 }

@@ -15,9 +15,10 @@ import (
 
 // TestEmptyFaultPlanIsNoOp pins the no-op contract: a nil plan, the zero
 // plan and a rate-0 transient plan all produce results identical to a
-// run configured without fault injection at all.
+// run configured without fault injection at all — with fresh engine
+// state and with a recycled Scratch alike.
 func TestEmptyFaultPlanIsNoOp(t *testing.T) {
-	run := func(plan *fault.Plan) *sim.Result {
+	run := func(plan *fault.Plan, sc *sim.Scratch) *sim.Result {
 		t.Helper()
 		res, err := sim.Run(chain(6), sim.Config{
 			Platform:  tinyPlatform(2, 100),
@@ -25,22 +26,31 @@ func TestEmptyFaultPlanIsNoOp(t *testing.T) {
 			Eviction:  memory.NewLRU(),
 			Telemetry: true,
 			Faults:    plan,
+			Scratch:   sc,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	want := run(nil)
+	want := run(nil, nil)
 	if want.Faults != nil {
 		t.Fatalf("fault-free run has Faults = %+v, want nil", want.Faults)
 	}
-	for name, plan := range map[string]*fault.Plan{
+	plans := map[string]*fault.Plan{
+		"nil":       nil,
 		"zero":      {},
 		"rate-zero": {Seed: 7, Transient: &fault.Transient{Rate: 0, MaxRetries: 4, Backoff: time.Millisecond}},
-	} {
-		if got := run(plan); !reflect.DeepEqual(got, want) {
+	}
+	for name, plan := range plans {
+		if got := run(plan, nil); !reflect.DeepEqual(got, want) {
 			t.Errorf("%s plan: result differs from fault-free run:\ngot  %+v\nwant %+v", name, got, want)
+		}
+	}
+	sc := sim.NewScratch()
+	for name, plan := range plans {
+		if got := run(plan, sc); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s plan with recycled Scratch: result differs from fault-free run:\ngot  %+v\nwant %+v", name, got, want)
 		}
 	}
 }

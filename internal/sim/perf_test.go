@@ -1,0 +1,181 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"memsched/internal/fault"
+	"memsched/internal/memory"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// seqQueues returns one queue per GPU, dealing tasks 0..m-1 round-robin.
+func seqQueues(m, gpus int) [][]taskgraph.TaskID {
+	qs := make([][]taskgraph.TaskID, gpus)
+	for t := 0; t < m; t++ {
+		qs[t%gpus] = append(qs[t%gpus], taskgraph.TaskID(t))
+	}
+	return qs
+}
+
+// TestEngineStepAllocs is the zero-alloc guard of the event core: with a
+// warmed Scratch, a whole run must cost only its fixed per-run setup
+// (engine, RNG, scheduler, policy Init, Result) — nothing proportional
+// to the event count. The two instance sizes differ by hundreds of
+// events; any per-event allocation on the hot path (heap pushes, queue
+// growth, telemetry accrual, eviction candidate lists) fails the scaling
+// check, and the absolute budget catches regressions in the setup path.
+func TestEngineStepAllocs(t *testing.T) {
+	sc := sim.NewScratch()
+	measure := func(m int) float64 {
+		inst := chain(m) // built outside: instance construction scales with m
+		// Memory of 60 B against a 20 B per-task footprint forces
+		// evictions, exercising the candidate-list path too.
+		run := func() {
+			_, err := sim.Run(inst, sim.Config{
+				Platform:  tinyPlatform(1, 60),
+				Scheduler: &listSched{queues: seqQueues(m, 1)},
+				Eviction:  memory.NewLRU(),
+				Telemetry: true,
+				Scratch:   sc,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the scratch to steady state
+		return testing.AllocsPerRun(5, run)
+	}
+	small := measure(8)
+	big := measure(64)
+	if grow := big - small; grow > 8 {
+		t.Errorf("allocs grew with event count: %v (m=8) -> %v (m=64), growth %v > 8",
+			small, big, grow)
+	}
+	// Fixed per-run setup only: engine, RNG, scheduler, policy Init,
+	// Result and telemetry summary. Nothing here scales with events.
+	const budget = 120
+	if big > budget {
+		t.Errorf("run of chain(64) allocated %v times, budget %v", big, budget)
+	}
+}
+
+// TestScratchReuseConformance pins the Scratch contract: recycling one
+// Scratch through heterogeneous consecutive runs (different GPU counts,
+// bus models, NVLink, eviction pressure, fault plans) yields results
+// byte-identical to fresh-state runs, in both directions of the
+// sequence.
+func TestScratchReuseConformance(t *testing.T) {
+	type cell struct {
+		name string
+		run  func(sc *sim.Scratch) *sim.Result
+	}
+	mk := func(name string, m, gpus int, mem int64, mut func(*sim.Config)) cell {
+		return cell{name: name, run: func(sc *sim.Scratch) *sim.Result {
+			cfg := sim.Config{
+				Platform:    tinyPlatform(gpus, mem),
+				Scheduler:   &listSched{queues: seqQueues(m, gpus)},
+				Eviction:    memory.NewLRU(),
+				Telemetry:   true,
+				RecordTrace: true,
+				Scratch:     sc,
+			}
+			if mut != nil {
+				mut(&cfg)
+			}
+			res, err := sim.Run(chain(m), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}}
+	}
+	cells := []cell{
+		mk("evict-1gpu", 8, 1, 60, nil),
+		mk("fifo-2gpu", 6, 2, 100, nil),
+		mk("fair-share", 6, 2, 100, func(c *sim.Config) { c.BusModel = sim.BusFairShare }),
+		mk("nvlink", 6, 2, 200, func(c *sim.Config) {
+			p := c.Platform
+			p.NVLinkBytesPerSecond = 200
+			c.Platform = p
+		}),
+		mk("faulty", 8, 2, 100, func(c *sim.Config) {
+			c.Scheduler = &requeueSched{listSched{queues: seqQueues(8, 2)}}
+			c.Faults = &fault.Plan{
+				Seed:      3,
+				Dropouts:  []fault.Dropout{{GPU: 1, At: 1500 * time.Millisecond}},
+				Transient: &fault.Transient{Rate: 0.3, MaxRetries: 4, Backoff: 10 * time.Millisecond},
+				Pressures: []fault.Pressure{{GPU: 0, At: time.Second, Duration: 2 * time.Second, Bytes: 20}},
+			}
+		}),
+	}
+	want := make([]*sim.Result, len(cells))
+	for i, c := range cells {
+		want[i] = c.run(nil) // fresh state per run
+	}
+	sc := sim.NewScratch()
+	for round := 0; round < 2; round++ {
+		order := cells
+		if round == 1 { // reversed: contamination in either direction
+			order = make([]cell, len(cells))
+			for i := range cells {
+				order[len(cells)-1-i] = cells[i]
+			}
+		}
+		for i, c := range order {
+			wi := i
+			if round == 1 {
+				wi = len(cells) - 1 - i
+			}
+			if got := c.run(sc); !reflect.DeepEqual(got, want[wi]) {
+				t.Errorf("round %d: %s with recycled Scratch differs from fresh run:\ngot  %+v\nwant %+v",
+					round, c.name, got, want[wi])
+			}
+		}
+	}
+}
+
+// TestScratchInUsePanics pins the single-run-at-a-time contract.
+func TestScratchInUsePanics(t *testing.T) {
+	sc := sim.NewScratch()
+	probeStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := sim.Run(chain(2), sim.Config{
+			Platform:  tinyPlatform(1, 100),
+			Scheduler: &listSched{queues: seqQueues(2, 1)},
+			Eviction:  memory.NewLRU(),
+			Scratch:   sc,
+			Probe: sim.ProbeFunc(func(sim.TraceEvent) {
+				select {
+				case <-probeStarted: // already signalled
+				default:
+					close(probeStarted)
+				}
+				<-release
+			}),
+		})
+		done <- err
+	}()
+	<-probeStarted
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Run on an in-use Scratch did not panic")
+			}
+			close(release)
+		}()
+		sim.Run(chain(2), sim.Config{
+			Platform:  tinyPlatform(1, 100),
+			Scheduler: &listSched{queues: seqQueues(2, 1)},
+			Eviction:  memory.NewLRU(),
+			Scratch:   sc,
+		})
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"memsched/internal/taskgraph"
+)
+
+// Scratch is reusable engine state. A Run configured with a Scratch
+// (Config.Scratch) takes every per-run transient buffer — the event
+// queue, the per-GPU residency/arrival/window/pending slices, the bus and
+// NVLink queues, the trace buffer, the telemetry accumulator and the
+// eviction scratch — from it instead of the heap, and hands them back
+// when the run ends. Replaying many runs through one Scratch (a sweep's
+// replicas, a benchmark loop) therefore allocates almost nothing after
+// the first run: the backing arrays reach their steady-state capacity
+// once and are reset, not reallocated.
+//
+// Reuse never changes results: every buffer is cleared or re-sliced to
+// zero length on acquisition, and TestScratchReuseConformance pins
+// byte-identical traces against scratch-free runs. Buffers that outlive
+// the run inside the Result (LoadsPerData, a recorded Trace, the
+// telemetry occupancy timeline) are freshly allocated or handed off, so
+// results from earlier runs are never overwritten.
+//
+// A Scratch serves one Run at a time: it is NOT safe for concurrent use.
+// Give each worker goroutine its own Scratch (as internal/expr does).
+type Scratch struct {
+	inUse bool
+
+	events     []event
+	gpus       []gpuState
+	busQueue   []fetchReq
+	fairActive []fairTransfer
+	fairDone   []fetchReq
+	trace      []TraceEvent
+	done       []bool
+
+	// dataMark is the epoch-marked per-data scratch behind the protected
+	// set and pending-fetch dedup (the same trick as the DARTS arrays of
+	// PR 1): membership is mark[d] == dataEpoch, and bumping the epoch
+	// clears the set in O(1). Marks only ever hold past epoch values, so
+	// stale entries can never collide with a newer epoch.
+	dataMark  []int64
+	dataEpoch int64
+
+	// cands is the shared eviction-candidate buffer of ensureSpace and
+	// pressureOn. Policies receive it read-only for the duration of one
+	// Victim call and must not retain it (none of the built-ins do).
+	cands []taskgraph.DataID
+
+	tel *telemetryState
+}
+
+// NewScratch returns an empty Scratch. The zero value is also valid; the
+// constructor exists for call-site clarity.
+func NewScratch() *Scratch { return new(Scratch) }
+
+// resizeBools returns s with length n and every element false, reusing
+// the backing array when it is large enough.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// attach points every transient engine buffer at the scratch state,
+// reset for a fresh run.
+func (sc *Scratch) attach(e *engine, numGPUs, numData, numTasks int) {
+	if sc.inUse {
+		panic("sim: Scratch used by two runs at once (give each goroutine its own)")
+	}
+	sc.inUse = true
+	e.sc = sc
+
+	e.eq.a = sc.events[:0]
+	e.bus.q.a = sc.busQueue[:0]
+	e.bus.q.head = 0
+	e.fair.active = sc.fairActive[:0]
+	e.trace = sc.trace[:0]
+
+	if cap(sc.done) < numTasks {
+		sc.done = make([]bool, numTasks)
+	} else {
+		sc.done = resizeBools(sc.done, numTasks)
+	}
+	e.done = sc.done
+
+	if cap(sc.dataMark) < numData {
+		sc.dataMark = make([]int64, numData)
+	} else {
+		sc.dataMark = sc.dataMark[:numData]
+	}
+
+	if cap(sc.gpus) < numGPUs {
+		sc.gpus = make([]gpuState, numGPUs)
+	} else {
+		sc.gpus = sc.gpus[:numGPUs]
+	}
+	for k := range sc.gpus {
+		g := &sc.gpus[k]
+		g.id = k
+		g.resident = resizeBools(g.resident, numData)
+		g.arriving = resizeBools(g.arriving, numData)
+		g.arrivingPeer = resizeBools(g.arrivingPeer, numData)
+		g.residentList = g.residentList[:0]
+		g.residentBytes = 0
+		g.reservedBytes = 0
+		g.buffer = g.buffer[:0]
+		g.running = taskgraph.NoTask
+		g.pendingFetch = g.pendingFetch[:0]
+		g.schedClock = 0
+		g.stats = GPUStats{}
+		g.nvq.reset()
+		g.nvActive = false
+		g.dead = false
+		g.pressure = 0
+		g.runStart = 0
+	}
+	e.gpus = sc.gpus
+}
+
+// marks returns the per-data mark array under a fresh epoch: an empty
+// set over all data ids, without touching the array.
+func (sc *Scratch) marks() ([]int64, int64) {
+	sc.dataEpoch++
+	return sc.dataMark, sc.dataEpoch
+}
+
+// detach reclaims the buffers whose headers live on the engine (they may
+// have grown), releasing the scratch for the next run. A trace being
+// retained by the Result is handed off instead of reclaimed.
+func (sc *Scratch) detach(e *engine, keepTrace bool) {
+	sc.events = e.eq.a[:0]
+	sc.gpus = e.gpus
+	sc.busQueue = e.bus.q.a[:0]
+	sc.fairActive = e.fair.active[:0]
+	if keepTrace {
+		sc.trace = nil
+	} else {
+		sc.trace = e.trace[:0]
+	}
+	sc.inUse = false
+}

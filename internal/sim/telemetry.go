@@ -152,25 +152,87 @@ type telemetryState struct {
 	nvBusy      []time.Duration
 
 	occSamples []OccupancySample
-	occStride  int
-	occCount   int
+	// occSlab backs the per-sample ResidentBytes slices: samples carve
+	// fixed-size chunks off it instead of allocating one slice each. The
+	// slab chunks are retained by Result.Telemetry, so a fresh slab is
+	// started per run (never pooled).
+	occSlab   []int64
+	occStride int
+	occCount  int
 }
 
-func newTelemetryState(numGPUs, numData int) *telemetryState {
-	t := &telemetryState{
-		idle:        make([][numIdleReasons]time.Duration, numGPUs),
-		reason:      make([]IdleReason, numGPUs),
-		evictedOnce: make([][]bool, numGPUs),
-		reloads:     make([]int, numGPUs),
-		reloadedB:   make([]int64, numGPUs),
-		highWater:   make([]int64, numGPUs),
-		nvBusy:      make([]time.Duration, numGPUs),
-		occStride:   1,
+// telemetryState returns the scratch-pooled telemetry accumulator, reset
+// for a fresh run. The occupancy timeline and the NVLink counters are
+// retained by the returned Result.Telemetry, so those start fresh; every
+// other array is reused and cleared.
+func (sc *Scratch) telemetryState(numGPUs, numData int) *telemetryState {
+	t := sc.tel
+	if t == nil {
+		t = new(telemetryState)
+		sc.tel = t
+	}
+	if cap(t.idle) < numGPUs {
+		t.idle = make([][numIdleReasons]time.Duration, numGPUs)
+	} else {
+		t.idle = t.idle[:numGPUs]
+		for k := range t.idle {
+			t.idle[k] = [numIdleReasons]time.Duration{}
+		}
+	}
+	t.reason = resizeReasons(t.reason, numGPUs)
+	t.lastAccrue = 0
+	if cap(t.evictedOnce) < numGPUs {
+		t.evictedOnce = make([][]bool, numGPUs)
+	} else {
+		t.evictedOnce = t.evictedOnce[:numGPUs]
 	}
 	for k := range t.evictedOnce {
-		t.evictedOnce[k] = make([]bool, numData)
+		t.evictedOnce[k] = resizeBools(t.evictedOnce[k], numData)
 	}
+	t.reloads = resizeInts(t.reloads, numGPUs)
+	t.reloadedB = resizeInt64s(t.reloadedB, numGPUs)
+	t.highWater = resizeInt64s(t.highWater, numGPUs)
+	t.busBusy = 0
+	t.fairSince = 0
+	t.nvBusy = make([]time.Duration, numGPUs) // retained by Telemetry
+	t.occSamples = nil                        // retained by Telemetry
+	t.occSlab = nil
+	t.occStride = 1
+	t.occCount = 0
 	return t
+}
+
+func resizeReasons(s []IdleReason, n int) []IdleReason {
+	if cap(s) < n {
+		return make([]IdleReason, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // telAccrue charges the interval [tel.lastAccrue, to) of every idle GPU
@@ -281,11 +343,20 @@ func (e *engine) telOccupancySample() {
 		tel.occSamples = kept
 		tel.occStride *= 2
 	}
-	s := OccupancySample{At: e.now, ResidentBytes: make([]int64, len(e.gpus))}
-	for k := range e.gpus {
-		s.ResidentBytes[k] = e.gpus[k].residentBytes
+	// Carve the sample's ResidentBytes off the slab instead of allocating
+	// a slice per sample; full-capacity slicing keeps chunks independent.
+	n := len(e.gpus)
+	if cap(tel.occSlab)-len(tel.occSlab) < n {
+		chunk := 256 * n
+		tel.occSlab = make([]int64, 0, chunk)
 	}
-	tel.occSamples = append(tel.occSamples, s)
+	start := len(tel.occSlab)
+	tel.occSlab = tel.occSlab[: start+n : cap(tel.occSlab)]
+	buf := tel.occSlab[start : start+n : start+n]
+	for k := range e.gpus {
+		buf[k] = e.gpus[k].residentBytes
+	}
+	tel.occSamples = append(tel.occSamples, OccupancySample{At: e.now, ResidentBytes: buf})
 }
 
 // telemetryResult folds the accumulator into the public Telemetry.

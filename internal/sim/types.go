@@ -71,6 +71,12 @@ type Config struct {
 	// loop polls it periodically and returns an error wrapping
 	// Context.Err() once it is done. Nil means no cancellation.
 	Context context.Context
+	// Scratch, when non-nil, supplies reusable engine state so that
+	// sequential runs (a sweep's cells, a benchmark loop) skip the per-run
+	// transient allocations. Results are byte-identical with or without
+	// it. A Scratch serves one run at a time: it is not safe for
+	// concurrent use — give each worker goroutine its own.
+	Scratch *Scratch
 }
 
 // BusModel selects the contention model of the shared host bus.

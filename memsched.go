@@ -251,7 +251,20 @@ type Options struct {
 	// periodically and Run returns ctx.Err() wrapped with the completed
 	// task count.
 	Context context.Context
+	// Scratch, when non-nil, recycles the engine's transient state across
+	// sequential Runs (see NewScratch). Results are byte-identical with
+	// or without it; a Scratch serves one Run at a time and is not safe
+	// for concurrent use.
+	Scratch *Scratch
 }
+
+// Scratch is reusable engine state: passing the same Scratch to
+// sequential Runs skips the per-run transient allocations of the event
+// core. See Options.Scratch.
+type Scratch = sim.Scratch
+
+// NewScratch returns an empty Scratch ready for Options.Scratch.
+func NewScratch() *Scratch { return sim.NewScratch() }
 
 // BusModel selects the host-bus contention model of a Run.
 type BusModel = sim.BusModel
@@ -316,6 +329,7 @@ func Run(inst *Instance, strat Strategy, plat Platform, opts ...Options) (*Resul
 		Probe:           o.Probe,
 		Faults:          o.Faults,
 		Context:         o.Context,
+		Scratch:         o.Scratch,
 	})
 }
 
