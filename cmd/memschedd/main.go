@@ -10,16 +10,25 @@
 //	memschedd -addr 127.0.0.1:8080 -workers 4 -queue 64
 //
 // Endpoints: POST/GET /jobs, GET /jobs/{id} (?wait=1 long-polls),
-// DELETE /jobs/{id}, /healthz, /readyz, /metrics. On SIGTERM or SIGINT
-// the daemon drains: /readyz flips to 503, queued jobs are rejected,
-// in-flight jobs finish under -drain-timeout, then it exits 0 (1 if the
-// drain deadline forced cancellation).
+// DELETE /jobs/{id}, /healthz, /readyz, /metrics (Prometheus text, or
+// JSON with ?format=json), /debug/flight, /debug/jobs/{id}/trace,
+// /debug/spans.jsonl. On SIGTERM or SIGINT the daemon drains: /readyz
+// flips to 503, queued jobs are rejected, in-flight jobs finish under
+// -drain-timeout, then it exits 0 (1 if the drain deadline forced
+// cancellation).
+//
+// Structured logs go to stderr via log/slog (-log-format=text|json,
+// -log-level=debug|info|warn|error); job-scoped lines carry the trace
+// ID from /debug/jobs/{id}/trace. The "listening on" port-discovery
+// line and the final drain summary stay on stdout in both log formats —
+// scripts (and the drain e2e test) parse them.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"memsched/internal/metrics"
+	"memsched/internal/obs"
 	"memsched/internal/serve"
 )
 
@@ -50,8 +60,18 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
 		maxN         = flag.Int("max-n", 300, "admission cap on workload size")
 		maxGPUs      = flag.Int("max-gpus", 8, "admission cap on GPU count")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceSample  = flag.Int("trace-sample", 1, "record lifecycle spans for every n-th job (1 = all, -1 disables)")
+		traceSpans   = flag.Int("trace-spans", 4096, "flight-recorder span ring capacity (-1 disables)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	gauges := new(metrics.Gauges)
 	gauges.Publish("memschedd")
@@ -68,16 +88,26 @@ func run() int {
 		MaxN:             *maxN,
 		MaxGPUs:          *maxGPUs,
 		Gauges:           gauges,
+		Logger:           logger,
+		TraceSample:      *traceSample,
+		TraceSpanCap:     *traceSpans,
 	})
 
 	// Listen explicitly so "-addr :0" prints the real port before any
-	// client needs it (the drain e2e test depends on this line).
+	// client needs it (the drain e2e test depends on this line). This
+	// stdout line is the machine-readable port-discovery contract and is
+	// printed identically under both log formats.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	fmt.Printf("memschedd listening on http://%s\n", ln.Addr())
+	logger.Info("memschedd started",
+		"addr", ln.Addr().String(),
+		"workers", *workers,
+		"queue_cap", *queueCap,
+		"log_format", *logFormat)
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	httpErr := make(chan error, 1)
@@ -87,9 +117,9 @@ func run() int {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case got := <-sig:
-		fmt.Printf("memschedd: %v: draining (timeout %v)\n", got, *drainTimeout)
+		logger.Info("signal received; draining", "signal", got.String(), "timeout", drainTimeout.String())
 	case err := <-httpErr:
-		fmt.Fprintf(os.Stderr, "memschedd: http server failed: %v\n", err)
+		logger.Error("http server failed", "err", err)
 		return 1
 	}
 
@@ -97,16 +127,22 @@ func run() int {
 	// and polls on in-flight jobs still resolve during the drain.
 	code := 0
 	if err := s.Drain(*drainTimeout); err != nil {
-		fmt.Fprintf(os.Stderr, "memschedd: %v\n", err)
+		logger.Error("drain incomplete", "err", err)
 		code = 1
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "memschedd: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
 		code = 1
 	}
 	m := s.Snapshot()
+	logger.Info("drained",
+		slog.Int64("jobs_done", m.JobsDone),
+		slog.Int64("jobs_failed", m.JobsFailed),
+		slog.Int64("jobs_canceled", m.JobsCanceled))
+	// The stdout summary is part of the CLI contract (parsed by the e2e
+	// test and the CI smoke); it stays printf in both log formats.
 	fmt.Printf("memschedd: drained (done %d, failed %d, canceled %d); exiting\n",
 		m.JobsDone, m.JobsFailed, m.JobsCanceled)
 	return code

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -182,6 +183,132 @@ func TestGracefulDrainE2E(t *testing.T) {
 	}
 	if rest := <-tail; !strings.Contains(rest, "drained") {
 		t.Fatalf("final output missing drain summary: %q", rest)
+	}
+}
+
+// TestJSONLogsE2E runs the daemon with -log-format=json and checks the
+// contract split: stdout keeps the plain parseable listening + drain
+// lines, stderr carries structured JSON records with trace IDs, and
+// /metrics serves the Prometheus exposition.
+func TestJSONLogsE2E(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "memschedd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1",
+		"-log-format", "json", "-log-level", "debug", "-drain-timeout", "20s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line under -log-format=json; stderr: %s", stderr.String())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		tail <- rest.String()
+	}()
+
+	// One quick job, observed to completion.
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"workload":"matmul2d","n":4}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.Trace == 0 {
+		t.Fatalf("accepted job has no trace ID: %+v", st)
+	}
+	wait, err := http.Get(base + "/jobs/" + st.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait.Body.Close()
+
+	// The daemon serves Prometheus text by default.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody := new(strings.Builder)
+	if _, err := io.Copy(mbody, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if !strings.Contains(mresp.Header.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", mresp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(mbody.String(), "memschedd_jobs_submitted_total 1") {
+		t.Fatalf("exposition missing submit counter:\n%s", mbody)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("memschedd exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(25 * time.Second):
+		t.Fatal("memschedd did not exit after drain")
+	}
+	if rest := <-tail; !strings.Contains(rest, "drained") {
+		t.Fatalf("stdout drain summary missing under json logs: %q", rest)
+	}
+
+	// Every stderr line must be a JSON record; the job lines must carry
+	// the trace ID the API returned.
+	wantTrace := fmt.Sprintf("%08x", st.Trace)
+	sawTrace := false
+	for _, line := range strings.Split(strings.TrimSpace(stderr.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q (%v)", line, err)
+		}
+		if rec["msg"] == nil || rec["level"] == nil {
+			t.Fatalf("log record missing msg/level: %q", line)
+		}
+		if tr, ok := rec["trace"].(string); ok && tr == wantTrace {
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Fatalf("no log record carried trace %s; stderr: %s", wantTrace, stderr.String())
 	}
 }
 

@@ -220,6 +220,12 @@ func run() int {
 	if *baselineWrite || *baselineCheck {
 		bl = &baselineOps{write: *baselineWrite, check: *baselineCheck, dir: *baselineDir, tol: tol}
 	}
+	// The live status page rides on the -http debug endpoint: per-figure
+	// progress and events/s next to expvar and pprof.
+	var board *statusBoard
+	if *httpAddr != "" {
+		board = newStatusBoard(expr.Gauges, figures)
+	}
 	type figResult struct {
 		out       bytes.Buffer
 		err       error
@@ -242,7 +248,7 @@ func run() int {
 				Context:    ctx,
 				Faults:     plan,
 				Checkpoint: ckpt,
-			}, *verbose, *plot, *telemetry, bl)
+			}, *verbose, *plot, *telemetry, bl, board)
 		}(i, f)
 	}
 	wg.Wait()
@@ -391,7 +397,7 @@ func sanitize(s string) string {
 // writing its CSV (and optionally its telemetry JSON lines) under
 // outDir. With baseline ops active it also records or checks the
 // figure's BENCH file, reporting whether the check regressed.
-func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot, telemetry bool, bl *baselineOps) (regressed bool, err error) {
+func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOptions, verbose, plot, telemetry bool, bl *baselineOps, board *statusBoard) (regressed bool, err error) {
 	if verbose {
 		opt.Progress = os.Stderr
 	}
@@ -408,9 +414,21 @@ func runFigure(f *expr.Figure, out *bytes.Buffer, outDir string, opt expr.RunOpt
 	if bl.active() {
 		opt.OnCell = func(c expr.CellTelemetry) { cells = append(cells, c) }
 	}
+	if board != nil {
+		// Chain the status-page progress tick behind any baseline capture.
+		prev := opt.OnCell
+		opt.OnCell = func(c expr.CellTelemetry) {
+			if prev != nil {
+				prev(c)
+			}
+			board.cellDone(f.ID)
+		}
+	}
+	board.figureStarted(f.ID)
 	var speed expr.SweepSpeed
 	opt.Speed = &speed
 	rows, runErr := f.Run(opt)
+	board.figureFinished(f.ID, speed, runErr != nil)
 	var sweepErr *expr.SweepError
 	if runErr != nil && !errors.As(runErr, &sweepErr) {
 		return false, runErr

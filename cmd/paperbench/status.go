@@ -1,0 +1,191 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+// figStatus is one figure's row on the live status page.
+type figStatus struct {
+	ID    string
+	Title string
+	// State is pending -> running -> done | failed.
+	State string
+	// CellsDone counts completed (point, strategy, replica) cells so a
+	// watcher sees progress before the figure finishes.
+	CellsDone int
+	// Events/WallSeconds/EventsPerSec are the figure's final engine
+	// throughput (zero until the figure completes).
+	Events       int64
+	WallSeconds  float64
+	EventsPerSec float64
+}
+
+// statusBoard backs the -http live status page: the sweep-wide gauges
+// plus one row per figure with its cells-completed progress and, once
+// finished, its engine events/s. All methods are nil-safe so the sweep
+// code can call them unconditionally.
+type statusBoard struct {
+	mu      sync.Mutex
+	started time.Time
+	gauges  *metrics.Gauges
+	order   []string
+	figs    map[string]*figStatus
+}
+
+// newStatusBoard builds the board, registers the HTML handler on the
+// default mux (next to expvar and pprof) and publishes the per-figure
+// events/s gauge as the memsched_figure_events_per_second expvar map.
+func newStatusBoard(g *metrics.Gauges, figures []*expr.Figure) *statusBoard {
+	b := &statusBoard{
+		started: time.Now(),
+		gauges:  g,
+		figs:    make(map[string]*figStatus, len(figures)),
+	}
+	for _, f := range figures {
+		b.order = append(b.order, f.ID)
+		b.figs[f.ID] = &figStatus{ID: f.ID, Title: f.Title, State: "pending"}
+	}
+	expvar.Publish("memsched_figure_events_per_second", expvar.Func(func() any {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		out := make(map[string]float64, len(b.figs))
+		for id, fs := range b.figs {
+			out[id] = fs.EventsPerSec
+		}
+		return out
+	}))
+	http.HandleFunc("GET /status", b.handle)
+	http.HandleFunc("GET /{$}", b.handle)
+	return b
+}
+
+func (b *statusBoard) figureStarted(id string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fs := b.figs[id]; fs != nil {
+		fs.State = "running"
+	}
+}
+
+// cellDone bumps a figure's progress counter (wired through
+// RunOptions.OnCell).
+func (b *statusBoard) cellDone(id string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fs := b.figs[id]; fs != nil {
+		fs.CellsDone++
+	}
+}
+
+// figureFinished records a figure's final throughput.
+func (b *statusBoard) figureFinished(id string, speed expr.SweepSpeed, failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs := b.figs[id]
+	if fs == nil {
+		return
+	}
+	fs.State = "done"
+	if failed {
+		fs.State = "failed"
+	}
+	fs.CellsDone = speed.Cells
+	fs.Events = speed.Events
+	fs.WallSeconds = speed.Wall.Seconds()
+	fs.EventsPerSec = speed.EventsPerSec()
+}
+
+// statusPage is the snapshot rendered into HTML.
+type statusPage struct {
+	UptimeSeconds  float64
+	CellsCompleted int64
+	SimsRunning    int64
+	SimEvents      int64
+	EventsPerSec   float64
+	Figures        []figStatus
+}
+
+func (b *statusBoard) snapshot() statusPage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := statusPage{UptimeSeconds: time.Since(b.started).Seconds()}
+	if b.gauges != nil {
+		cells, running, events := b.gauges.Snapshot()
+		p.CellsCompleted, p.SimsRunning, p.SimEvents = cells, running, events
+		if p.UptimeSeconds > 0 {
+			p.EventsPerSec = float64(events) / p.UptimeSeconds
+		}
+	}
+	for _, id := range b.order {
+		p.Figures = append(p.Figures, *b.figs[id])
+	}
+	// Keep pending/running figures in sweep order but list finished ones
+	// first so the page reads as a progress log.
+	sort.SliceStable(p.Figures, func(i, j int) bool {
+		rank := func(s string) int {
+			switch s {
+			case "done", "failed":
+				return 0
+			case "running":
+				return 1
+			}
+			return 2
+		}
+		return rank(p.Figures[i].State) < rank(p.Figures[j].State)
+	})
+	return p
+}
+
+var statusTmpl = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>paperbench status</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { text-align: left; padding: 0.25em 1em 0.25em 0; border-bottom: 1px solid #ddd; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.done { color: #0a7d33; } .failed { color: #b00020; } .running { color: #b26a00; } .pending { color: #888; }
+</style></head><body>
+<h1>paperbench</h1>
+<p>up {{printf "%.0f" .UptimeSeconds}}s &middot;
+{{.CellsCompleted}} cells completed &middot;
+{{.SimsRunning}} sims running &middot;
+{{.SimEvents}} engine events ({{printf "%.0f" .EventsPerSec}}/s overall)</p>
+<table>
+<tr><th>figure</th><th>title</th><th>state</th><th>cells</th><th>events</th><th>wall</th><th>events/s</th></tr>
+{{range .Figures}}<tr>
+<td>{{.ID}}</td><td>{{.Title}}</td><td class="{{.State}}">{{.State}}</td>
+<td class="num">{{.CellsDone}}</td>
+<td class="num">{{if .Events}}{{.Events}}{{end}}</td>
+<td class="num">{{if .Events}}{{printf "%.2fs" .WallSeconds}}{{end}}</td>
+<td class="num">{{if .Events}}{{printf "%.0f" .EventsPerSec}}{{end}}</td>
+</tr>{{end}}
+</table>
+<p><a href="/debug/vars">expvar</a> &middot; <a href="/debug/pprof/">pprof</a></p>
+</body></html>
+`))
+
+func (b *statusBoard) handle(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statusTmpl.Execute(w, b.snapshot()); err != nil {
+		fmt.Fprintf(w, "<!-- render: %v -->", err)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"memsched/internal/expr"
+	"memsched/internal/metrics"
+)
+
+// TestStatusBoard drives a board through a figure lifecycle and checks
+// the rendered page and the per-figure events/s it publishes.
+func TestStatusBoard(t *testing.T) {
+	g := new(metrics.Gauges)
+	g.CellsCompleted.Add(7)
+	g.SimEvents.Add(1000)
+	figures := expr.AllFigures()
+	if len(figures) < 2 {
+		t.Fatal("expected multiple figures")
+	}
+	// Build the board directly (newStatusBoard registers global expvar
+	// and mux state; keep the unit test self-contained).
+	b := &statusBoard{
+		started: time.Now().Add(-time.Second),
+		gauges:  g,
+		figs:    map[string]*figStatus{},
+	}
+	for _, f := range figures[:2] {
+		b.order = append(b.order, f.ID)
+		b.figs[f.ID] = &figStatus{ID: f.ID, Title: f.Title, State: "pending"}
+	}
+	first := figures[0].ID
+
+	b.figureStarted(first)
+	b.cellDone(first)
+	b.cellDone(first)
+	p := b.snapshot()
+	if p.CellsCompleted != 7 || p.SimEvents != 1000 {
+		t.Fatalf("gauges in snapshot = %+v", p)
+	}
+	var got *figStatus
+	for i := range p.Figures {
+		if p.Figures[i].ID == first {
+			got = &p.Figures[i]
+		}
+	}
+	if got == nil || got.State != "running" || got.CellsDone != 2 {
+		t.Fatalf("running figure = %+v", got)
+	}
+
+	b.figureFinished(first, expr.SweepSpeed{Events: 5000, Cells: 10, Wall: 2 * time.Second}, false)
+	p = b.snapshot()
+	// Finished figures sort ahead of pending ones.
+	if p.Figures[0].ID != first || p.Figures[0].State != "done" || p.Figures[0].EventsPerSec != 2500 {
+		t.Fatalf("finished figure = %+v", p.Figures[0])
+	}
+
+	rec := httptest.NewRecorder()
+	b.handle(rec, httptest.NewRequest("GET", "/status", nil))
+	body := rec.Body.String()
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "text/html") {
+		t.Fatalf("status page = %d %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	// Figure IDs like "fig3+4" render HTML-escaped ("+" becomes &#43;).
+	for _, want := range []string{"fig3", "2500", "7 cells completed", `class="done"`, `class="pending"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status page missing %q:\n%s", want, body)
+		}
+	}
+
+	// Nil boards are inert (the sweep calls them unconditionally).
+	var nb *statusBoard
+	nb.figureStarted("x")
+	nb.cellDone("x")
+	nb.figureFinished("x", expr.SweepSpeed{}, true)
+}

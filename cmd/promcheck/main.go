@@ -1,0 +1,428 @@
+// Command promcheck validates a Prometheus text exposition (format
+// 0.0.4) read from a file or stdin, independently of the writer that
+// produced it — it parses from scratch so a bug in the exporter cannot
+// hide behind shared code.
+//
+// Usage:
+//
+//	promcheck metrics.txt
+//	curl -s localhost:8080/metrics | promcheck
+//
+// Checks: line and name syntax, HELP/TYPE declared at most once and
+// before their family's samples, no duplicate sample (name + label
+// set), and histogram consistency per label set — le buckets present,
+// ascending and cumulative, an +Inf bucket equal to _count, and _sum /
+// _count present. Exit status 0 when clean, 1 with one line per problem
+// otherwise.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	problems, err := Check(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %s\n", name, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %d problem(s)\n", name, len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: OK\n", name)
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// family aggregates everything seen for one metric family name.
+type family struct {
+	typ      string
+	helpLine int
+	typeLine int
+	samples  []sample
+}
+
+// Check parses and validates one exposition. The returned slice holds
+// human-readable problems; the error covers I/O failures only.
+func Check(r io.Reader) ([]string, error) {
+	var problems []string
+	bad := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	families := map[string]*family{}
+	order := []string{}
+	fam := func(name string) *family {
+		// Histogram/summary series attach to their base family.
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && (f.typ == "histogram" || f.typ == "summary") {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			f = &family{}
+			families[base] = f
+			order = append(order, base)
+		}
+		return f
+	}
+	seen := map[string]int{} // name+labels -> first line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment: legal, ignored
+			}
+			if !metricNameRe.MatchString(name) {
+				bad(lineNo, "invalid metric name %q in %s", name, kind)
+				continue
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.helpLine != 0 {
+					bad(lineNo, "second HELP for %s (first at line %d)", name, f.helpLine)
+				}
+				f.helpLine = lineNo
+				if len(f.samples) > 0 {
+					bad(lineNo, "HELP for %s after its samples", name)
+				}
+			case "TYPE":
+				if f.typeLine != 0 {
+					bad(lineNo, "second TYPE for %s (first at line %d)", name, f.typeLine)
+				}
+				f.typeLine = lineNo
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = rest
+				default:
+					bad(lineNo, "unknown TYPE %q for %s", rest, name)
+				}
+				if len(f.samples) > 0 {
+					bad(lineNo, "TYPE for %s after its samples", name)
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			bad(lineNo, "%v", err)
+			continue
+		}
+		s.line = lineNo
+		key := s.name + "{" + flattenLabels(s.labels) + "}"
+		if first, dup := seen[key]; dup {
+			bad(lineNo, "duplicate sample %s (first at line %d)", key, first)
+		} else {
+			seen[key] = lineNo
+		}
+		f := fam(s.name)
+		if f.typeLine == 0 {
+			bad(lineNo, "sample %s before any TYPE declaration", s.name)
+		}
+		if (f.typ == "counter" || f.typ == "histogram") && !strings.HasSuffix(s.name, "_sum") &&
+			(math.IsNaN(s.value) || s.value < 0) {
+			bad(lineNo, "%s value %v negative or NaN for a %s", s.name, s.value, f.typ)
+		}
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, name := range order {
+		f := families[name]
+		if f.typ == "histogram" {
+			problems = append(problems, checkHistogram(name, f)...)
+		}
+	}
+	return problems, nil
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name type" lines.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// After TrimPrefix the line starts with a space: fields[0] is "".
+	var parts []string
+	for _, p := range fields {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) < 2 || (parts[0] != "HELP" && parts[0] != "TYPE") {
+		return "", "", "", false
+	}
+	kind, name = parts[0], parts[1]
+	if len(parts) > 2 {
+		rest = strings.TrimSpace(strings.Join(parts[2:], " "))
+	}
+	return kind, name, rest, true
+}
+
+// parseSample parses `name{l="v",...} value` (timestamps, legal in the
+// format, are accepted and ignored).
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[brace+1:end], s.labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after %s, got %q", s.name, rest)
+	}
+	v, err := parseValue(parts[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q for %s: %v", parts[0], s.name, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` honoring escaped quotes.
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted value for label %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '\\' {
+				if len(s) == 0 {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[0])
+				}
+				s = s[1:]
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := into[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		into[name] = val.String()
+		s = strings.TrimSpace(s)
+		if strings.HasPrefix(s, ",") {
+			s = strings.TrimSpace(s[1:])
+		} else if s != "" {
+			return fmt.Errorf("junk after label %q: %q", name, s)
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates one histogram family: per label set (les
+// aside), ascending le bounds with cumulative counts, an +Inf bucket,
+// and _sum/_count agreeing with it.
+func checkHistogram(name string, f *family) []string {
+	var problems []string
+	bad := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	type series struct {
+		buckets  []sample // le order as emitted
+		sum      *sample
+		count    *sample
+		lastLine int
+	}
+	groups := map[string]*series{}
+	get := func(labels map[string]string) *series {
+		key := flattenLabelsExcept(labels, "le")
+		g, ok := groups[key]
+		if !ok {
+			g = &series{}
+			groups[key] = g
+		}
+		return g
+	}
+	for i := range f.samples {
+		s := f.samples[i]
+		g := get(s.labels)
+		g.lastLine = s.line
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			if _, ok := s.labels["le"]; !ok {
+				bad(s.line, "%s without le label", s.name)
+				continue
+			}
+			g.buckets = append(g.buckets, s)
+		case strings.HasSuffix(s.name, "_sum"):
+			g.sum = &f.samples[i]
+		case strings.HasSuffix(s.name, "_count"):
+			g.count = &f.samples[i]
+		default:
+			bad(s.line, "histogram %s has plain sample %s (want _bucket/_sum/_count)", name, s.name)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		where := name
+		if k != "" {
+			where = name + "{" + k + "}"
+		}
+		if len(g.buckets) == 0 {
+			bad(g.lastLine, "histogram %s has no buckets", where)
+			continue
+		}
+		prevLe := math.Inf(-1)
+		prevCount := -1.0
+		sawInf := false
+		var infCount float64
+		for _, b := range g.buckets {
+			le, err := parseValue(b.labels["le"])
+			if err != nil {
+				bad(b.line, "histogram %s has bad le %q", where, b.labels["le"])
+				continue
+			}
+			if le <= prevLe {
+				bad(b.line, "histogram %s le %v not ascending (previous %v)", where, le, prevLe)
+			}
+			if b.value < prevCount {
+				bad(b.line, "histogram %s bucket counts not cumulative: %v after %v", where, b.value, prevCount)
+			}
+			prevLe, prevCount = le, b.value
+			if math.IsInf(le, 1) {
+				sawInf, infCount = true, b.value
+			}
+		}
+		if !sawInf {
+			bad(g.lastLine, "histogram %s missing le=\"+Inf\" bucket", where)
+		}
+		if g.count == nil {
+			bad(g.lastLine, "histogram %s missing _count", where)
+		} else if sawInf && g.count.value != infCount {
+			bad(g.count.line, "histogram %s _count %v != +Inf bucket %v", where, g.count.value, infCount)
+		}
+		if g.sum == nil {
+			bad(g.lastLine, "histogram %s missing _sum", where)
+		}
+	}
+	return problems
+}
+
+func flattenLabels(labels map[string]string) string {
+	return flattenLabelsExcept(labels, "")
+}
+
+func flattenLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}

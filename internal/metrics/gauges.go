@@ -39,3 +39,11 @@ func (g *Gauges) Publish(prefix string) {
 		expvar.Publish(prefix+"_sim_events", &g.SimEvents)
 	})
 }
+
+// Snapshot reads the three counters atomically enough for display:
+// each value is an atomic load, so a status page never sees torn
+// numbers (the triple itself is not a consistent cut, which is fine for
+// monotonic progress gauges).
+func (g *Gauges) Snapshot() (cellsCompleted, simsRunning, simEvents int64) {
+	return g.CellsCompleted.Value(), g.SimsRunning.Value(), g.SimEvents.Value()
+}

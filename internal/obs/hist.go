@@ -1,0 +1,177 @@
+// Package obs is the service-side observability toolkit behind
+// internal/serve and cmd/memschedd: log-bucketed latency histograms,
+// job-lifecycle span tracing into bounded rings (the flight recorder),
+// and a Prometheus text-format (0.0.4) exposition writer.
+//
+// Everything here is pure observation built for hot paths: histograms
+// are arrays of atomics, span recording copies a fixed-size value into a
+// preallocated ring under a short mutex, and neither allocates after
+// construction. Rendering (JSON, JSONL, Prometheus text) always works on
+// snapshots, never on live state, so an exporter can be slow without
+// ever blocking an instrumented path.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The fixed bucket layout shared by every Histogram: bucket i covers
+// durations in (HistMinBucket<<(i-1), HistMinBucket<<i], bucket 0 covers
+// (0, HistMinBucket], and one overflow bucket catches everything above
+// the last bound. 100µs..2^31*100µs spans sub-millisecond queue waits up
+// to multi-hour runs; a fixed layout is what makes histograms mergeable
+// across instances and exact to compare across runs.
+const (
+	// HistMinBucket is the upper bound of the first bucket.
+	HistMinBucket = 100 * time.Microsecond
+	// HistBuckets is the number of finite buckets; the +Inf overflow
+	// bucket is extra (snapshots carry HistBuckets+1 counts).
+	HistBuckets = 32
+)
+
+// BucketBound returns the inclusive upper bound of finite bucket i in
+// seconds; i == HistBuckets (the overflow bucket) returns +Inf.
+func BucketBound(i int) float64 {
+	if i >= HistBuckets {
+		return math.Inf(1)
+	}
+	return (HistMinBucket << uint(i)).Seconds()
+}
+
+// bucketOf maps a duration to its bucket index. Non-positive durations
+// land in bucket 0 (a zero queue wait is a real observation).
+func bucketOf(d time.Duration) int {
+	if d <= HistMinBucket {
+		return 0
+	}
+	// Smallest i with HistMinBucket<<i >= d, i.e. ceil(log2(d/min)).
+	u := uint64((d + HistMinBucket - 1) / HistMinBucket)
+	i := bits.Len64(u - 1)
+	if i >= HistBuckets {
+		return HistBuckets
+	}
+	return i
+}
+
+// Histogram is a concurrency-safe log-bucketed latency histogram with
+// the fixed package layout. The zero value is ready to use; Observe is
+// wait-free (one atomic add per field) and never allocates.
+type Histogram struct {
+	counts [HistBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may tear
+// between fields (a count landing without its sum); every exported view
+// is built from one snapshot so a single scrape is internally ordered.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// HistSnapshot is an immutable histogram state: per-bucket counts (the
+// last entry is the overflow bucket), total count, and the sum of all
+// observed durations in nanoseconds.
+type HistSnapshot struct {
+	Counts [HistBuckets + 1]uint64
+	Count  uint64
+	SumNS  int64
+}
+
+// Merge folds other into s (the fixed layout makes buckets add
+// directly).
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.SumNS += other.SumNS
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) in seconds, exact on the
+// recorded buckets: the upper bound of the bucket holding the sample of
+// rank ceil(q*count). An empty histogram returns NaN; a rank landing in
+// the overflow bucket returns +Inf. The result is monotone in q and
+// deterministic for a given snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return math.Inf(1) // unreachable when Count == sum(Counts)
+}
+
+// SumSeconds returns the sum of all observations in seconds.
+func (s HistSnapshot) SumSeconds() float64 { return float64(s.SumNS) / 1e9 }
+
+// HistVec is a set of Histograms keyed by a label value (the serve
+// layer keys by "workload|strategy"). Get is lock-cheap after a key's
+// first observation: a read-locked map hit.
+type HistVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// Get returns the histogram for key, creating it on first use.
+func (v *HistVec) Get(key string) *Histogram {
+	v.mu.RLock()
+	h := v.m[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[key]; h == nil {
+		if v.m == nil {
+			v.m = make(map[string]*Histogram)
+		}
+		h = new(Histogram)
+		v.m[key] = h
+	}
+	return h
+}
+
+// Snapshot returns a snapshot per key.
+func (v *HistVec) Snapshot() map[string]HistSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(v.m))
+	for k, h := range v.m {
+		out[k] = h.Snapshot()
+	}
+	return out
+}

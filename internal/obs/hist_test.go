@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // negative clamps into the first bucket
+		{0, 0},
+		{time.Nanosecond, 0},
+		{HistMinBucket, 0},              // exactly on the first bound
+		{HistMinBucket + 1, 1},          // just past it
+		{2 * HistMinBucket, 1},          // exactly on the second bound
+		{2*HistMinBucket + 1, 2},        // just past the second bound
+		{HistMinBucket << 10, 10},       // exactly on a deep bound
+		{(HistMinBucket << 10) + 1, 11}, // just past it
+		{HistMinBucket << (HistBuckets - 1), HistBuckets - 1}, // last finite bound
+		{HistMinBucket<<(HistBuckets-1) + 1, HistBuckets},     // overflow
+		{time.Duration(math.MaxInt64), HistBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumNS != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if !math.IsNaN(s.Quantile(q)) {
+			t.Fatalf("Quantile(%g) of empty histogram = %g, want NaN", q, s.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond) // bucket 5: (1.6ms, 3.2ms]
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNS != int64(3*time.Millisecond) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	want := BucketBound(5)
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryValues(t *testing.T) {
+	var h Histogram
+	// An observation exactly on a bucket's upper bound belongs to that
+	// bucket (le is inclusive, matching Prometheus).
+	h.Observe(HistMinBucket)     // bucket 0
+	h.Observe(2 * HistMinBucket) // bucket 1
+	h.Observe(4 * HistMinBucket) // bucket 2
+	s := h.Snapshot()
+	for i := 0; i < 3; i++ {
+		if s.Counts[i] != 1 {
+			t.Fatalf("bucket %d = %d, want 1; counts=%v", i, s.Counts[i], s.Counts[:4])
+		}
+	}
+	if got := s.Quantile(1.0 / 3); got != BucketBound(0) {
+		t.Fatalf("p33 = %g, want %g", got, BucketBound(0))
+	}
+	if got := s.Quantile(1); got != BucketBound(2) {
+		t.Fatalf("p100 = %g, want %g", got, BucketBound(2))
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := HistMinBucket << HistBuckets // beyond the last finite bound
+	h.Observe(time.Millisecond)
+	h.Observe(huge)
+	s := h.Snapshot()
+	if s.Counts[HistBuckets] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[HistBuckets])
+	}
+	if got := s.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 with overflow sample = %g, want +Inf", got)
+	}
+	if got := s.Quantile(0.5); math.IsInf(got, 1) {
+		t.Fatalf("p50 = %g, want finite", got)
+	}
+}
+
+func TestHistogramMergeDisjoint(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 3 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	if merged.SumNS != sa.SumNS+sb.SumNS {
+		t.Fatalf("merged sum = %d, want %d", merged.SumNS, sa.SumNS+sb.SumNS)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != sa.Counts[i]+sb.Counts[i] {
+			t.Fatalf("bucket %d: %d != %d+%d", i, merged.Counts[i], sa.Counts[i], sb.Counts[i])
+		}
+	}
+	// The merged p100 must come from b's sample.
+	if got, want := merged.Quantile(1), sb.Quantile(1); got != want {
+		t.Fatalf("merged p100 = %g, want %g", got, want)
+	}
+}
+
+func TestQuantileMonotonicity(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(i%97+1) * 317 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %g < Quantile at lower q = %g", q, got, prev)
+		}
+		prev = got
+	}
+	// Quantiles always land on bucket bounds — never interpolated.
+	onBound := func(v float64) bool {
+		for i := 0; i <= HistBuckets; i++ {
+			if v == BucketBound(i) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := s.Quantile(q); !onBound(v) {
+			t.Fatalf("Quantile(%g) = %g is not a bucket bound", q, v)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestHistVec(t *testing.T) {
+	var v HistVec
+	v.Get("a|x").Observe(time.Millisecond)
+	v.Get("a|x").Observe(2 * time.Millisecond)
+	v.Get("b|y").Observe(time.Second)
+	snap := v.Snapshot()
+	if len(snap) != 2 || snap["a|x"].Count != 2 || snap["b|y"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NopLogger returns a logger that discards everything with every level
+// disabled, so callers guarding hot-path logs with Enabled() pay one
+// branch and zero allocations. (slog.DiscardHandler arrives in a later
+// Go release than this module targets.)
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NewLogger builds the daemon logger from the -log-format/-log-level
+// flag values: format "text" or "json", level "debug", "info", "warn"
+// or "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text, json)", format)
+	}
+}
+
+// TraceAttr renders a trace ID the way every log line should: zero
+// means "no trace" and logs as the empty string.
+func TraceAttr(trace uint64) slog.Attr {
+	if trace == 0 {
+		return slog.String("trace", "")
+	}
+	return slog.String("trace", fmt.Sprintf("%08x", trace))
+}

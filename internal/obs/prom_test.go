@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Meta("x_jobs_total", "counter", "Jobs.")
+	p.Sample("x_jobs_total", nil, 42)
+	p.Meta("x_depth", "gauge", "Queue \\ depth\nnow.")
+	p.Sample("x_depth", []Label{{"q", `a"b\c`}, {"w", "plain"}}, 7)
+	p.Sample("x_depth", []Label{{"q", "inf"}}, math.Inf(1))
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP x_jobs_total Jobs.\n# TYPE x_jobs_total counter\nx_jobs_total 42\n",
+		"# HELP x_depth Queue \\\\ depth\\nnow.\n# TYPE x_depth gauge\n",
+		`x_depth{q="a\"b\\c",w="plain"} 7` + "\n",
+		`x_depth{q="inf"} +Inf` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond) // bucket 4 (0.8ms, 1.6ms]
+	h.Observe(time.Millisecond)
+	h.Observe(HistMinBucket << HistBuckets) // overflow
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Meta("x_wait_seconds", "histogram", "Wait.")
+	p.Histogram("x_wait_seconds", []Label{{"workload", "matmul2d"}}, h.Snapshot())
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative counts: buckets below 4 are 0, 4..last finite are 2,
+	// +Inf is 3; _count matches the +Inf bucket.
+	for _, want := range []string{
+		`x_wait_seconds_bucket{workload="matmul2d",le="0.0008"} 0`,
+		`x_wait_seconds_bucket{workload="matmul2d",le="0.0016"} 2`,
+		`x_wait_seconds_bucket{workload="matmul2d",le="+Inf"} 3`,
+		`x_wait_seconds_count{workload="matmul2d"} 3`,
+		`x_wait_seconds_sum{workload="matmul2d"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// le bounds must be strictly ascending in emitted order.
+	var prev float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.Index(line, `le="`)
+		if i < 0 {
+			continue
+		}
+		v := line[i+4:]
+		v = v[:strings.IndexByte(v, '"')]
+		var f float64
+		if v == "+Inf" {
+			f = math.Inf(1)
+		} else {
+			var err error
+			f, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", v, err)
+			}
+		}
+		if f <= prev {
+			t.Fatalf("le bounds not ascending: %g after %g", f, prev)
+		}
+		prev = f
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Trace: uint64(i + 1)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(7 + i); s.Trace != want {
+			t.Fatalf("span %d trace = %d, want %d (oldest-first)", i, s.Trace, want)
+		}
+	}
+}
+
+func TestRingPartialAndDisabled(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Span{Trace: 1})
+	r.Record(Span{Trace: 2})
+	if got := r.Snapshot(); len(got) != 2 || got[0].Trace != 1 || got[1].Trace != 2 {
+		t.Fatalf("partial snapshot = %+v", got)
+	}
+	d := NewRing(0)
+	d.Record(Span{Trace: 1})
+	if d.Snapshot() != nil || d.Total() != 0 {
+		t.Fatal("disabled ring retained spans")
+	}
+	var nilRing *Ring
+	nilRing.Record(Span{}) // must not panic
+	if nilRing.Snapshot() != nil {
+		t.Fatal("nil ring snapshot")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(16, 16, 2) // every 2nd submission sampled
+	var sampled int
+	for i := 0; i < 10; i++ {
+		if _, ok := tr.Begin(); ok {
+			sampled++
+		}
+	}
+	if sampled != 5 {
+		t.Fatalf("sampled %d of 10 with sampleEvery=2", sampled)
+	}
+	off := NewTracer(16, 16, 0)
+	if _, ok := off.Begin(); ok {
+		t.Fatal("sampleEvery=0 sampled a trace")
+	}
+}
+
+func TestTracerTimelines(t *testing.T) {
+	tr := NewTracer(64, 16, 1)
+	for j := 1; j <= 3; j++ {
+		id := fmt.Sprintf("job-%06d", j)
+		trace, _ := tr.Begin()
+		tr.Span(Span{Trace: trace, Job: id, Kind: KindAdmit, Start: int64(j), End: int64(j)})
+		tr.Span(Span{Trace: trace, Job: id, Kind: KindAttempt, Attempt: 1, Start: int64(j), End: int64(j + 10)})
+		tr.Span(Span{Trace: trace, Job: id, Kind: KindDone, Start: int64(j + 10), End: int64(j + 10)})
+	}
+	tr.Event(Span{Kind: KindShed, Note: "queue full"})
+
+	lines := tr.Timelines(2)
+	if len(lines) != 2 || lines[0].Job != "job-000002" || lines[1].Job != "job-000003" {
+		t.Fatalf("timelines = %+v", lines)
+	}
+	for _, l := range lines {
+		if len(l.Spans) != 3 || l.Spans[0].Kind != KindAdmit || l.Spans[2].Kind != KindDone {
+			t.Fatalf("timeline %s spans = %+v", l.Job, l.Spans)
+		}
+	}
+	if got := tr.JobSpans("job-000001"); len(got) != 3 {
+		t.Fatalf("JobSpans = %d spans, want 3", len(got))
+	}
+	if got := tr.JobSpans("job-999999"); len(got) != 0 {
+		t.Fatalf("unknown job spans = %+v", got)
+	}
+	if ev := tr.Events(); len(ev) != 1 || ev[0].Kind != KindShed {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	spans := []Span{
+		{Trace: 7, Job: "job-000001", Key: "matmul2d|DARTS+LUF", Kind: KindAttempt, Attempt: 2, Start: 100, End: 350, Note: "ok"},
+		{Trace: 8, Kind: KindBreakerTrip, Key: "cholesky|eager", Start: 400, End: 400},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["kind"] != "attempt" || lines[0]["dur_ns"] != float64(250) || lines[0]["attempt"] != float64(2) {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1]["kind"] != "breaker-trip" || lines[1]["job"] != nil {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	for k := KindAdmit; k <= KindBreakerTrip; k++ {
+		if s := k.String(); s == "unknown" || s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if SpanKind(0).String() != "unknown" || SpanKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds must stringify as unknown")
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing(128)
+	s := Span{Trace: 1, Job: "job-000001", Key: "matmul2d|DARTS+LUF", Kind: KindAttempt, Note: strings.Repeat("x", 64)}
+	allocs := testing.AllocsPerRun(200, func() { r.Record(s) })
+	if allocs != 0 {
+		t.Fatalf("Ring.Record allocates %.1f times per call, want 0", allocs)
+	}
+	var h Histogram
+	allocs = testing.AllocsPerRun(200, func() { h.Observe(1234567) })
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -79,10 +79,11 @@ func (b *breaker) onSuccess(key string) {
 
 // onFailure records a permanent failure for key, tripping the breaker
 // after threshold consecutive failures (or immediately when a half-open
-// probe fails).
-func (b *breaker) onFailure(key string) {
+// probe fails). It reports whether this failure opened the breaker, so
+// the caller can record a breaker-trip event.
+func (b *breaker) onFailure(key string) (tripped bool) {
 	if b.threshold <= 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -97,7 +98,7 @@ func (b *breaker) onFailure(key string) {
 		st.openUntil = b.now().Add(b.cooldown)
 		st.probing = false
 		b.trips++
-		return
+		return true
 	}
 	st.fails++
 	if st.fails >= b.threshold {
@@ -105,7 +106,9 @@ func (b *breaker) onFailure(key string) {
 		st.openUntil = b.now().Add(b.cooldown)
 		st.fails = 0
 		b.trips++
+		return true
 	}
+	return false
 }
 
 // tripCount returns the total number of times any key's breaker opened.

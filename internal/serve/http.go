@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
+
+	"memsched/internal/obs"
 )
 
 // Handler returns the HTTP API of the server:
@@ -18,9 +23,17 @@ import (
 //	DELETE /jobs/{id}   cancel a queued or running job
 //	GET    /healthz     liveness: 200 while the process runs
 //	GET    /readyz      readiness: 200, or 503 once draining
-//	GET    /metrics     JSON metrics snapshot (see Metrics)
+//	GET    /metrics     Prometheus text exposition (0.0.4); the JSON
+//	                    snapshot (see Metrics) with Accept:
+//	                    application/json or ?format=json
+//	GET    /debug/flight          flight recorder: last N job timelines +
+//	                              last N shed/breaker/retry events (?n=)
+//	GET    /debug/jobs/{id}/trace one job's span timeline
+//	GET    /debug/spans.jsonl     the retained span ring as JSONL
 //
-// All responses are JSON.
+// All responses are JSON except the Prometheus exposition and the JSONL
+// span export. Every debug/metrics handler snapshots first and formats
+// after — none holds the Submit mutex while rendering.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -37,10 +50,60 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Snapshot())
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /debug/spans.jsonl", s.handleSpansJSONL)
 	return mux
+}
+
+// handleMetrics serves Prometheus text by default and the JSON snapshot
+// on request (Accept: application/json, or ?format=json for curl).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+		return
+	}
+	// Render into a buffer first so an encoding error can still become
+	// a 500 instead of a torn 200.
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, s.FlightDump(n))
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	jt, err := s.JobTraceDump(r.PathValue("id"))
+	if errors.Is(err, ErrUnknownJob) {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jt)
+}
+
+func (s *Server) handleSpansJSONL(w http.ResponseWriter, r *http.Request) {
+	spans := s.Spans()
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteJSONL(w, spans)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

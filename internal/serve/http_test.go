@@ -94,8 +94,9 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 	resp4.Body.Close()
 
-	// Metrics reflect the run.
-	resp5, _ := http.Get(ts.URL + "/metrics")
+	// Metrics reflect the run (JSON snapshot via content negotiation;
+	// the bare endpoint now serves Prometheus text).
+	resp5, _ := http.Get(ts.URL + "/metrics?format=json")
 	var m Metrics
 	if err := json.NewDecoder(resp5.Body).Decode(&m); err != nil {
 		t.Fatalf("decode metrics: %v", err)

@@ -183,8 +183,11 @@ type JobResult struct {
 
 // JobStatus is the client-visible snapshot of a job (GET /jobs/{id}).
 type JobStatus struct {
-	ID      string     `json:"id"`
-	State   JobState   `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Trace is the job's trace ID: the correlation key for
+	// /debug/jobs/{id}/trace spans and the daemon's log lines.
+	Trace   uint64     `json:"trace,omitempty"`
 	Request JobRequest `json:"request"`
 	// Attempts counts started simulation attempts (> 1 means retries).
 	Attempts int `json:"attempts,omitempty"`
@@ -202,8 +205,15 @@ type JobStatus struct {
 // job is the server-internal state; all mutable fields are guarded by
 // Server.mu.
 type job struct {
-	id      string
-	req     JobRequest
+	id  string
+	req JobRequest
+	// key is req.Key(), computed once at admission and shared by the
+	// breaker, the histograms and every span of the job.
+	key string
+	// trace is the correlation ID threaded through the job's spans and
+	// log lines; sampled says whether lifecycle spans are recorded.
+	trace   uint64
+	sampled bool
 	state   JobState
 	attempt int
 	errMsg  string
@@ -226,6 +236,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:       j.id,
 		State:    j.state,
+		Trace:    j.trace,
 		Request:  j.req,
 		Attempts: j.attempt,
 		Error:    j.errMsg,

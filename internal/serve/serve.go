@@ -16,6 +16,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"memsched/internal/metrics"
+	"memsched/internal/obs"
 	"memsched/internal/sim"
 )
 
@@ -69,6 +71,26 @@ type Config struct {
 	Gauges *metrics.Gauges
 	// Runner overrides the job executor (nil runs the real simulator).
 	Runner Runner
+
+	// Logger receives structured job-lifecycle logs with trace-ID
+	// correlation (nil discards; per-job accept/finish lines log at
+	// Debug, retries and sheds at Info/Warn).
+	Logger *slog.Logger
+	// TraceSpanCap and TraceEventCap bound the flight-recorder rings:
+	// the last TraceSpanCap lifecycle spans and TraceEventCap
+	// shed/breaker/retry events are retained (defaults 4096 and 1024;
+	// negative disables that ring).
+	TraceSpanCap  int
+	TraceEventCap int
+	// TraceSample records the lifecycle spans of every TraceSample-th
+	// submission (default 1: every job; negative disables lifecycle
+	// tracing — service events and histograms are always recorded).
+	TraceSample int
+
+	// now is the clock seam: tests inject a fake clock to make queue
+	// waits, runtimes and breaker cooldowns deterministic (nil uses
+	// time.Now).
+	now func() time.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -116,6 +138,30 @@ func (c *Config) applyDefaults() {
 	if c.Runner == nil {
 		c.Runner = runRequest
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	switch {
+	case c.TraceSpanCap < 0:
+		c.TraceSpanCap = 0
+	case c.TraceSpanCap == 0:
+		c.TraceSpanCap = 4096
+	}
+	switch {
+	case c.TraceEventCap < 0:
+		c.TraceEventCap = 0
+	case c.TraceEventCap == 0:
+		c.TraceEventCap = 1024
+	}
+	switch {
+	case c.TraceSample < 0:
+		c.TraceSample = 0
+	case c.TraceSample == 0:
+		c.TraceSample = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 }
 
 // RejectError is a submission the server refused: admission-control
@@ -145,6 +191,17 @@ type Server struct {
 	cfg     Config
 	breaker *breaker
 	bo      backoff
+
+	// Observability. The tracer and histograms are self-synchronized
+	// (rings and atomics) and are never touched under s.mu by exporters:
+	// /metrics and /debug/* snapshot first, format after.
+	tracer *obs.Tracer
+	log    *slog.Logger
+	// Latency histograms: queue wait (admit -> first attempt), per-
+	// attempt runtime, and end-to-end sojourn (admit -> terminal, done
+	// and failed jobs only) — each overall and per (workload|strategy).
+	queueWait, attemptDur, sojourn          obs.Histogram
+	queueWaitKey, attemptDurKey, sojournKey obs.HistVec
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -182,15 +239,17 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, time.Now),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
 		bo:      backoff{Base: cfg.BaseBackoff, Max: cfg.MaxBackoff},
+		tracer:  obs.NewTracer(cfg.TraceSpanCap, cfg.TraceEventCap, cfg.TraceSample),
+		log:     cfg.Logger,
 		baseCtx: ctx,
 		cancel:  cancel,
 		drainCh: make(chan struct{}),
 		queue:   make(chan *job, cfg.QueueCap),
 		jobs:    make(map[string]*job),
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		started: time.Now(),
+		started: cfg.now(),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -210,14 +269,22 @@ func New(cfg Config) *Server {
 // draining.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	req.normalize()
+	// Every submission gets a trace ID — including rejected ones, whose
+	// rejection lands in the flight recorder's event ring. The key is
+	// computed once and shared by the breaker, the spans and the job.
+	trace, sampled := s.tracer.Begin()
+	key := req.Key()
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.ctrRejectedDraining.Add(1)
+		s.reject(obs.KindDrainReject, trace, key, now, "server draining")
 		return JobStatus{}, &RejectError{Status: 503, Reason: "server draining; not accepting jobs"}
 	}
 	if err := req.validate(s.cfg); err != nil {
 		s.ctrRejectedInvalid.Add(1)
+		s.reject(obs.KindInvalid, trace, key, now, err.Error())
 		return JobStatus{}, &RejectError{Status: 400, Reason: err.Error()}
 	}
 	// Shed load before consulting the breaker, so a shed submission can
@@ -226,33 +293,68 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	// guarantees the buffered send below cannot block.
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.ctrRejectedFull.Add(1)
+		s.reject(obs.KindShed, trace, key, now, "queue full")
 		return JobStatus{}, &RejectError{
 			Status:     429,
 			RetryAfter: s.cfg.RetryAfterHint,
 			Reason:     fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueCap),
 		}
 	}
-	if ok, retryAfter := s.breaker.allow(req.Key()); !ok {
+	if ok, retryAfter := s.breaker.allow(key); !ok {
 		s.ctrRejectedBreaker.Add(1)
+		s.reject(obs.KindBreakerReject, trace, key, now, "breaker open")
 		return JobStatus{}, &RejectError{
 			Status:     503,
 			RetryAfter: retryAfter,
-			Reason:     fmt.Sprintf("circuit breaker open for %q (repeated failures); retry later", req.Key()),
+			Reason:     fmt.Sprintf("circuit breaker open for %q (repeated failures); retry later", key),
 		}
 	}
 	s.seq++
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.seq),
 		req:       req,
+		key:       key,
+		trace:     trace,
+		sampled:   sampled,
 		state:     JobQueued,
-		submitted: time.Now(),
+		submitted: now,
 		done:      make(chan struct{}),
 	}
 	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.ctrSubmitted.Add(1)
+	if sampled {
+		s.tracer.Span(obs.Span{
+			Trace: trace, Job: j.id, Key: key, Kind: obs.KindAdmit,
+			Start: now.UnixNano(), End: now.UnixNano(),
+		})
+	}
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.LogAttrs(context.Background(), slog.LevelDebug, "job accepted",
+			obs.TraceAttr(trace), slog.String("job", j.id), slog.String("key", key),
+			slog.Int("queue_depth", len(s.queue)))
+	}
 	return j.status(), nil
+}
+
+// reject records one refused submission into the flight recorder's
+// event ring and the structured log. Caller holds s.mu; the ring has
+// its own lock and never calls back into the server.
+func (s *Server) reject(kind obs.SpanKind, trace uint64, key string, now time.Time, note string) {
+	s.tracer.Event(obs.Span{
+		Trace: trace, Key: key, Kind: kind,
+		Start: now.UnixNano(), End: now.UnixNano(), Note: note,
+	})
+	level := slog.LevelWarn
+	if kind == obs.KindInvalid || kind == obs.KindDrainReject {
+		level = slog.LevelDebug
+	}
+	if s.log.Enabled(context.Background(), level) {
+		s.log.LogAttrs(context.Background(), level, "submission rejected",
+			obs.TraceAttr(trace), slog.String("key", key),
+			slog.String("kind", kind.String()), slog.String("reason", note))
+	}
 }
 
 // Job returns the status snapshot of one job.
@@ -378,10 +480,22 @@ func (s *Server) runJob(j *job) {
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
+	started := s.now()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = started
 	j.cancel = cancel
 	s.mu.Unlock()
+
+	// Queue wait: admit to first attempt.
+	wait := started.Sub(j.submitted)
+	s.queueWait.Observe(wait)
+	s.queueWaitKey.Get(j.key).Observe(wait)
+	if j.sampled {
+		s.tracer.Span(obs.Span{
+			Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindQueue,
+			Start: j.submitted.UnixNano(), End: started.UnixNano(),
+		})
+	}
 
 	var res *sim.Result
 	var err error
@@ -389,7 +503,21 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		j.attempt = attempt + 1
 		s.mu.Unlock()
+		at0 := s.now()
 		res, err = s.attempt(ctx, j.req)
+		at1 := s.now()
+		s.attemptDur.Observe(at1.Sub(at0))
+		s.attemptDurKey.Get(j.key).Observe(at1.Sub(at0))
+		if j.sampled {
+			note := ""
+			if err != nil {
+				note = err.Error()
+			}
+			s.tracer.Span(obs.Span{
+				Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindAttempt,
+				Attempt: int32(attempt + 1), Start: at0.UnixNano(), End: at1.UnixNano(), Note: note,
+			})
+		}
 		if err == nil || !IsTransient(err) || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
 			break
 		}
@@ -397,7 +525,26 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		delay := s.bo.delay(attempt, s.rng)
 		s.mu.Unlock()
-		if !s.sleepBackoff(ctx, delay) {
+		s.tracer.Event(obs.Span{
+			Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindRetry,
+			Attempt: int32(attempt + 1), Start: at1.UnixNano(), End: at1.UnixNano(),
+			Note: err.Error(),
+		})
+		if s.log.Enabled(ctx, slog.LevelInfo) {
+			s.log.LogAttrs(ctx, slog.LevelInfo, "retrying transient failure",
+				obs.TraceAttr(j.trace), slog.String("job", j.id), slog.String("key", j.key),
+				slog.Int("attempt", attempt+1), slog.Duration("backoff", delay),
+				slog.String("error", err.Error()))
+		}
+		slept := s.sleepBackoff(ctx, delay)
+		if j.sampled {
+			bEnd := s.now()
+			s.tracer.Span(obs.Span{
+				Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindBackoff,
+				Attempt: int32(attempt + 1), Start: at1.UnixNano(), End: bEnd.UnixNano(),
+			})
+		}
+		if !slept {
 			// Drain or cancellation interrupted the backoff; fail with
 			// the last attempt's error.
 			break
@@ -410,7 +557,7 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		jr := &JobResult{Row: metrics.FromResult("serve", res), Faults: res.Faults}
 		s.finishLocked(j, JobDone, jr, "")
-		s.breaker.onSuccess(j.req.Key())
+		s.breaker.onSuccess(j.key)
 	case j.cancelRequested || errors.Is(err, context.Canceled):
 		// Client cancellation (or drain-deadline cancellation): not a
 		// failure of the (workload, strategy) key, so the breaker is
@@ -418,7 +565,15 @@ func (s *Server) runJob(j *job) {
 		s.finishLocked(j, JobCanceled, nil, err.Error())
 	default:
 		s.finishLocked(j, JobFailed, nil, err.Error())
-		s.breaker.onFailure(j.req.Key())
+		if s.breaker.onFailure(j.key) {
+			now := s.now().UnixNano()
+			s.tracer.Event(obs.Span{
+				Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindBreakerTrip,
+				Start: now, End: now, Note: err.Error(),
+			})
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "circuit breaker opened",
+				obs.TraceAttr(j.trace), slog.String("key", j.key), slog.String("error", err.Error()))
+		}
 	}
 }
 
@@ -469,18 +624,45 @@ func (s *Server) finishLocked(j *job, state JobState, result *JobResult, errMsg 
 	j.state = state
 	j.result = result
 	j.errMsg = errMsg
-	j.finished = time.Now()
+	j.finished = s.now()
 	close(j.done)
+	var kind obs.SpanKind
 	switch state {
 	case JobDone:
 		s.ctrDone.Add(1)
 		s.cfg.Gauges.CellsCompleted.Add(1)
+		kind = obs.KindDone
 	case JobFailed:
 		s.ctrFailed.Add(1)
+		kind = obs.KindFail
 	case JobCanceled:
 		s.ctrCanceled.Add(1)
+		kind = obs.KindCancel
+	}
+	// End-to-end sojourn covers jobs that ran to a verdict; canceled
+	// jobs would skew the SLO axis with client behavior.
+	if state == JobDone || state == JobFailed {
+		d := j.finished.Sub(j.submitted)
+		s.sojourn.Observe(d)
+		s.sojournKey.Get(j.key).Observe(d)
+	}
+	if j.sampled {
+		s.tracer.Span(obs.Span{
+			Trace: j.trace, Job: j.id, Key: j.key, Kind: kind,
+			Attempt: int32(j.attempt), Start: j.finished.UnixNano(), End: j.finished.UnixNano(),
+			Note: errMsg,
+		})
+	}
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.LogAttrs(context.Background(), slog.LevelDebug, "job finished",
+			obs.TraceAttr(j.trace), slog.String("job", j.id), slog.String("key", j.key),
+			slog.String("state", string(state)), slog.Int("attempts", j.attempt),
+			slog.Duration("sojourn", j.finished.Sub(j.submitted)), slog.String("error", errMsg))
 	}
 }
+
+// now returns the server clock (time.Now unless a test injected a fake).
+func (s *Server) now() time.Time { return s.cfg.now() }
 
 // Metrics is the /metrics snapshot: live gauges, lifecycle counters and
 // the load-shedding/breaker counters.
@@ -518,7 +700,7 @@ func (s *Server) Snapshot() Metrics {
 	draining := s.draining
 	s.mu.Unlock()
 	return Metrics{
-		UptimeSeconds:    time.Since(s.started).Seconds(),
+		UptimeSeconds:    s.now().Sub(s.started).Seconds(),
 		Draining:         draining,
 		Workers:          s.cfg.Workers,
 		QueueCap:         s.cfg.QueueCap,
