@@ -8,6 +8,7 @@
 // Usage:
 //
 //	memschedd -addr 127.0.0.1:8080 -workers 4 -queue 64
+//	memschedd -version
 //
 // Endpoints: POST/GET /jobs, GET /jobs/{id} (?wait=1 long-polls),
 // DELETE /jobs/{id}, /healthz, /readyz, /metrics (Prometheus text, or
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"memsched/internal/buildinfo"
 	"memsched/internal/metrics"
 	"memsched/internal/obs"
 	"memsched/internal/serve"
@@ -64,8 +66,15 @@ func run() int {
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		traceSample  = flag.Int("trace-sample", 1, "record lifecycle spans for every n-th job (1 = all, -1 disables)")
 		traceSpans   = flag.Int("trace-spans", 4096, "flight-recorder span ring capacity (-1 disables)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		v, gv := buildinfo.Resolve()
+		fmt.Printf("memschedd %s (%s)\n", v, gv)
+		return 0
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {

@@ -32,7 +32,7 @@ func (b *baselineOps) apply(figID string, cells []expr.CellTelemetry, out *bytes
 	path := baseline.Path(b.dir, figID)
 	fresh := baseline.New(figID)
 	for _, c := range cells {
-		fresh.Record(baseline.FromRow(c.Row, c.Telemetry))
+		fresh.Record(baseline.FromRow(c.Row, c.Telemetry, c.CritPath))
 	}
 
 	if b.write {

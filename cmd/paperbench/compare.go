@@ -7,29 +7,33 @@ import (
 	"os"
 
 	"memsched/internal/baseline"
+	"memsched/internal/critpath"
 	"memsched/internal/expr"
 	"memsched/internal/sched"
+	"memsched/internal/taskgraph"
 )
 
 // runCompare diffs two telemetry JSONL captures (paperbench -telemetry)
-// cell by cell and, for the worst-regressed cell, joins the scheduler
-// decision digests embedded in both captures to explain *why* the cell
-// got worse. It returns the process exit code: 0 when no cell regressed
-// beyond tolerance, 1 on regressions, 2 on usage or read errors.
+// cell by cell and, for the worst-regressed cell, explains *why* the
+// cell got worse: which critical-path blame category grew (and which
+// data block it blames), plus the joined scheduler decision digests
+// embedded in both captures. It returns the process exit code: 0 when
+// no cell regressed beyond tolerance, 1 on regressions, 2 on usage or
+// read errors.
 func runCompare(oldPath, newPath string, tol baseline.Tolerances, out io.Writer) int {
-	oldF, oldDigs, err := loadCapture(oldPath)
+	oldC, err := loadCapture(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	newF, newDigs, err := loadCapture(newPath)
+	newC, err := loadCapture(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	fmt.Fprintf(out, "comparing %s (%d cells) -> %s (%d cells)\n",
-		oldPath, len(oldF.Cells), newPath, len(newF.Cells))
-	rep := baseline.Diff(oldF, newF, tol)
+		oldPath, len(oldC.file.Cells), newPath, len(newC.file.Cells))
+	rep := baseline.Diff(oldC.file, newC.file, tol)
 	fmt.Fprint(out, rep.String())
 
 	worst := rep.WorstRegression()
@@ -38,37 +42,99 @@ func runCompare(oldPath, newPath string, tol baseline.Tolerances, out io.Writer)
 		return 0
 	}
 	fmt.Fprintf(out, "\nworst-regressed cell: %s (%s)\n", worst.Key, worst.Worst)
+	explainCritPath(out, oldC.crits[worst.Key], newC.crits[worst.Key], newC.digs[worst.Key])
 	fmt.Fprintln(out, "why (joined scheduler decision logs):")
-	for _, line := range sched.JoinDigests(oldDigs[worst.Key], newDigs[worst.Key]) {
+	for _, line := range sched.JoinDigests(oldC.digs[worst.Key], newC.digs[worst.Key]) {
 		fmt.Fprintf(out, "  %s\n", line)
 	}
 	return 1
 }
 
-// loadCapture parses one telemetry JSONL capture into a baseline file
-// (for the metric diff) plus the per-cell decision digests (for the
-// explanation). Cells keep their native figure:workload:strategy keys,
-// so captures spanning several figures compare cleanly.
-func loadCapture(path string) (*baseline.File, map[string]*sched.DecisionDigest, error) {
+// explainCritPath renders the makespan-attribution side of the worst
+// regression: which blame category the critical path gained the most
+// of, and which data block the new run blames hardest — joined, when
+// the new run's decision digest has a record for that block, with the
+// eviction churn that put it there.
+func explainCritPath(out io.Writer, oldS, newS *critpath.Summary, newDig *sched.DecisionDigest) {
+	if oldS == nil || newS == nil {
+		fmt.Fprintln(out, "critical path: not recorded in both captures (re-run with -telemetry on this build)")
+		return
+	}
+	type catDelta struct {
+		name     string
+		old, new float64
+	}
+	cats := []catDelta{
+		{"compute", oldS.ComputeMS, newS.ComputeMS},
+		{"pci", oldS.PCIMS, newS.PCIMS},
+		{"nvlink", oldS.PeerMS, newS.PeerMS},
+		{"reload", oldS.ReloadMS, newS.ReloadMS},
+		{"sched", oldS.SchedMS, newS.SchedMS},
+		{"fault", oldS.FaultMS, newS.FaultMS},
+	}
+	worst := cats[0]
+	for _, c := range cats[1:] {
+		if c.new-c.old > worst.new-worst.old {
+			worst = c
+		}
+	}
+	if gain := worst.new - worst.old; gain > 0 {
+		fmt.Fprintf(out, "critical path gained %.3f ms of %s (%.3f -> %.3f ms)\n",
+			gain, worst.name, worst.old, worst.new)
+	} else {
+		fmt.Fprintf(out, "critical path blame shifted without a net gain (makespan %.3f -> %.3f ms)\n",
+			oldS.MakespanMS, newS.MakespanMS)
+	}
+	if len(newS.TopData) > 0 {
+		d := newS.TopData[0]
+		fmt.Fprintf(out, "top blamed data block: %s (%.3f ms on the critical path)\n", d.Name, d.MS)
+		if ev, ok := newDig.EvictionOf(taskgraph.DataID(d.ID)); ok {
+			fmt.Fprintf(out, "  the new run's scheduler evicted it %d× (max %d future uses) — the reloads behind the blame\n",
+				ev.Count, ev.MaxFutureUses)
+		}
+	}
+	if len(newS.TopTasks) > 0 {
+		t := newS.TopTasks[0]
+		fmt.Fprintf(out, "top blamed task: %s (%.3f ms on the critical path)\n", t.Name, t.MS)
+	}
+}
+
+// capture is one parsed telemetry JSONL capture: the baseline file (for
+// the metric diff) plus the per-cell decision digests and critpath
+// summaries (for the explanation).
+type capture struct {
+	file  *baseline.File
+	digs  map[string]*sched.DecisionDigest
+	crits map[string]*critpath.Summary
+}
+
+// loadCapture parses one telemetry JSONL capture. Cells keep their
+// native figure:workload:strategy keys, so captures spanning several
+// figures compare cleanly.
+func loadCapture(path string) (*capture, error) {
 	r, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer r.Close()
-	f := baseline.New("capture")
-	digs := map[string]*sched.DecisionDigest{}
+	c := &capture{
+		file:  baseline.New("capture"),
+		digs:  map[string]*sched.DecisionDigest{},
+		crits: map[string]*critpath.Summary{},
+	}
 	dec := json.NewDecoder(r)
 	for dec.More() {
-		var c expr.CellTelemetry
-		if err := dec.Decode(&c); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		var ct expr.CellTelemetry
+		if err := dec.Decode(&ct); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		cell := baseline.FromRow(c.Row, c.Telemetry)
-		f.Record(cell)
-		digs[cell.Key()] = c.Decisions
+		cell := baseline.FromRow(ct.Row, ct.Telemetry, ct.CritPath)
+		c.file.Record(cell)
+		c.digs[cell.Key()] = ct.Decisions
+		c.crits[cell.Key()] = ct.CritPath
 	}
-	if len(f.Cells) == 0 {
-		return nil, nil, fmt.Errorf("%s: no telemetry cells (expected paperbench -telemetry JSONL)", path)
+	if len(c.file.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no telemetry cells (expected paperbench -telemetry JSONL)", path)
 	}
-	return f, digs, nil
+	return c, nil
 }

@@ -16,6 +16,8 @@
 //	paperbench -memprofile m.out  # write a pprof heap profile on exit
 //	paperbench -telemetry       # also write <fig>_telemetry.jsonl per figure
 //	paperbench -trace-cell fig3:5:DARTS+LUF  # deep-dive one cell
+//	paperbench -critpath fig3:5:DARTS+LUF    # makespan attribution: blame report + highlighted Chrome trace
+//	paperbench -version         # print the build version and exit
 //	paperbench -http :6060      # expvar + pprof debug endpoint
 //	paperbench -baseline-write  # record BENCH_<figure>.json reference cells
 //	paperbench -baseline-check  # diff the run against BENCH_*.json; exit 1 on regression
@@ -50,6 +52,8 @@ import (
 	"time"
 
 	"memsched/internal/baseline"
+	"memsched/internal/buildinfo"
+	"memsched/internal/critpath"
 	"memsched/internal/expr"
 	"memsched/internal/fault"
 	"memsched/internal/metrics"
@@ -76,6 +80,8 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		telemetry  = flag.Bool("telemetry", false, "write one JSON line per cell to <out>/<figure>_telemetry.jsonl")
 		traceCell  = flag.String("trace-cell", "", "deep-dive one cell (figure:point:strategy): Chrome trace, decision log, telemetry")
+		critCell   = flag.String("critpath", "", "makespan attribution for one cell (figure:point:strategy): blame report on stdout, highlighted Chrome trace under -out")
+		version    = flag.Bool("version", false, "print the build version and exit")
 		httpAddr   = flag.String("http", "", "serve expvar counters and pprof on this address (e.g. :6060)")
 		faultSpec  = flag.String("faults", "", "inject a fault plan into every cell: seed=N,drop=GPU@TIME,transient=RATE[:RETRIES[:BACKOFF]],pressure=GPU@START+DURATION:BYTES")
 		degrade    = flag.Bool("degradation", false, "run the fault-degradation sweep (GFlop/s vs transfer failure rate) instead of the figures")
@@ -88,6 +94,12 @@ func run() int {
 		baselineReport = flag.String("baseline-report", "", "also write the combined baseline diff report to this file")
 	)
 	flag.Parse()
+
+	if *version {
+		v, gv := buildinfo.Resolve()
+		fmt.Printf("paperbench %s (%s)\n", v, gv)
+		return 0
+	}
 
 	// The memsched_* gauge names are published on the global expvar
 	// registry exactly once, here: library embedders and tests use
@@ -166,11 +178,14 @@ func run() int {
 	// so one journal backs any figure subset.)
 	var ckpt *expr.Checkpoint
 	if *resume != "" {
-		if *degrade || *ablations || *traceCell != "" {
-			fmt.Fprintln(os.Stderr, "-resume only applies to figure sweeps (not -degradation/-ablations/-trace-cell)")
+		if *degrade || *ablations || *traceCell != "" || *critCell != "" {
+			fmt.Fprintln(os.Stderr, "-resume only applies to figure sweeps (not -degradation/-ablations/-trace-cell/-critpath)")
 			return 2
 		}
-		cfg := fmt.Sprintf("v1 quick=%v maxn=%d replicas=%d faults=%s", *quick, *maxN, *replicas, plan)
+		// v2: journaled cells now embed critpath summaries; v1 journals
+		// would replay rows without attribution, breaking byte-identical
+		// resume output.
+		cfg := fmt.Sprintf("v2 quick=%v maxn=%d replicas=%d faults=%s", *quick, *maxN, *replicas, plan)
 		var err error
 		if ckpt, err = expr.OpenCheckpoint(*resume, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -184,6 +199,13 @@ func run() int {
 
 	if *traceCell != "" {
 		if err := runTraceCell(*traceCell, *outDir, plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if *critCell != "" {
+		if err := runCritPath(*critCell, *outDir, plan); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -309,31 +331,9 @@ func serveDebug(addr string) {
 // and the idle/overlap analysis on stderr. A non-empty fault plan is
 // injected into the cell (fault events appear in the Chrome trace).
 func runTraceCell(spec, outDir string, plan *fault.Plan) error {
-	parts := strings.SplitN(spec, ":", 3)
-	if len(parts) != 3 {
-		return fmt.Errorf("-trace-cell wants figure:point:strategy (e.g. fig3:5:DARTS+LUF), got %q", spec)
-	}
-	f, err := expr.ByID(parts[0])
+	f, pi, strat, err := parseCellSpec("-trace-cell", spec)
 	if err != nil {
 		return err
-	}
-	pi, err := strconv.Atoi(parts[1])
-	if err != nil || pi < 0 || pi >= len(f.Points) {
-		return fmt.Errorf("-trace-cell point %q out of range [0, %d)", parts[1], len(f.Points))
-	}
-	var strat *sched.Strategy
-	for i := range f.Strategies {
-		if strings.EqualFold(f.Strategies[i].Label, parts[2]) {
-			strat = &f.Strategies[i]
-			break
-		}
-	}
-	if strat == nil {
-		labels := make([]string, len(f.Strategies))
-		for i, s := range f.Strategies {
-			labels[i] = s.Label
-		}
-		return fmt.Errorf("-trace-cell strategy %q not in %s (have: %s)", parts[2], f.ID, strings.Join(labels, ", "))
 	}
 
 	base := fmt.Sprintf("%s_p%d_%s", sanitize(f.ID), pi, sanitize(strat.Label))
@@ -378,6 +378,73 @@ func runTraceCell(spec, outDir string, plan *fault.Plan) error {
 	fmt.Fprintf(os.Stderr, "%s point %d (%s) on %s:\n%s", f.ID, pi, strat.Label, inst.Name(), a.String())
 	fmt.Fprintf(os.Stderr, "%d scheduler decisions -> %s\nchrome trace (load in chrome://tracing) -> %s\n",
 		declog.N, decPath, tracePath)
+	return nil
+}
+
+// parseCellSpec resolves a figure:point:strategy cell spec (shared by
+// -trace-cell and -critpath); flagName only shapes the error messages.
+func parseCellSpec(flagName, spec string) (*expr.Figure, int, *sched.Strategy, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return nil, 0, nil, fmt.Errorf("%s wants figure:point:strategy (e.g. fig3:5:DARTS+LUF), got %q", flagName, spec)
+	}
+	f, err := expr.ByID(parts[0])
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	pi, err := strconv.Atoi(parts[1])
+	if err != nil || pi < 0 || pi >= len(f.Points) {
+		return nil, 0, nil, fmt.Errorf("%s point %q out of range [0, %d)", flagName, parts[1], len(f.Points))
+	}
+	for i := range f.Strategies {
+		if strings.EqualFold(f.Strategies[i].Label, parts[2]) {
+			return f, pi, &f.Strategies[i], nil
+		}
+	}
+	labels := make([]string, len(f.Strategies))
+	for i, s := range f.Strategies {
+		labels[i] = s.Label
+	}
+	return nil, 0, nil, fmt.Errorf("%s strategy %q not in %s (have: %s)", flagName, parts[2], f.ID, strings.Join(labels, ", "))
+}
+
+// runCritPath runs the makespan attribution for one cell: it reruns the
+// cell with trace recording, reconstructs the critical path, prints the
+// blame report (categories, counterfactual bounds, leaderboards) on
+// stdout, and writes the critical-path-highlighted Chrome trace under
+// outDir. A non-empty fault plan is injected into the cell, so fault
+// recovery shows up as attributed path segments.
+func runCritPath(spec, outDir string, plan *fault.Plan) error {
+	f, pi, strat, err := parseCellSpec("-critpath", spec)
+	if err != nil {
+		return err
+	}
+	inst := f.Points[pi].Build()
+	res, err := expr.RunOneTraced(nil, inst, *strat, f.Platform, f.NsPerOp, f.Seed, true, plan)
+	if err != nil {
+		return err
+	}
+	p, err := critpath.Analyze(inst, res)
+	if err != nil {
+		return err
+	}
+
+	base := fmt.Sprintf("%s_p%d_%s", sanitize(f.ID), pi, sanitize(strat.Label))
+	tracePath := filepath.Join(outDir, base+"_critpath_trace.json")
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := critpath.WriteHighlightedChromeTrace(traceFile, inst, f.Platform, res, p); err != nil {
+		traceFile.Close()
+		return err
+	}
+	if err := traceFile.Close(); err != nil {
+		return err
+	}
+
+	critpath.Report(os.Stdout, inst, res, p)
+	fmt.Fprintf(os.Stderr, "highlighted chrome trace (load in chrome://tracing) -> %s\n", tracePath)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"memsched/internal/baseline"
+	"memsched/internal/critpath"
 	"memsched/internal/expr"
 	"memsched/internal/sched"
 )
@@ -171,6 +172,19 @@ func TestCompareEndToEnd(t *testing.T) {
 			t.Fatalf("missing %q in explanation:\n%s", want, s)
 		}
 	}
+	// The makespan attribution names the blame category that grew and the
+	// data block the new run's critical path blames hardest.
+	if !strings.Contains(s, "critical path gained") || !strings.Contains(s, "of reload") {
+		t.Fatalf("critpath explanation does not name the grown category:\n%s", s)
+	}
+	if !strings.Contains(s, "top blamed data block: A[1,2]") {
+		t.Fatalf("critpath explanation does not name the top blamed data block:\n%s", s)
+	}
+	// The blamed block (data 17) is also on the digest's eviction
+	// leaderboard, so the explanation ties blame to the evictions.
+	if !strings.Contains(s, "evicted it 3×") {
+		t.Fatalf("critpath explanation does not join the eviction record:\n%s", s)
+	}
 
 	if code := runCompare(filepath.Join(dir, "absent.jsonl"), newPath, baseline.DefaultTolerances(), &out); code != 2 {
 		t.Fatalf("missing file exited %d", code)
@@ -198,6 +212,12 @@ func writePerturbedCapture(t *testing.T, capture []byte, path string) {
 			c.Decisions.Evictions += 3
 			c.Decisions.PrematureEvictions += 3
 			c.Decisions.TopEvicted = append([]sched.EvictionStat{{Data: 17, Count: 3, MaxFutureUses: 2}}, c.Decisions.TopEvicted...)
+			if c.CritPath == nil {
+				t.Fatal("telemetry capture is missing the critpath summary")
+			}
+			c.CritPath.ReloadMS += 12
+			c.CritPath.MakespanMS += 12
+			c.CritPath.TopData = append([]critpath.BlameEntry{{ID: 17, Name: "A[1,2]", MS: 12}}, c.CritPath.TopData...)
 		}
 		b, err := json.Marshal(c)
 		if err != nil {

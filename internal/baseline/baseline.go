@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"memsched/internal/critpath"
 	"memsched/internal/metrics"
 	"memsched/internal/sim"
 )
@@ -36,22 +37,44 @@ type Cell struct {
 	BlockedPeerMS  float64 `json:"blocked_peer_ms"`
 	DoneMS         float64 `json:"done_ms"`
 	Reloads        int     `json:"reloads"`
+	// Critical-path attribution (internal/critpath): where the makespan
+	// went, by blame category, plus the counterfactual lower bounds.
+	// Zero in baselines written before the attribution layer existed;
+	// the diff treats them as informational (never a regression class).
+	CritComputeMS  float64 `json:"crit_compute_ms,omitempty"`
+	CritPCIMS      float64 `json:"crit_pci_ms,omitempty"`
+	CritPeerMS     float64 `json:"crit_peer_ms,omitempty"`
+	CritReloadMS   float64 `json:"crit_reload_ms,omitempty"`
+	CritSchedMS    float64 `json:"crit_sched_ms,omitempty"`
+	CritFaultMS    float64 `json:"crit_fault_ms,omitempty"`
+	TransferFreeMS float64 `json:"transfer_free_ms,omitempty"`
+	EvictionFreeMS float64 `json:"eviction_free_ms,omitempty"`
 }
 
-// FromRow builds a Cell from a figure row and the engine telemetry of
-// its first replica; tel may be nil (the telemetry fields stay zero).
-func FromRow(row metrics.Row, tel *sim.Telemetry) Cell {
+// FromRow builds a Cell from a figure row, the engine telemetry of its
+// first replica, and that replica's critical-path summary; tel and cp
+// may be nil (the corresponding fields stay zero).
+func FromRow(row metrics.Row, tel *sim.Telemetry, cp *critpath.Summary) Cell {
 	c := Cell{Row: row}
-	if tel == nil {
-		return c
+	if tel != nil {
+		c.BusUtilization = tel.BusUtilization
+		c.Reloads = tel.Reloads
+		for _, g := range tel.GPU {
+			c.StarvedMS += ms(g.StarvedNoTask)
+			c.BlockedBusMS += ms(g.BlockedOnBus)
+			c.BlockedPeerMS += ms(g.BlockedOnPeer)
+			c.DoneMS += ms(g.Done)
+		}
 	}
-	c.BusUtilization = tel.BusUtilization
-	c.Reloads = tel.Reloads
-	for _, g := range tel.GPU {
-		c.StarvedMS += ms(g.StarvedNoTask)
-		c.BlockedBusMS += ms(g.BlockedOnBus)
-		c.BlockedPeerMS += ms(g.BlockedOnPeer)
-		c.DoneMS += ms(g.Done)
+	if cp != nil {
+		c.CritComputeMS = cp.ComputeMS
+		c.CritPCIMS = cp.PCIMS
+		c.CritPeerMS = cp.PeerMS
+		c.CritReloadMS = cp.ReloadMS
+		c.CritSchedMS = cp.SchedMS
+		c.CritFaultMS = cp.FaultMS
+		c.TransferFreeMS = cp.TransferFreeMS
+		c.EvictionFreeMS = cp.EvictionFreeMS
 	}
 	return c
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"memsched/internal/critpath"
 	"memsched/internal/metrics"
 	"memsched/internal/sim"
 )
@@ -29,14 +30,18 @@ func TestFromRowFoldsTelemetry(t *testing.T) {
 			{BlockedOnPeer: 3 * time.Millisecond, Done: 4 * time.Millisecond},
 		},
 	}
-	c := FromRow(metrics.Row{Figure: "f", Workload: "w", Scheduler: "s"}, tel)
+	c := FromRow(metrics.Row{Figure: "f", Workload: "w", Scheduler: "s"}, tel,
+		&critpath.Summary{ComputeMS: 10, ReloadMS: 2, TransferFreeMS: 8})
+	if c.CritComputeMS != 10 || c.CritReloadMS != 2 || c.TransferFreeMS != 8 {
+		t.Fatalf("critpath fields: %+v", c)
+	}
 	if c.BusUtilization != 0.7 || c.Reloads != 5 {
 		t.Fatalf("scalars: %+v", c)
 	}
 	if c.StarvedMS != 1 || c.BlockedBusMS != 2 || c.BlockedPeerMS != 3 || c.DoneMS != 4 {
 		t.Fatalf("idle breakdown: %+v", c)
 	}
-	if got := FromRow(metrics.Row{}, nil); got.BusUtilization != 0 || got.Reloads != 0 {
+	if got := FromRow(metrics.Row{}, nil, nil); got.BusUtilization != 0 || got.Reloads != 0 || got.CritComputeMS != 0 {
 		t.Fatalf("nil telemetry should leave zeros: %+v", got)
 	}
 }

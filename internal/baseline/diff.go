@@ -81,6 +81,18 @@ var metricDefs = []metricDef{
 	{"blocked_bus_ms", func(c Cell) float64 { return c.BlockedBusMS }, 0, 0, 0},
 	{"blocked_peer_ms", func(c Cell) float64 { return c.BlockedPeerMS }, 0, 0, 0},
 	{"done_ms", func(c Cell) float64 { return c.DoneMS }, 0, 0, 0},
+	// Critical-path blame (dir 0): the attribution explains *why* a
+	// makespan moved; the makespan itself is the classified metric.
+	// Baselines written before the attribution layer store zeros here,
+	// and dir-0 metrics never classify, so old BENCH files keep passing.
+	{"crit_compute_ms", func(c Cell) float64 { return c.CritComputeMS }, 0, 0, 0},
+	{"crit_pci_ms", func(c Cell) float64 { return c.CritPCIMS }, 0, 0, 0},
+	{"crit_nvlink_ms", func(c Cell) float64 { return c.CritPeerMS }, 0, 0, 0},
+	{"crit_reload_ms", func(c Cell) float64 { return c.CritReloadMS }, 0, 0, 0},
+	{"crit_sched_ms", func(c Cell) float64 { return c.CritSchedMS }, 0, 0, 0},
+	{"crit_fault_ms", func(c Cell) float64 { return c.CritFaultMS }, 0, 0, 0},
+	{"transfer_free_ms", func(c Cell) float64 { return c.TransferFreeMS }, 0, 0, 0},
+	{"eviction_free_ms", func(c Cell) float64 { return c.EvictionFreeMS }, 0, 0, 0},
 }
 
 // Tolerances overrides the default per-metric tolerances.

@@ -1,0 +1,52 @@
+// Package buildinfo resolves the version identity of a memsched binary
+// for -version flags and the memsched_build_info metric.
+package buildinfo
+
+import "runtime/debug"
+
+// Version is the release stamp, injected at build time with
+//
+//	go build -ldflags "-X memsched/internal/buildinfo.Version=v1.2.3"
+//
+// Unstamped builds fall back to the module version (or VCS revision)
+// recorded by the Go toolchain, and finally to "devel".
+var Version = ""
+
+// Resolve returns the effective version string and the Go toolchain
+// version the binary was built with.
+func Resolve() (version, goVersion string) {
+	version, goVersion = Version, "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		if version == "" {
+			version = "devel"
+		}
+		return version, goVersion
+	}
+	goVersion = bi.GoVersion
+	if version != "" {
+		return version, goVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v, goVersion
+	}
+	// Unversioned module: identify by VCS revision when embedded.
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return "devel+" + rev + dirty, goVersion
+	}
+	return "devel", goVersion
+}

@@ -1,0 +1,101 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+
+	"memsched/internal/platform"
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// tidCritPath is the timeline row of the attribution track in the
+// highlighted export (GPU rows are 0..N, bus 1000, NVLink 2000+).
+const tidCritPath = 3000
+
+// categoryColor maps each blame category to a chrome://tracing reserved
+// color so the attribution track (and the highlighted source spans)
+// read at a glance: green compute, red transfers, dark-red reloads.
+var categoryColor = [NumCategories]string{
+	Compute: "good",
+	PCI:     "bad",
+	Peer:    "yellow",
+	Reload:  "terrible",
+	Sched:   "grey",
+	Fault:   "black",
+}
+
+// WriteHighlightedChromeTrace exports the run's Chrome trace with the
+// critical path made visible: a dedicated "critical path" track tiles
+// [0, Makespan] with one colored span per attributed segment, and every
+// task or transfer that appears on the path keeps the matching color on
+// its own row. Open in chrome://tracing or ui.perfetto.dev.
+func WriteHighlightedChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platform, res *sim.Result, p *Path) error {
+	critTask := map[taskgraph.TaskID]bool{}
+	type gpuData struct {
+		gpu int
+		d   taskgraph.DataID
+	}
+	critData := map[gpuData]bool{}
+	for _, s := range p.Segments {
+		if s.Task != taskgraph.NoTask && (s.Category == Compute || s.Category == Fault) {
+			critTask[s.Task] = true
+		}
+		if s.Data != taskgraph.NoData {
+			critData[gpuData{s.GPU, s.Data}] = true
+		}
+	}
+	opts := sim.ChromeTraceOptions{
+		Color: func(ev sim.TraceEvent) string {
+			switch ev.Kind {
+			case sim.TraceEnd, sim.TraceTaskKill:
+				if critTask[ev.Task] {
+					return categoryColor[Compute]
+				}
+			case sim.TraceLoad, sim.TracePeerLoad:
+				if critData[gpuData{ev.GPU, ev.Data}] {
+					if a, ok := lastArrivalCategory(p, ev); ok {
+						return categoryColor[a]
+					}
+					return categoryColor[PCI]
+				}
+			}
+			return ""
+		},
+		Extra:      make([]sim.ChromeSpan, 0, len(p.Segments)),
+		TrackNames: map[int]string{tidCritPath: "critical path"},
+	}
+	for _, s := range p.Segments {
+		opts.Extra = append(opts.Extra, sim.ChromeSpan{
+			Name:  fmt.Sprintf("%s %s", s.Category, segmentLabel(inst, s)),
+			Start: int64(s.Start),
+			End:   int64(s.End),
+			TID:   tidCritPath,
+			Cat:   "critpath",
+			Cname: categoryColor[s.Category],
+		})
+	}
+	return sim.WriteChromeTraceWith(w, inst, plat, res, opts)
+}
+
+// lastArrivalCategory finds the category of the path segment blaming
+// this arrival's (gpu, data) pair closest below the event time, so the
+// source transfer inherits the exact blame color (reload vs first
+// load).
+func lastArrivalCategory(p *Path, ev sim.TraceEvent) (Category, bool) {
+	for i := len(p.Segments) - 1; i >= 0; i-- {
+		s := p.Segments[i]
+		if s.Data == ev.Data && s.GPU == ev.GPU && s.End <= ev.At+1 {
+			return s.Category, true
+		}
+	}
+	// Fall back to any segment blaming this pair (tail transfers end
+	// after the event time recorded at arrival).
+	for i := len(p.Segments) - 1; i >= 0; i-- {
+		s := p.Segments[i]
+		if s.Data == ev.Data && s.GPU == ev.GPU {
+			return s.Category, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,402 @@
+// Package critpath reconstructs the blocking chain that determined the
+// makespan of an executed schedule. It walks a recorded trace backwards
+// from the last-completing task: each waiting interval along the chain
+// is attributed to the resource that ended it — compute, a PCI
+// transfer, an NVLink peer transfer, an eviction-induced reload,
+// scheduler idle, or fault recovery — producing a path whose segments
+// exactly tile [0, Makespan]. The same trace also yields counterfactual
+// lower bounds (what the makespan would be with infinite bandwidth or
+// infinite memory), so every cell can report how far a strategy sits
+// from its transfer-free and eviction-free potential.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// Category classifies one critical-path segment by the resource the
+// schedule was waiting on during that interval.
+type Category uint8
+
+const (
+	// Compute: a task on the critical chain was executing.
+	Compute Category = iota
+	// PCI: the chain waited on a host-bus transfer (first load of a
+	// data item, or an output write-back draining after the last task).
+	PCI
+	// Peer: the chain waited on an NVLink device-to-device transfer.
+	Peer
+	// Reload: the chain waited on a transfer re-fetching data that an
+	// earlier eviction threw away from the same GPU — time that exists
+	// only because memory was scarce.
+	Reload
+	// Sched: the GPU sat idle with no attributable transfer in flight —
+	// scheduler starvation, static scheduling cost, or window effects.
+	Sched
+	// Fault: time lost to fault handling — killed partial executions,
+	// re-executions after a dropout, and transfers delayed by transient
+	// retry backoff.
+	Fault
+	// NumCategories is the number of blame categories.
+	NumCategories = int(Fault) + 1
+)
+
+var categoryNames = [NumCategories]string{"compute", "pci", "nvlink", "reload", "sched", "fault"}
+
+func (c Category) String() string {
+	if int(c) < NumCategories {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Segment is one interval of the critical path: (Start, End] was spent
+// waiting on (or executing under) Category. Task and Data identify the
+// blamed task and data item when attributable (NoTask/NoData otherwise).
+type Segment struct {
+	Start, End time.Duration
+	Category   Category
+	GPU        int
+	Task       taskgraph.TaskID
+	Data       taskgraph.DataID
+}
+
+// Width is the duration of the segment.
+func (s Segment) Width() time.Duration { return s.End - s.Start }
+
+// Path is the reconstructed critical path of one run.
+type Path struct {
+	// Makespan is the run's makespan; Segments tile [0, Makespan].
+	Makespan time.Duration
+	// Segments in ascending time order, contiguous, first starts at 0,
+	// last ends at Makespan.
+	Segments []Segment
+	// Blame sums segment widths per category; the entries sum to
+	// Makespan exactly.
+	Blame [NumCategories]time.Duration
+	// TaskBlame and DataBlame are the per-task / per-data leaderboards:
+	// total critical-path time attributed to each task or data item,
+	// sorted by blame descending (ties by id ascending). Only entries
+	// with nonzero blame appear.
+	TaskBlame []TaskBlameEntry
+	DataBlame []DataBlameEntry
+	// TransferFree is the counterfactual makespan with infinite
+	// bandwidth: every transfer wait on the critical path vanishes.
+	TransferFree time.Duration
+	// EvictionFree is the counterfactual makespan with infinite GPU
+	// memory: only the eviction-induced reload waits vanish.
+	EvictionFree time.Duration
+	// ComputeBound is the trace-independent floor: static scheduling
+	// cost plus the busiest GPU's kernel time.
+	ComputeBound time.Duration
+}
+
+// TaskBlameEntry is one row of the per-task blame leaderboard.
+type TaskBlameEntry struct {
+	Task  taskgraph.TaskID
+	Blame time.Duration
+}
+
+// DataBlameEntry is one row of the per-data blame leaderboard.
+type DataBlameEntry struct {
+	Data  taskgraph.DataID
+	Blame time.Duration
+}
+
+// maxSteps bounds the backward walk against malformed traces: each step
+// consumes at least one span, arrival, or tail event.
+func maxSteps(trace []sim.TraceEvent) int { return 2*len(trace) + 16 }
+
+// Analyze reconstructs the critical path of res from its recorded
+// trace. The instance is needed to resolve task inputs; res must have
+// been produced with RecordTrace (Analyze fails on a trace-less result
+// with nonzero makespan). The walk is deterministic: the same trace
+// always yields byte-identical paths.
+func Analyze(inst *taskgraph.Instance, res *sim.Result) (*Path, error) {
+	p := &Path{Makespan: res.Makespan}
+	if res.Makespan == 0 {
+		p.finish(res)
+		return p, nil
+	}
+	if len(res.Trace) == 0 {
+		return nil, fmt.Errorf("critpath: result has no trace (run with RecordTrace)")
+	}
+	idx := sim.IndexTrace(res.Trace, res.NumGPUs)
+	w := &walker{inst: inst, idx: idx, p: p, curLo: res.Makespan}
+
+	// Tail: anything after the last trace event is drain the engine
+	// spent on events that leave no trace record (stale wakes) —
+	// scheduler time. Then the window (LastEnd, LastEvent] is tiled by
+	// the tail events themselves (write-backs and straggler transfers
+	// completing after the last task).
+	w.emit(idx.LastEvent, Sched, -1, taskgraph.NoTask, taskgraph.NoData)
+	for i := len(idx.Tail) - 1; i >= 0; i-- {
+		ev := idx.Tail[i]
+		lo := idx.LastEnd
+		if i > 0 {
+			lo = idx.Tail[i-1].At
+		}
+		cat, task, data := w.tailCategory(ev)
+		w.emitAt(lo, ev.At, cat, ev.GPU, task, data)
+	}
+	w.emit(idx.LastEnd, Sched, -1, taskgraph.NoTask, taskgraph.NoData)
+
+	if idx.LastEndGPU >= 0 {
+		if err := w.walk(idx.LastEndGPU, idx.LastEndSpan, maxSteps(res.Trace)); err != nil {
+			return nil, err
+		}
+	}
+	// Anything left below the walk (no completed task at all) is
+	// scheduler time by definition.
+	w.emit(0, Sched, -1, taskgraph.NoTask, taskgraph.NoData)
+
+	// Segments were produced in descending order; flip them.
+	for i, j := 0, len(p.Segments)-1; i < j; i, j = i+1, j-1 {
+		p.Segments[i], p.Segments[j] = p.Segments[j], p.Segments[i]
+	}
+	p.finish(res)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// walker carries the backward-walk state: curLo is the lower edge of
+// the path built so far (segments are appended downward from Makespan).
+type walker struct {
+	inst  *taskgraph.Instance
+	idx   *sim.TraceIndex
+	p     *Path
+	curLo time.Duration
+}
+
+// emit extends the path downward to lo with one segment of the given
+// category. Calls with lo >= curLo are no-ops, so callers can state
+// intent ("cover down to this boundary") without bookkeeping.
+func (w *walker) emit(lo time.Duration, cat Category, gpu int, task taskgraph.TaskID, data taskgraph.DataID) {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= w.curLo {
+		return
+	}
+	w.p.Segments = append(w.p.Segments, Segment{Start: lo, End: w.curLo, Category: cat, GPU: gpu, Task: task, Data: data})
+	w.curLo = lo
+}
+
+// emitAt is emit for callers that know the intended upper boundary:
+// the segment is only emitted when hi matches the current lower edge
+// (duplicate timestamps collapse into the latest-recorded event).
+func (w *walker) emitAt(lo, hi time.Duration, cat Category, gpu int, task taskgraph.TaskID, data taskgraph.DataID) {
+	if hi < w.curLo {
+		return
+	}
+	w.emit(lo, cat, gpu, task, data)
+}
+
+// tailCategory classifies one post-completion trace event.
+func (w *walker) tailCategory(ev sim.TraceEvent) (Category, taskgraph.TaskID, taskgraph.DataID) {
+	switch ev.Kind {
+	case sim.TraceWriteBack:
+		return PCI, ev.Task, taskgraph.NoData
+	case sim.TracePeerLoad:
+		return Peer, taskgraph.NoTask, ev.Data
+	case sim.TraceLoad:
+		if a, ok := w.idx.LastArrival(ev.GPU, ev.Data, ev.At); ok && a.Reload {
+			return Reload, taskgraph.NoTask, ev.Data
+		}
+		return PCI, taskgraph.NoTask, ev.Data
+	case sim.TraceRetry, sim.TraceDropout, sim.TraceTaskKill, sim.TraceDataLost:
+		return Fault, ev.Task, ev.Data
+	default: // evictions, pressure edges: bookkeeping, not a blocking resource
+		return Sched, taskgraph.NoTask, taskgraph.NoData
+	}
+}
+
+// arrivalCategory classifies the wait that one arrival ended.
+func arrivalCategory(a sim.Arrival) Category {
+	switch {
+	case a.Retried:
+		return Fault
+	case a.Reload:
+		return Reload
+	case a.Peer:
+		return Peer
+	default:
+		return PCI
+	}
+}
+
+// walk runs the backward chain from the span si on GPU g down to t=0.
+func (w *walker) walk(g, si int, steps int) error {
+	for {
+		if steps--; steps < 0 {
+			return fmt.Errorf("critpath: walk exceeded step bound (malformed trace?)")
+		}
+		sp := w.idx.Spans[g][si]
+		// The execution interval itself: useful compute, or lost work
+		// when the task was killed mid-flight.
+		cat := Compute
+		if sp.Killed {
+			cat = Fault
+		}
+		w.emit(sp.Start, cat, g, sp.Task, taskgraph.NoData)
+		if w.curLo == 0 {
+			return nil
+		}
+
+		// Explain why sp did not start earlier on this GPU.
+		var prevEnd time.Duration
+		if si > 0 {
+			prevEnd = w.idx.Spans[g][si-1].End
+		}
+		if prevEnd == sp.Start {
+			// Back-to-back execution: chain straight into the previous
+			// occupant of this GPU.
+			si--
+			continue
+		}
+
+		// A task that re-executes after a dropout chains through its
+		// killed first attempt, possibly on another GPU.
+		if ks, kg, ok := w.idx.KillOf(sp.Task, prevEnd, sp.Start); ok {
+			w.emit(ks.End, Fault, kg, sp.Task, taskgraph.NoData)
+			g, si = kg, w.idx.SpanBefore(kg, ks.End)
+			if si < 0 {
+				return fmt.Errorf("critpath: killed span of task %d not indexed", sp.Task)
+			}
+			continue
+		}
+
+		// Otherwise the gap (prevEnd, sp.Start] is tiled by the arrivals
+		// of sp's inputs in that window: each sub-interval is blamed on
+		// the transfer that ended it, and whatever remains above the
+		// last arrival (residency achieved, task still not started) is
+		// scheduler time.
+		type cand struct {
+			a sim.Arrival
+			d taskgraph.DataID
+		}
+		var cands []cand
+		for _, d := range w.inst.Inputs(sp.Task) {
+			if a, ok := w.idx.LastArrival(g, d, sp.Start); ok && a.At > prevEnd {
+				cands = append(cands, cand{a, d})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].a.At != cands[j].a.At {
+				return cands[i].a.At < cands[j].a.At
+			}
+			return cands[i].d < cands[j].d
+		})
+		for i := len(cands) - 1; i >= 0; i-- {
+			if i == len(cands)-1 {
+				w.emit(cands[i].a.At, Sched, g, sp.Task, taskgraph.NoData)
+			}
+			lo := prevEnd
+			if i > 0 {
+				lo = cands[i-1].a.At
+			}
+			w.emitAt(lo, cands[i].a.At, arrivalCategory(cands[i].a), g, taskgraph.NoTask, cands[i].d)
+		}
+		w.emit(prevEnd, Sched, g, sp.Task, taskgraph.NoData)
+
+		if si == 0 {
+			// Bottom of this GPU's history; the final emit(0, Sched)
+			// in Analyze covers any residue (there is none when
+			// prevEnd == 0, the common case).
+			return nil
+		}
+		si--
+	}
+}
+
+// finish computes blame totals, leaderboards, and counterfactuals.
+func (p *Path) finish(res *sim.Result) {
+	taskBlame := map[taskgraph.TaskID]time.Duration{}
+	dataBlame := map[taskgraph.DataID]time.Duration{}
+	for _, s := range p.Segments {
+		p.Blame[s.Category] += s.Width()
+		if s.Task != taskgraph.NoTask {
+			taskBlame[s.Task] += s.Width()
+		}
+		if s.Data != taskgraph.NoData {
+			dataBlame[s.Data] += s.Width()
+		}
+	}
+	p.TaskBlame = make([]TaskBlameEntry, 0, len(taskBlame))
+	for t, b := range taskBlame {
+		p.TaskBlame = append(p.TaskBlame, TaskBlameEntry{Task: t, Blame: b})
+	}
+	sort.Slice(p.TaskBlame, func(i, j int) bool {
+		if p.TaskBlame[i].Blame != p.TaskBlame[j].Blame {
+			return p.TaskBlame[i].Blame > p.TaskBlame[j].Blame
+		}
+		return p.TaskBlame[i].Task < p.TaskBlame[j].Task
+	})
+	p.DataBlame = make([]DataBlameEntry, 0, len(dataBlame))
+	for d, b := range dataBlame {
+		p.DataBlame = append(p.DataBlame, DataBlameEntry{Data: d, Blame: b})
+	}
+	sort.Slice(p.DataBlame, func(i, j int) bool {
+		if p.DataBlame[i].Blame != p.DataBlame[j].Blame {
+			return p.DataBlame[i].Blame > p.DataBlame[j].Blame
+		}
+		return p.DataBlame[i].Data < p.DataBlame[j].Data
+	})
+
+	p.TransferFree = p.Makespan - p.Blame[PCI] - p.Blame[Peer] - p.Blame[Reload]
+	p.EvictionFree = p.Makespan - p.Blame[Reload]
+	p.ComputeBound = res.StaticCost
+	var busiest time.Duration
+	for _, g := range res.GPU {
+		if g.BusyTime > busiest {
+			busiest = g.BusyTime
+		}
+	}
+	p.ComputeBound += busiest
+}
+
+// Validate checks the tiling invariant: segments are contiguous,
+// strictly positive in width, start at 0, end at Makespan, and the
+// category blame totals sum back to the makespan. Any violation means
+// the walk (or the trace) is broken.
+func (p *Path) Validate() error {
+	if p.Makespan == 0 {
+		if len(p.Segments) != 0 {
+			return fmt.Errorf("critpath: %d segments on a zero-makespan run", len(p.Segments))
+		}
+		return nil
+	}
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("critpath: no segments for makespan %v", p.Makespan)
+	}
+	if p.Segments[0].Start != 0 {
+		return fmt.Errorf("critpath: first segment starts at %v, want 0", p.Segments[0].Start)
+	}
+	if last := p.Segments[len(p.Segments)-1].End; last != p.Makespan {
+		return fmt.Errorf("critpath: last segment ends at %v, want makespan %v", last, p.Makespan)
+	}
+	for i, s := range p.Segments {
+		if s.Width() <= 0 {
+			return fmt.Errorf("critpath: segment %d has non-positive width %v", i, s.Width())
+		}
+		if i > 0 && p.Segments[i-1].End != s.Start {
+			return fmt.Errorf("critpath: gap between segment %d (ends %v) and %d (starts %v)",
+				i-1, p.Segments[i-1].End, i, s.Start)
+		}
+	}
+	var sum time.Duration
+	for _, b := range p.Blame {
+		sum += b
+	}
+	if sum != p.Makespan {
+		return fmt.Errorf("critpath: blame sums to %v, want makespan %v", sum, p.Makespan)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"memsched/internal/sim"
+	"memsched/internal/taskgraph"
+)
+
+// topN bounds the leaderboards embedded in a Summary: enough to name
+// the culprits, small enough to live inside every telemetry row.
+const topN = 3
+
+// ms converts to milliseconds with the same truncation as the baseline
+// store, so critpath numbers embedded in captures and BENCH files are
+// byte-identical across layers.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// BlameEntry names one blamed task or data item in a Summary.
+type BlameEntry struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// Summary is the compact, JSON-stable form of a Path: category blame
+// totals, counterfactual bounds, and the top blamed tasks and data
+// items. It is embedded in telemetry captures, baseline cells, and
+// memschedd job results.
+type Summary struct {
+	MakespanMS     float64      `json:"makespan_ms"`
+	ComputeMS      float64      `json:"compute_ms"`
+	PCIMS          float64      `json:"pci_ms"`
+	PeerMS         float64      `json:"peer_ms"`
+	ReloadMS       float64      `json:"reload_ms"`
+	SchedMS        float64      `json:"sched_ms"`
+	FaultMS        float64      `json:"fault_ms"`
+	Segments       int          `json:"segments"`
+	TransferFreeMS float64      `json:"transfer_free_ms"`
+	EvictionFreeMS float64      `json:"eviction_free_ms"`
+	ComputeBoundMS float64      `json:"compute_bound_ms"`
+	TopTasks       []BlameEntry `json:"top_tasks,omitempty"`
+	TopData        []BlameEntry `json:"top_data,omitempty"`
+}
+
+// Summarize reduces a Path to its Summary, resolving names from inst.
+func Summarize(inst *taskgraph.Instance, p *Path) *Summary {
+	s := &Summary{
+		MakespanMS:     ms(p.Makespan),
+		ComputeMS:      ms(p.Blame[Compute]),
+		PCIMS:          ms(p.Blame[PCI]),
+		PeerMS:         ms(p.Blame[Peer]),
+		ReloadMS:       ms(p.Blame[Reload]),
+		SchedMS:        ms(p.Blame[Sched]),
+		FaultMS:        ms(p.Blame[Fault]),
+		Segments:       len(p.Segments),
+		TransferFreeMS: ms(p.TransferFree),
+		EvictionFreeMS: ms(p.EvictionFree),
+		ComputeBoundMS: ms(p.ComputeBound),
+	}
+	for i, e := range p.TaskBlame {
+		if i == topN {
+			break
+		}
+		s.TopTasks = append(s.TopTasks, BlameEntry{ID: int(e.Task), Name: inst.Task(e.Task).Name, MS: ms(e.Blame)})
+	}
+	for i, e := range p.DataBlame {
+		if i == topN {
+			break
+		}
+		s.TopData = append(s.TopData, BlameEntry{ID: int(e.Data), Name: inst.Data(e.Data).Name, MS: ms(e.Blame)})
+	}
+	return s
+}
+
+// pct renders d as a percentage of total, guarding the zero makespan.
+func pct(d, total time.Duration) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(total)
+}
+
+// Report writes the human-readable attribution report: the blame
+// table, counterfactual bounds, leaderboards, and the longest critical
+// segments with names resolved against the instance.
+func Report(w io.Writer, inst *taskgraph.Instance, res *sim.Result, p *Path) {
+	fmt.Fprintf(w, "critical path — %s on %s (makespan %.3f ms, %d segments)\n",
+		res.SchedulerName, res.InstanceName, ms(p.Makespan), len(p.Segments))
+	fmt.Fprintf(w, "\nblame by category:\n")
+	for c := 0; c < NumCategories; c++ {
+		b := p.Blame[Category(c)]
+		if b == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %10.3f ms  %5.1f%%\n", Category(c), ms(b), pct(b, p.Makespan))
+	}
+	fmt.Fprintf(w, "\ncounterfactual lower bounds:\n")
+	fmt.Fprintf(w, "  infinite bandwidth (transfer-free)  %10.3f ms  (-%.1f%%)\n",
+		ms(p.TransferFree), pct(p.Makespan-p.TransferFree, p.Makespan))
+	fmt.Fprintf(w, "  infinite memory    (eviction-free)  %10.3f ms  (-%.1f%%)\n",
+		ms(p.EvictionFree), pct(p.Makespan-p.EvictionFree, p.Makespan))
+	fmt.Fprintf(w, "  compute bound      (busiest GPU)    %10.3f ms\n", ms(p.ComputeBound))
+	if len(p.TaskBlame) > 0 {
+		fmt.Fprintf(w, "\ntop blamed tasks:\n")
+		for i, e := range p.TaskBlame {
+			if i == topN {
+				break
+			}
+			fmt.Fprintf(w, "  %-16s %10.3f ms\n", inst.Task(e.Task).Name, ms(e.Blame))
+		}
+	}
+	if len(p.DataBlame) > 0 {
+		fmt.Fprintf(w, "\ntop blamed data:\n")
+		for i, e := range p.DataBlame {
+			if i == topN {
+				break
+			}
+			fmt.Fprintf(w, "  %-16s %10.3f ms\n", inst.Data(e.Data).Name, ms(e.Blame))
+		}
+	}
+	longest := make([]Segment, len(p.Segments))
+	copy(longest, p.Segments)
+	// Stable order: width descending, then start ascending.
+	for i := 1; i < len(longest); i++ {
+		for j := i; j > 0 && wider(longest[j], longest[j-1]); j-- {
+			longest[j], longest[j-1] = longest[j-1], longest[j]
+		}
+	}
+	fmt.Fprintf(w, "\nlongest critical segments:\n")
+	for i, s := range longest {
+		if i == 8 {
+			break
+		}
+		fmt.Fprintf(w, "  [%10.3f, %10.3f] ms  %-8s gpu=%-2d %s\n",
+			ms(s.Start), ms(s.End), s.Category, s.GPU, segmentLabel(inst, s))
+	}
+}
+
+func wider(a, b Segment) bool {
+	if a.Width() != b.Width() {
+		return a.Width() > b.Width()
+	}
+	return a.Start < b.Start
+}
+
+func segmentLabel(inst *taskgraph.Instance, s Segment) string {
+	switch {
+	case s.Task != taskgraph.NoTask && s.Data != taskgraph.NoData:
+		return fmt.Sprintf("task %s / data %s", inst.Task(s.Task).Name, inst.Data(s.Data).Name)
+	case s.Task != taskgraph.NoTask:
+		return "task " + inst.Task(s.Task).Name
+	case s.Data != taskgraph.NoData:
+		return "data " + inst.Data(s.Data).Name
+	default:
+		return "-"
+	}
+}

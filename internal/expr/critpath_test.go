@@ -1,0 +1,72 @@
+package expr_test
+
+import (
+	"bytes"
+	"testing"
+
+	"memsched/internal/expr"
+)
+
+// TestCritPathTelemetryDeterministicWorkers pins the acceptance
+// property of the makespan-attribution layer: instrumented sweeps emit
+// critical-path blame for every cell, and the full telemetry stream —
+// critpath summaries included — is byte-identical between a sequential
+// run and an 8-worker run.
+func TestCritPathTelemetryDeterministicWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		f := expr.Fig3And4()
+		f.Points = f.Points[:3]
+		var out bytes.Buffer
+		var cells []expr.CellTelemetry
+		_, err := f.Run(expr.RunOptions{
+			Workers:      workers,
+			TelemetryOut: &out,
+			OnCell:       func(c expr.CellTelemetry) { cells = append(cells, c) },
+		})
+		if err != nil {
+			t.Fatalf("Workers:%d sweep: %v", workers, err)
+		}
+		for _, c := range cells {
+			if c.CritPath == nil {
+				t.Fatalf("Workers:%d: cell %s/%s missing critpath", workers, c.Workload, c.Scheduler)
+			}
+			sum := c.CritPath.ComputeMS + c.CritPath.PCIMS + c.CritPath.PeerMS +
+				c.CritPath.ReloadMS + c.CritPath.SchedMS + c.CritPath.FaultMS
+			if diff := sum - c.CritPath.MakespanMS; diff > 0.01 || diff < -0.01 {
+				t.Fatalf("cell %s/%s: blame sums to %.4f, makespan %.4f",
+					c.Workload, c.Scheduler, sum, c.CritPath.MakespanMS)
+			}
+		}
+		return out.Bytes()
+	}
+	seq := run(1)
+	par := run(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("telemetry stream differs across worker counts:\nseq: %s\npar: %s", seq, par)
+	}
+}
+
+// TestCritPathDoesNotPerturbRows checks attribution is pure
+// observation: the rows of an instrumented sweep (traces recorded,
+// critpath computed) equal those of a bare sweep.
+func TestCritPathDoesNotPerturbRows(t *testing.T) {
+	f := expr.Fig3And4()
+	f.Points = f.Points[:2]
+	bare, err := f.Run(expr.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := f.Run(expr.RunOptions{Workers: 1, OnCell: func(expr.CellTelemetry) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare) != len(instr) {
+		t.Fatalf("row counts differ: %d vs %d", len(bare), len(instr))
+	}
+	for i := range bare {
+		if bare[i] != instr[i] {
+			t.Fatalf("row %d differs:\nbare:  %+v\ninstr: %+v", i, bare[i], instr[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memsched/internal/critpath"
 	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/metrics"
@@ -277,6 +278,7 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 	tels := make([]*sim.Telemetry, len(specs)) // first replica's telemetry
 	digs := make([]*sched.DecisionDigest, len(specs))
 	fstats := make([]*sim.FaultStats, len(specs))
+	crits := make([]*critpath.Summary, len(specs)) // first replica's attribution
 	for i := range cells {
 		cells[i] = make([]metrics.Row, reps)
 		remaining[i] = int32(reps)
@@ -302,6 +304,7 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			tels[ri] = cell.Telemetry
 			digs[ri] = cell.Decisions
 			fstats[ri] = cell.Faults
+			crits[ri] = cell.CritPath
 			restored[ri] = true
 			dispatchable -= reps
 			rowsDone.Add(1)
@@ -360,9 +363,14 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			digRec = new(sched.DigestRecorder)
 			strat = strat.WithRecorder(digRec)
 		}
+		// The first replica of an instrumented sweep records its trace so
+		// the cell carries its makespan attribution alongside telemetry
+		// and decision digests. The trace is dropped again right after
+		// the walk; only the compact Summary is retained.
+		trace := wantDigests && rep == 0
 		gauges.SimsRunning.Add(1)
 		res, err := runOne(opt.Context, inst, strat, f.Platform, f.NsPerOp,
-			f.Seed+int64(rep), opt.CheckInvariants, opt.Faults, sc)
+			f.Seed+int64(rep), opt.CheckInvariants, opt.Faults, sc, trace)
 		gauges.SimsRunning.Add(-1)
 		if err != nil {
 			return fail(inst.Name(), err, nil)
@@ -376,6 +384,14 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 			fstats[ri] = res.Faults
 			if digRec != nil {
 				digs[ri] = digRec.Digest()
+			}
+			if trace {
+				cp, err := critpath.Analyze(inst, res)
+				if err != nil {
+					return fail(inst.Name(), fmt.Errorf("critpath: %w", err), nil)
+				}
+				crits[ri] = critpath.Summarize(inst, cp)
+				res.Trace = nil
 			}
 		}
 		return nil
@@ -429,7 +445,8 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 					// Journal the finished row before reporting progress:
 					// once the line is fsync'd a crash cannot lose it.
 					ckpt.Add(checkpointKey(f.ID, sp.point.N, sp.strat.Label),
-						CellTelemetry{Row: row, Telemetry: tels[ri], Decisions: digs[ri], Faults: fstats[ri]})
+						CellTelemetry{Row: row, Telemetry: tels[ri], Decisions: digs[ri],
+							Faults: fstats[ri], CritPath: crits[ri]})
 				}
 				if progCh != nil {
 					progCh <- fmt.Sprintf("[%d/%d eta %v] %s  ws=%7.1f MB  %-28s %8.0f GFlop/s  %9.1f MB moved\n",
@@ -483,7 +500,8 @@ func (f *Figure) Run(opt RunOptions) ([]metrics.Row, error) {
 		if enc == nil && opt.OnCell == nil {
 			continue
 		}
-		cell := CellTelemetry{Row: rows[i], Telemetry: tels[i], Decisions: digs[i], Faults: fstats[i]}
+		cell := CellTelemetry{Row: rows[i], Telemetry: tels[i], Decisions: digs[i],
+			Faults: fstats[i], CritPath: crits[i]}
 		if enc != nil {
 			if err := enc.Encode(cell); err != nil {
 				return out, fmt.Errorf("%s: telemetry out: %w", f.ID, err)
@@ -546,6 +564,11 @@ type CellTelemetry struct {
 	// fault-free runs, so fault-free telemetry lines are byte-identical
 	// to those of builds without fault injection.
 	Faults *sim.FaultStats `json:"faults,omitempty"`
+	// CritPath is the makespan attribution of the first replica: the
+	// critical-path blame totals, counterfactual lower bounds, and top
+	// blamed tasks/data reconstructed from that run's trace (see
+	// internal/critpath).
+	CritPath *critpath.Summary `json:"critpath,omitempty"`
 }
 
 // sweepETA estimates the remaining sweep duration from the average cell
@@ -602,17 +625,25 @@ func aggregateReplicas(reps []metrics.Row) (metrics.Row, error) {
 // TestTelemetryDoesNotPerturbResults), and it feeds the IdleMS and
 // ReloadedMB columns of every row.
 func RunOne(inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool) (*sim.Result, error) {
-	return runOne(nil, inst, strat, plat, nsPerOp, seed, check, nil, nil)
+	return runOne(nil, inst, strat, plat, nsPerOp, seed, check, nil, nil, false)
 }
 
 // RunOneFaulty is RunOne with fault injection and cancellation: faults
 // (nil or empty for none) is the injected fault plan, and ctx (nil for
 // none) stops the simulation at the next engine poll when cancelled.
 func RunOneFaulty(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
-	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults, nil)
+	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults, nil, false)
 }
 
-func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan, sc *sim.Scratch) (*sim.Result, error) {
+// RunOneTraced is RunOneFaulty with trace recording: Result.Trace is
+// retained so the caller can run critical-path attribution
+// (critpath.Analyze) or export a Chrome trace. The simulated schedule is
+// unchanged — recording is pure observation.
+func RunOneTraced(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan) (*sim.Result, error) {
+	return runOne(ctx, inst, strat, plat, nsPerOp, seed, check, faults, nil, true)
+}
+
+func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy, plat platform.Platform, nsPerOp float64, seed int64, check bool, faults *fault.Plan, sc *sim.Scratch, trace bool) (*sim.Result, error) {
 	s, pol := strat.New()
 	var ev sim.EvictionPolicy = pol
 	if ev == nil {
@@ -625,6 +656,7 @@ func runOne(ctx context.Context, inst *taskgraph.Instance, strat sched.Strategy,
 		Seed:            seed,
 		NsPerOp:         nsPerOp,
 		Telemetry:       true,
+		RecordTrace:     trace,
 		CheckInvariants: check,
 		Faults:          faults,
 		Context:         ctx,

@@ -122,6 +122,23 @@ func (r *DigestRecorder) Digest() *DecisionDigest {
 	return &d
 }
 
+// EvictionOf looks up one data item's eviction record on the digest's
+// leaderboard. It is how the critical-path explanation in `paperbench
+// compare` ties a blamed data block back to the scheduler decision that
+// churned it; ok is false when the item was never evicted (or fell off
+// the bounded leaderboard).
+func (d *DecisionDigest) EvictionOf(data taskgraph.DataID) (EvictionStat, bool) {
+	if d == nil {
+		return EvictionStat{}, false
+	}
+	for _, s := range d.TopEvicted {
+		if s.Data == data {
+			return s, true
+		}
+	}
+	return EvictionStat{}, false
+}
+
 // ReplayDigest rebuilds a digest from an in-memory decision list (e.g. a
 // DecisionList captured by a test or a -trace-cell deep dive), so a full
 // log recorded once can be joined against digests from other runs.

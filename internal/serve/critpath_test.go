@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCritPathJobEndToEnd drives the production runner with
+// "critpath": true and checks the completed job carries a makespan
+// attribution whose categories tile the makespan.
+func TestCritPathJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	st := mustSubmit(t, s, JobRequest{
+		Workload: "matmul2d", N: 3, GPUs: 2,
+		Strategy: "DARTS+LUF", CritPath: true,
+	})
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("state = %q (err %q), want done", final.State, final.Error)
+	}
+	cp := final.Result.CritPath
+	if cp == nil {
+		t.Fatal("critpath summary missing from result of a critpath job")
+	}
+	sum := cp.ComputeMS + cp.PCIMS + cp.PeerMS + cp.ReloadMS + cp.SchedMS + cp.FaultMS
+	if math.Abs(sum-cp.MakespanMS) > 0.01 {
+		t.Fatalf("blame sum %.3f != makespan %.3f", sum, cp.MakespanMS)
+	}
+	if cp.ComputeMS <= 0 || cp.Segments == 0 {
+		t.Fatalf("degenerate attribution: %+v", cp)
+	}
+	if cp.MakespanMS != final.Result.MakespanMS {
+		t.Fatalf("attribution makespan %.3f != row makespan %.3f", cp.MakespanMS, final.Result.MakespanMS)
+	}
+
+	// A job without the flag stays lean: no attribution attached.
+	st2 := mustSubmit(t, s, JobRequest{Workload: "matmul2d", N: 3, GPUs: 2, Strategy: "DARTS+LUF"})
+	final2 := waitDone(t, s, st2.ID)
+	if final2.State != JobDone || final2.Result.CritPath != nil {
+		t.Fatalf("plain job should omit critpath: %+v", final2.Result)
+	}
+}
+
+// TestCritPathJobFaulty checks attribution also comes back from a run
+// perturbed by a fault plan (the trace kinds the walker must handle).
+func TestCritPathJobFaulty(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	st := mustSubmit(t, s, JobRequest{
+		Workload: "matmul2d", N: 3, GPUs: 2,
+		Strategy: "DMDAR", Faults: "seed=7,transient=0.1", CritPath: true,
+	})
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("state = %q (err %q), want done", final.State, final.Error)
+	}
+	cp := final.Result.CritPath
+	if cp == nil {
+		t.Fatal("critpath summary missing from faulty critpath job")
+	}
+	sum := cp.ComputeMS + cp.PCIMS + cp.PeerMS + cp.ReloadMS + cp.SchedMS + cp.FaultMS
+	if math.Abs(sum-cp.MakespanMS) > 0.01 {
+		t.Fatalf("blame sum %.3f != makespan %.3f", sum, cp.MakespanMS)
+	}
+}
+
+// TestHTTPMetricsFormatValidation pins the ?format= contract: json and
+// prometheus are the only recognized values; anything else is a 400
+// with a JSON error body, not a silent fallback to text.
+func TestHTTPMetricsFormatValidation(t *testing.T) {
+	_, ts := newHTTPServer(t, fastCfg())
+
+	for _, format := range []string{"xml", "josn", "text", "JSON"} {
+		resp, err := http.Get(ts.URL + "/metrics?format=" + format)
+		if err != nil {
+			t.Fatalf("GET ?format=%s: %v", format, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?format=%s = %d, want 400", format, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e["error"], format) {
+			t.Fatalf("400 body for ?format=%s: %v %v", format, e, err)
+		}
+		resp.Body.Close()
+	}
+
+	// The two legal values still work.
+	resp, _ := http.Get(ts.URL + "/metrics?format=json")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("?format=json: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/metrics?format=prometheus")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "memschedd_jobs_submitted_total") {
+		t.Fatalf("?format=prometheus: %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPFlightBadN pins the /debug/flight?n= contract: a
+// non-positive or non-numeric n is a 400 with a JSON error.
+func TestHTTPFlightBadN(t *testing.T) {
+	_, ts := newHTTPServer(t, fastCfg())
+
+	for _, n := range []string{"0", "-3", "abc", "1.5"} {
+		resp, err := http.Get(ts.URL + "/debug/flight?n=" + n)
+		if err != nil {
+			t.Fatalf("GET ?n=%s: %v", n, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?n=%s = %d, want 400", n, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+			t.Fatalf("400 body for ?n=%s: %v %v", n, e, err)
+		}
+		resp.Body.Close()
+	}
+
+	for _, q := range []string{"", "?n=2"} {
+		resp, err := http.Get(ts.URL + "/debug/flight" + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET flight%s = %d, want 200", q, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestPrometheusBuildInfo checks the exposition carries the
+// project-wide build identity gauge with both labels set.
+func TestPrometheusBuildInfo(t *testing.T) {
+	s := newTestServer(t, fastCfg())
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE memsched_build_info gauge") {
+		t.Fatalf("missing build_info TYPE line:\n%s", out)
+	}
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "memsched_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("missing build_info sample:\n%s", out)
+	}
+	if !strings.Contains(line, `version="`) || !strings.Contains(line, `goversion="`) ||
+		!strings.HasSuffix(line, " 1") {
+		t.Fatalf("build_info sample malformed: %q", line)
+	}
+}

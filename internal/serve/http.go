@@ -58,10 +58,22 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handleMetrics serves Prometheus text by default and the JSON snapshot
-// on request (Accept: application/json, or ?format=json for curl).
+// on request (Accept: application/json, or ?format=json for curl). An
+// unrecognized ?format= is a 400, not a silent fallback: a scraper that
+// typos "josn" should find out from the response, not from a dashboard
+// full of text-format parse errors.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "json" ||
-		strings.Contains(r.Header.Get("Accept"), "application/json") {
+	switch format := r.URL.Query().Get("format"); format {
+	case "json":
+		writeJSON(w, http.StatusOK, s.Snapshot())
+		return
+	case "", "prometheus":
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("unknown format %q (json, prometheus)", format)})
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
 		writeJSON(w, http.StatusOK, s.Snapshot())
 		return
 	}

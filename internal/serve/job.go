@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"memsched/internal/critpath"
 	"memsched/internal/expr"
 	"memsched/internal/fault"
 	"memsched/internal/metrics"
@@ -44,6 +45,11 @@ type JobRequest struct {
 	// TimeoutMS overrides the server's per-job deadline (capped by the
 	// server's maximum; 0 uses the server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// CritPath requests makespan attribution: the run records its trace
+	// and the completed job's result carries the critical-path blame
+	// summary (categories, counterfactual bounds, top blamed tasks and
+	// data; see internal/critpath).
+	CritPath bool `json:"critpath,omitempty"`
 }
 
 // Key is the circuit-breaker bucket of the request: jobs of the same
@@ -147,6 +153,9 @@ func runRequest(ctx context.Context, req JobRequest) (*sim.Result, error) {
 	if req.Cost {
 		nsPerOp = sim.DefaultNsPerOp
 	}
+	if req.CritPath {
+		return expr.RunOneTraced(ctx, inst, strat, plat, nsPerOp, req.Seed, false, plan)
+	}
 	return expr.RunOneFaulty(ctx, inst, strat, plat, nsPerOp, req.Seed, false, plan)
 }
 
@@ -175,10 +184,12 @@ func (s JobState) Terminal() bool {
 }
 
 // JobResult is the outcome of a completed job: the standard metrics row
-// plus the fault/recovery counters of faulty runs.
+// plus the fault/recovery counters of faulty runs and — for jobs
+// submitted with "critpath": true — the makespan attribution.
 type JobResult struct {
 	metrics.Row
-	Faults *sim.FaultStats `json:"faults,omitempty"`
+	Faults   *sim.FaultStats   `json:"faults,omitempty"`
+	CritPath *critpath.Summary `json:"critpath,omitempty"`
 }
 
 // JobStatus is the client-visible snapshot of a job (GET /jobs/{id}).

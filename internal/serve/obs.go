@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"memsched/internal/buildinfo"
 	"memsched/internal/obs"
 )
 
@@ -26,6 +27,16 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	spanTotal, eventTotal := s.tracer.SpanTotal(), s.tracer.EventTotal()
 
 	p := obs.NewPromWriter(w)
+
+	// Build identity. The metric name is deliberately unprefixed
+	// ("memsched_", not "memschedd_"): the same family identifies every
+	// binary of the project, with the daemon distinguished by its job.
+	version, goVersion := buildinfo.Resolve()
+	p.Meta("memsched_build_info", "gauge", "Build identity of the running binary; always 1.")
+	p.Sample("memsched_build_info", []obs.Label{
+		{Name: "version", Value: version},
+		{Name: "goversion", Value: goVersion},
+	}, 1)
 
 	// RED counters.
 	counter := func(name, help string, v int64) {

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"memsched/internal/critpath"
 	"memsched/internal/metrics"
 	"memsched/internal/obs"
 	"memsched/internal/sim"
@@ -556,6 +557,21 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		jr := &JobResult{Row: metrics.FromResult("serve", res), Faults: res.Faults}
+		if j.req.CritPath && len(res.Trace) > 0 {
+			// Attribution runs on the worker after the simulation: rebuild
+			// the instance (cheap next to the run itself), walk the trace,
+			// and keep only the compact summary. A walk failure degrades
+			// the job to "no attribution" rather than failing it.
+			if inst, ierr := buildInstance(j.req.Workload, j.req.N, j.req.Keep, j.req.Seed); ierr == nil {
+				if p, perr := critpath.Analyze(inst, res); perr == nil {
+					jr.CritPath = critpath.Summarize(inst, p)
+				} else {
+					s.log.LogAttrs(context.Background(), slog.LevelWarn, "critpath analysis failed",
+						obs.TraceAttr(j.trace), slog.String("key", j.key), slog.String("error", perr.Error()))
+				}
+			}
+			res.Trace = nil
+		}
 		s.finishLocked(j, JobDone, jr, "")
 		s.breaker.onSuccess(j.key)
 	case j.cancelRequested || errors.Is(err, context.Canceled):

@@ -12,20 +12,54 @@ import (
 // chromeEvent is one entry of the Chrome trace-event format
 // (chrome://tracing, or ui.perfetto.dev).
 type chromeEvent struct {
-	Name  string  `json:"name"`
-	Phase string  `json:"ph"`
-	TS    float64 `json:"ts"`  // microseconds
-	Dur   float64 `json:"dur"` // microseconds
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
-	Cat   string  `json:"cat,omitempty"`
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Cat   string            `json:"cat,omitempty"`
+	Cname string            `json:"cname,omitempty"` // reserved chrome://tracing color name
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeSpan is one extra "X" span injected into the export on a custom
+// timeline row — used by the critical-path highlighter to draw the
+// attribution track under the GPU rows.
+type ChromeSpan struct {
+	Name       string
+	Start, End int64 // nanoseconds, same clock as TraceEvent.At
+	TID        int
+	Cat        string
+	Cname      string
+}
+
+// ChromeTraceOptions customizes WriteChromeTraceWith.
+type ChromeTraceOptions struct {
+	// Color, when non-nil, picks a chrome://tracing reserved color name
+	// for the span or mark derived from each trace event ("" keeps the
+	// default palette). Recognized names include "good", "bad",
+	// "terrible", "grey", "yellow", "olive", "black".
+	Color func(TraceEvent) string
+	// Extra spans are appended verbatim on their own rows; rows named in
+	// TrackNames (tid -> label) get a thread_name metadata record so the
+	// viewer shows a readable label.
+	Extra      []ChromeSpan
+	TrackNames map[int]string
 }
 
 // WriteChromeTrace exports a recorded trace in the Chrome trace-event JSON
 // format: one timeline row per GPU (kernels), one for the shared bus
-// (host transfers), one per NVLink channel, plus instant eviction marks.
-// Open the output in chrome://tracing or ui.perfetto.dev.
+// (host transfers and write-backs), one per NVLink channel, plus instant
+// marks for evictions, faults, retries and pressure edges. Open the
+// output in chrome://tracing or ui.perfetto.dev.
 func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platform, res *Result) error {
+	return WriteChromeTraceWith(w, inst, plat, res, ChromeTraceOptions{})
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with per-event coloring and
+// extra custom-track spans (see ChromeTraceOptions).
+func WriteChromeTraceWith(w io.Writer, inst *taskgraph.Instance, plat platform.Platform, res *Result, opts ChromeTraceOptions) error {
 	if len(res.Trace) == 0 {
 		return fmt.Errorf("sim: WriteChromeTrace requires a recorded trace")
 	}
@@ -34,7 +68,13 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 		tidNVBase = 2000
 	)
 	us := func(d int64) float64 { return float64(d) / 1e3 }
-	events := make([]chromeEvent, 0, len(res.Trace))
+	color := func(ev TraceEvent) string {
+		if opts.Color == nil {
+			return ""
+		}
+		return opts.Color(ev)
+	}
+	events := make([]chromeEvent, 0, len(res.Trace)+len(opts.Extra))
 	running := make(map[int]int64, plat.NumGPUs)
 	for _, ev := range res.Trace {
 		switch ev.Kind {
@@ -50,6 +90,7 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   ev.GPU,
 				Cat:   "compute",
+				Cname: color(ev),
 			})
 		case TraceLoad:
 			dur := plat.TransferDuration(inst.Data(ev.Data).Size)
@@ -61,6 +102,7 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   tidBus,
 				Cat:   "transfer",
+				Cname: color(ev),
 			})
 		case TracePeerLoad:
 			dur := plat.PeerTransferDuration(inst.Data(ev.Data).Size)
@@ -72,6 +114,19 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   tidNVBase + ev.GPU,
 				Cat:   "nvlink",
+				Cname: color(ev),
+			})
+		case TraceWriteBack:
+			dur := plat.TransferDuration(inst.Task(ev.Task).OutputBytes)
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("%s writeback", inst.Task(ev.Task).Name),
+				Phase: "X",
+				TS:    us(int64(ev.At) - int64(dur)),
+				Dur:   us(int64(dur)),
+				PID:   0,
+				TID:   tidBus,
+				Cat:   "writeback",
+				Cname: color(ev),
 			})
 		case TraceEvict:
 			events = append(events, chromeEvent{
@@ -81,6 +136,7 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   ev.GPU,
 				Cat:   "evict",
+				Cname: color(ev),
 			})
 		case TraceDropout:
 			events = append(events, chromeEvent{
@@ -90,8 +146,24 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   ev.GPU,
 				Cat:   "fault",
+				Cname: color(ev),
 			})
 		case TraceTaskKill:
+			// Render the lost partial execution as its own span so the
+			// viewer shows where the work was thrown away, then an
+			// instant kill mark at the fault time.
+			if from, ok := running[ev.GPU]; ok {
+				events = append(events, chromeEvent{
+					Name:  fmt.Sprintf("%s (killed)", inst.Task(ev.Task).Name),
+					Phase: "X",
+					TS:    us(from),
+					Dur:   us(int64(ev.At) - from),
+					PID:   0,
+					TID:   ev.GPU,
+					Cat:   "fault",
+					Cname: "terrible",
+				})
+			}
 			events = append(events, chromeEvent{
 				Name:  fmt.Sprintf("kill %s", inst.Task(ev.Task).Name),
 				Phase: "i",
@@ -99,14 +171,96 @@ func WriteChromeTrace(w io.Writer, inst *taskgraph.Instance, plat platform.Platf
 				PID:   0,
 				TID:   ev.GPU,
 				Cat:   "fault",
+				Cname: color(ev),
 			})
 			// The killed task's open compute span never gets a TraceEnd;
 			// forget it so a later span on this GPU row starts clean.
 			delete(running, ev.GPU)
+		case TraceDataLost:
+			events = append(events, chromeEvent{
+				Name:  fmt.Sprintf("lost %s", inst.Data(ev.Data).Name),
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "fault",
+				Cname: color(ev),
+			})
+		case TraceRetry:
+			name := "retry"
+			if ev.Data != taskgraph.NoData {
+				name = fmt.Sprintf("retry %s -> gpu%d", inst.Data(ev.Data).Name, ev.GPU)
+			} else if ev.Task != taskgraph.NoTask {
+				name = fmt.Sprintf("retry %s writeback", inst.Task(ev.Task).Name)
+			}
+			events = append(events, chromeEvent{
+				Name:  name,
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   tidBus,
+				Cat:   "fault",
+				Cname: color(ev),
+			})
+		case TracePressureOn, TracePressureOff:
+			name := fmt.Sprintf("pressure on gpu%d", ev.GPU)
+			if ev.Kind == TracePressureOff {
+				name = fmt.Sprintf("pressure off gpu%d", ev.GPU)
+			}
+			events = append(events, chromeEvent{
+				Name:  name,
+				Phase: "i",
+				TS:    us(int64(ev.At)),
+				PID:   0,
+				TID:   ev.GPU,
+				Cat:   "pressure",
+				Cname: color(ev),
+			})
 		}
+	}
+	for _, sp := range opts.Extra {
+		events = append(events, chromeEvent{
+			Name:  sp.Name,
+			Phase: "X",
+			TS:    us(sp.Start),
+			Dur:   us(sp.End - sp.Start),
+			PID:   0,
+			TID:   sp.TID,
+			Cat:   sp.Cat,
+			Cname: sp.Cname,
+		})
+	}
+	for _, tn := range sortedTracks(opts.TrackNames) {
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   tn.tid,
+			Args:  map[string]string{"name": tn.name},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{events})
+}
+
+type trackName struct {
+	tid  int
+	name string
+}
+
+// sortedTracks renders the track-name map in deterministic tid order so
+// exports stay byte-identical run to run.
+func sortedTracks(m map[int]string) []trackName {
+	out := make([]trackName, 0, len(m))
+	for tid, name := range m {
+		out = append(out, trackName{tid, name})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].tid < out[j-1].tid; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
+	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/sim"
 	"memsched/internal/taskgraph"
@@ -48,6 +50,83 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 	if computes != 3 || transfers != 4 {
 		t.Fatalf("got %d computes, %d transfers", computes, transfers)
+	}
+}
+
+// TestWriteChromeTraceFaultyRun checks the exporter renders every fault
+// trace kind — GPU dropout (task kill + data lost), transient retries
+// and memory pressure — as valid chrome://tracing JSON.
+func TestWriteChromeTraceFaultyRun(t *testing.T) {
+	inst := chain(8)
+	plan := &fault.Plan{
+		Seed:      3,
+		Dropouts:  []fault.Dropout{{GPU: 1, At: 1500 * time.Millisecond}},
+		Transient: &fault.Transient{Rate: 0.3, MaxRetries: 4, Backoff: 10 * time.Millisecond},
+		Pressures: []fault.Pressure{{GPU: 0, At: time.Second, Duration: 2 * time.Second, Bytes: 30}},
+	}
+	res, err := sim.Run(inst, sim.Config{
+		Platform:    tinyPlatform(2, 100),
+		Scheduler:   &requeueSched{listSched{queues: [][]taskgraph.TaskID{{0, 1, 2, 3}, {4, 5, 6, 7}}}},
+		Eviction:    memory.NewLRU(),
+		RecordTrace: true,
+		Faults:      plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil || res.Faults.KilledTasks == 0 || res.Faults.TransferRetries == 0 {
+		t.Fatalf("plan did not exercise faults: %+v", res.Faults)
+	}
+
+	var buf bytes.Buffer
+	if err := sim.WriteChromeTrace(&buf, inst, tinyPlatform(2, 100), res); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			Cat   string  `json:"cat"`
+			Cname string  `json:"cname"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("faulty trace is not valid JSON: %v", err)
+	}
+	var killedSpans, faultMarks, pressureMarks int
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("unexpected phase %q: %+v", e.Phase, e)
+		}
+		if e.TS < 0 {
+			t.Fatalf("event before time zero: %+v", e)
+		}
+		switch e.Cat {
+		case "fault":
+			if e.Phase == "X" {
+				killedSpans++
+				if e.Dur <= 0 || e.Cname != "terrible" {
+					t.Fatalf("killed partial span malformed: %+v", e)
+				}
+			} else {
+				faultMarks++
+			}
+		case "pressure":
+			pressureMarks++
+		}
+	}
+	if killedSpans == 0 {
+		t.Fatal("no killed partial span rendered for the dropout")
+	}
+	if faultMarks == 0 {
+		t.Fatal("no fault instant marks (kill/lost/retry) rendered")
+	}
+	if pressureMarks != 2 {
+		t.Fatalf("pressure marks = %d, want on+off", pressureMarks)
 	}
 }
 

@@ -198,11 +198,11 @@ func TestContextCancelsRun(t *testing.T) {
 func TestCheckTraceRejectsDeadGPUUse(t *testing.T) {
 	inst := chain(6)
 	res, err := sim.Run(inst, sim.Config{
-		Platform:  tinyPlatform(2, 100),
-		Scheduler: &requeueSched{listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}}},
-		Eviction:  memory.NewLRU(),
-		Telemetry: true,
-		RecordTrace: true,
+		Platform:        tinyPlatform(2, 100),
+		Scheduler:       &requeueSched{listSched{queues: [][]taskgraph.TaskID{{0, 1, 2}, {3, 4, 5}}}},
+		Eviction:        memory.NewLRU(),
+		Telemetry:       true,
+		RecordTrace:     true,
 		CheckInvariants: true,
 		Faults: &fault.Plan{
 			Dropouts: []fault.Dropout{{GPU: 1, At: 1500 * time.Millisecond}},

@@ -29,6 +29,7 @@ import (
 	"context"
 	"io"
 
+	"memsched/internal/critpath"
 	"memsched/internal/fault"
 	"memsched/internal/memory"
 	"memsched/internal/platform"
@@ -119,6 +120,19 @@ type (
 	// the unfinished tasks of a dropped GPU for re-enqueueing; the
 	// built-in strategies all implement it.
 	DropoutHandler = sim.DropoutHandler
+	// CriticalPath is a makespan attribution: the blocking chain of a
+	// recorded run, tiled into blame categories, with counterfactual
+	// lower bounds. See AnalyzeCriticalPath.
+	CriticalPath = critpath.Path
+	// CriticalPathSegment is one interval of a CriticalPath.
+	CriticalPathSegment = critpath.Segment
+	// BlameCategory labels a CriticalPathSegment: compute, PCI transfer,
+	// NVLink peer transfer, eviction-induced reload, scheduler idle or
+	// fault recovery.
+	BlameCategory = critpath.Category
+	// CriticalPathSummary is the compact JSON form of a CriticalPath
+	// (per-category milliseconds, counterfactual bounds, leaderboards).
+	CriticalPathSummary = critpath.Summary
 )
 
 // NewBuilder starts a custom instance with the given name.
@@ -302,6 +316,34 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) { return taskgraph.ReadJSO
 // JSON format (chrome://tracing, ui.perfetto.dev).
 func WriteChromeTrace(w io.Writer, inst *Instance, plat Platform, res *Result) error {
 	return sim.WriteChromeTrace(w, inst, plat, res)
+}
+
+// AnalyzeCriticalPath reconstructs the blocking chain of a recorded run
+// (Options.RecordTrace): a sequence of segments exactly tiling
+// [0, Makespan], each blamed on compute, a PCI or NVLink transfer, an
+// eviction-induced reload, scheduler idle or fault recovery — plus
+// counterfactual lower bounds (infinite bandwidth / infinite memory).
+func AnalyzeCriticalPath(inst *Instance, res *Result) (*CriticalPath, error) {
+	return critpath.Analyze(inst, res)
+}
+
+// SummarizeCriticalPath folds a CriticalPath into its compact summary.
+func SummarizeCriticalPath(inst *Instance, p *CriticalPath) *CriticalPathSummary {
+	return critpath.Summarize(inst, p)
+}
+
+// WriteCriticalPathReport prints the human-readable attribution report:
+// blame table, counterfactual bounds, top blamed tasks/data and the
+// longest segments.
+func WriteCriticalPathReport(w io.Writer, inst *Instance, res *Result, p *CriticalPath) {
+	critpath.Report(w, inst, res, p)
+}
+
+// WriteHighlightedChromeTrace is WriteChromeTrace with the critical
+// path overlaid: a dedicated track renders the blame segments and the
+// events on the path are color-coded by category.
+func WriteHighlightedChromeTrace(w io.Writer, inst *Instance, plat Platform, res *Result, p *CriticalPath) error {
+	return critpath.WriteHighlightedChromeTrace(w, inst, plat, res, p)
 }
 
 // Run simulates inst under the given strategy and platform.
