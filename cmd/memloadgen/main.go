@@ -1,0 +1,96 @@
+// Command memloadgen drives a memrouter (or a bare memschedd — the wire
+// contract is the same) with a reproducible job mix and reports
+// client-side latency: p50/p99 sojourn as the caller experiences it,
+// shed rate, failover re-dispatch count, hedge wins, and cache hit
+// rate. Closed-loop by default (-concurrency workers, each submit →
+// wait → next); -rate switches to open loop, where arrivals keep coming
+// regardless of completions — the knob that probes shedding.
+//
+// Usage:
+//
+//	memloadgen -target http://127.0.0.1:8090 -jobs 100 -concurrency 8
+//	memloadgen -target http://127.0.0.1:8090 -rate 50 -duration 10s
+//
+// The one-line human summary goes to stderr; the full JSON report goes
+// to stdout (the chaos CI smoke parses .lost and .done from it). Exits
+// 0 when every accepted job reached a terminal state, 1 when jobs were
+// lost or the target was unreachable, 2 on bad flags.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"memsched/internal/buildinfo"
+	"memsched/internal/fleet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		target      = flag.String("target", "", "base URL of the router or replica to drive (required)")
+		jobs        = flag.Int("jobs", 50, "number of submissions")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count")
+		rate        = flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+		duration    = flag.Duration("duration", 0, "open-loop wall bound (0 = run all -jobs)")
+		repeatEvery = flag.Int("repeat-every", 4, "every k-th submission repeats an earlier spec, driving cache hits (0 disables)")
+		seed        = flag.Int64("seed", 1, "spec-mix seed")
+		maxN        = flag.Int("max-n", 6, "generated workload size cap")
+		jobWait     = flag.Duration("job-wait", 2*time.Minute, "terminal-status wait bound per accepted job")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		v, gv := buildinfo.Resolve()
+		fmt.Printf("memloadgen %s (%s)\n", v, gv)
+		return 0
+	}
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "memloadgen: -target is required")
+		return 2
+	}
+
+	lg := fleet.NewLoadgen(fleet.LoadgenConfig{
+		Target:      strings.TrimRight(*target, "/"),
+		Jobs:        *jobs,
+		Concurrency: *concurrency,
+		RatePerSec:  *rate,
+		Duration:    *duration,
+		RepeatEvery: *repeatEvery,
+		Seed:        *seed,
+		MaxN:        *maxN,
+		JobWait:     *jobWait,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	rep := lg.Run(ctx)
+
+	fmt.Fprintln(os.Stderr, rep.String())
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "memloadgen: encode report: %v\n", err)
+		return 1
+	}
+	if rep.Lost > 0 {
+		fmt.Fprintf(os.Stderr, "memloadgen: %d accepted jobs never reached a terminal state\n", rep.Lost)
+		return 1
+	}
+	if rep.Accepted == 0 && rep.Submitted > 0 && rep.Shed == 0 {
+		fmt.Fprintln(os.Stderr, "memloadgen: target accepted nothing (unreachable?)")
+		return 1
+	}
+	return 0
+}

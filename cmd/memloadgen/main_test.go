@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memsched/internal/fleet"
+)
+
+// TestLoadgenBinaryAgainstReplica runs the built memloadgen against a
+// single bare memschedd (same wire contract as the router): exit 0,
+// stdout is the JSON report, zero lost jobs, and no router metrics
+// section (a replica does not speak the router schema).
+func TestLoadgenBinaryAgainstReplica(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	msd := filepath.Join(dir, "memschedd")
+	mlg := filepath.Join(dir, "memloadgen")
+	if out, err := exec.Command(goBin, "build", "-o", msd, "memsched/cmd/memschedd").CombinedOutput(); err != nil {
+		t.Fatalf("build memschedd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(goBin, "build", "-o", mlg, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build memloadgen: %v\n%s", err, out)
+	}
+
+	rep := exec.Command(msd, "-addr", "127.0.0.1:0", "-workers", "2", "-log-level", "warn")
+	stdout, err := rep.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Process.Kill(); rep.Wait() })
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("replica printed no listening line")
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	cmd := exec.Command(mlg, "-target", base, "-jobs", "8", "-concurrency", "2", "-repeat-every", "0", "-seed", "3")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("memloadgen exit: %v\nstdout: %s\nstderr: %s", err, out.String(), errBuf.String())
+	}
+
+	var report fleet.LoadgenReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if report.Submitted != 8 || report.Done != 8 || report.Lost != 0 {
+		t.Fatalf("report: submitted %d done %d lost %d, want 8/8/0\n%s",
+			report.Submitted, report.Done, report.Lost, out.String())
+	}
+	if report.RouterMetrics != nil {
+		t.Fatal("a bare replica must not be mistaken for a router")
+	}
+	if !strings.Contains(errBuf.String(), "memloadgen: closed") {
+		t.Fatalf("stderr missing the one-line summary: %q", errBuf.String())
+	}
+}

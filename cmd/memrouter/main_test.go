@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon launches a built binary with the given args, parses the
+// stdout "listening on" port-discovery line, and keeps stdout drained.
+// The returned tail channel yields the remaining stdout after exit.
+func startDaemon(t *testing.T, bin string, args ...string) (cmd *exec.Cmd, base string, stderr *bytes.Buffer, tail chan string) {
+	t.Helper()
+	cmd = exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr = new(bytes.Buffer)
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("%s printed no listening line; stderr: %s", filepath.Base(bin), stderr.String())
+	}
+	tail = make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		tail <- rest.String()
+	}()
+	return cmd, base, stderr, tail
+}
+
+// TestRouterBinaryE2E exercises the deployed shape: real memschedd
+// replicas behind a real memrouter process, a job submitted through the
+// router, and a SIGTERM drain with the stdout summary contract.
+func TestRouterBinaryE2E(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	msd := filepath.Join(dir, "memschedd")
+	mrt := filepath.Join(dir, "memrouter")
+	if out, err := exec.Command(goBin, "build", "-o", msd, "memsched/cmd/memschedd").CombinedOutput(); err != nil {
+		t.Fatalf("build memschedd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(goBin, "build", "-o", mrt, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build memrouter: %v\n%s", err, out)
+	}
+
+	var urls []string
+	for i := 0; i < 2; i++ {
+		_, base, _, _ := startDaemon(t, msd, "-addr", "127.0.0.1:0", "-workers", "1", "-log-level", "warn")
+		urls = append(urls, base)
+	}
+	router, base, stderr, tail := startDaemon(t, mrt,
+		"-addr", "127.0.0.1:0", "-replicas", strings.Join(urls, ","), "-drain-timeout", "30s")
+
+	// Submit through the router and long-poll to done.
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"workload":"matmul2d","n":20,"gpus":2}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var st struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Result json.RawMessage `json:"result"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode accept: %v", err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v; router stderr: %s", st, stderr.String())
+		}
+		wr, err := http.Get(base + "/jobs/" + st.ID + "?wait=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(wr.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		wr.Body.Close()
+	}
+	if len(st.Result) == 0 {
+		t.Fatal("done job carries no result bytes")
+	}
+
+	// The health table endpoint reports both replicas up.
+	hr, err := http.Get(base + "/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []struct {
+		Replica string `json:"replica"`
+		State   string `json:"state"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&views); err != nil {
+		t.Fatalf("decode /replicas: %v", err)
+	}
+	hr.Body.Close()
+	if len(views) != 2 {
+		t.Fatalf("/replicas listed %d entries, want 2", len(views))
+	}
+
+	// The router serves its own Prometheus exposition.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody := new(strings.Builder)
+	sc := bufio.NewScanner(mr.Body)
+	for sc.Scan() {
+		mbody.WriteString(sc.Text())
+		mbody.WriteString("\n")
+	}
+	mr.Body.Close()
+	if !strings.Contains(mbody.String(), "memrouter_jobs_done_total 1") {
+		t.Fatalf("router exposition missing done counter:\n%s", mbody.String())
+	}
+
+	// SIGTERM: clean drain, exit 0, stdout summary contract.
+	if err := router.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- router.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("memrouter exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatal("memrouter did not exit after SIGTERM")
+	}
+	if rest := <-tail; !strings.Contains(rest, "memrouter: drained") {
+		t.Fatalf("stdout drain summary missing: %q", rest)
+	}
+}

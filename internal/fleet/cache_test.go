@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(4, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("result-a"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("result-a")) {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 8 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 entry / 8 bytes", st)
+	}
+}
+
+func TestCacheEntryBoundLRUOrder(t *testing.T) {
+	c := NewCache(3, 0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // refresh k0: k1 is now coldest
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted (coldest)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s unexpectedly evicted", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 10)
+	c.Put("a", bytes.Repeat([]byte{'a'}, 6))
+	c.Put("b", bytes.Repeat([]byte{'b'}, 6)) // 12 > 10: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by the byte bound")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing")
+	}
+	if st := c.Stats(); st.Bytes != 6 {
+		t.Fatalf("resident bytes = %d, want 6", st.Bytes)
+	}
+}
+
+func TestCacheOversizedBodySkipped(t *testing.T) {
+	c := NewCache(10, 10)
+	c.Put("small", []byte("ok"))
+	c.Put("huge", bytes.Repeat([]byte{'x'}, 11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized body should not be cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized insert evicted an unrelated entry")
+	}
+}
+
+func TestCacheReplaceAccountsBytes(t *testing.T) {
+	c := NewCache(10, 100)
+	c.Put("k", bytes.Repeat([]byte{'a'}, 40))
+	c.Put("k", bytes.Repeat([]byte{'b'}, 10))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("after replace: %d entries / %d bytes, want 1 / 10", st.Entries, st.Bytes)
+	}
+	got, _ := c.Get("k")
+	if !bytes.Equal(got, bytes.Repeat([]byte{'b'}, 10)) {
+		t.Fatal("replace did not update the body")
+	}
+}

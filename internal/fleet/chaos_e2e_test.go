@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memsched/internal/serve"
+)
+
+// replicaProc is one real memschedd child process.
+type replicaProc struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+// startReplicas builds the memschedd binary once and starts n real
+// replica processes on ephemeral ports, parsing the stdout
+// port-discovery line each one prints.
+func startReplicas(t *testing.T, n int) []*replicaProc {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "memschedd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "memsched/cmd/memschedd").CombinedOutput(); err != nil {
+		t.Fatalf("go build memschedd: %v\n%s", err, out)
+	}
+
+	procs := make([]*replicaProc, 0, n)
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-log-level", "warn")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stderr := new(bytes.Buffer)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		p := &replicaProc{cmd: cmd, stderr: stderr}
+		procs = append(procs, p)
+
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				p.url = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if p.url == "" {
+			t.Fatalf("replica %d printed no listening line; stderr: %s", i, stderr.String())
+		}
+		go func() { // keep stdout drained so the child never blocks
+			for sc.Scan() {
+			}
+		}()
+	}
+	return procs
+}
+
+// TestChaosKillReplicaE2E is the fleet's proof artifact: three real
+// memschedd processes behind an in-process (race-instrumented) router,
+// a batch of real-simulator jobs in flight, and a kill -9 of a replica
+// that is actively running one. Every accepted job must still complete,
+// every result must be byte-identical to a single-node run of the same
+// spec, and re-submitted specs must be served from the result cache —
+// also byte-identical, and counted.
+func TestChaosKillReplicaE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	procs := startReplicas(t, 3)
+	urls := make([]string, len(procs))
+	byURL := make(map[string]*replicaProc, len(procs))
+	for i, p := range procs {
+		urls[i] = p.url
+		byURL[p.url] = p
+	}
+
+	r := newTestRouter(t, Config{
+		Replicas:    urls,
+		PollTimeout: 250 * time.Millisecond,
+		JobTimeout:  90 * time.Second,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  200 * time.Millisecond,
+		Health: HealthConfig{
+			Interval:      50 * time.Millisecond,
+			Timeout:       2 * time.Second,
+			FailThreshold: 2,
+		},
+	})
+
+	// Real-simulator specs sized to run long enough (workers=1 per
+	// replica queues them) that a kill lands mid-flight.
+	// Sizes calibrated to ~150-600ms each on the real simulator: long
+	// enough that the kill lands while jobs are in flight, short enough
+	// that the whole batch drains in seconds.
+	specs := []serve.JobRequest{
+		{Workload: "matmul2d", N: 250, GPUs: 2},
+		{Workload: "matmul2d", N: 300, GPUs: 1},
+		{Workload: "cholesky", N: 60, GPUs: 2},
+		{Workload: "cholesky", N: 80, GPUs: 1},
+		{Workload: "matmul3d", N: 40, GPUs: 2},
+		{Workload: "matmul3d", N: 50, GPUs: 1},
+		{Workload: "matmul2d", N: 280, GPUs: 2},
+		{Workload: "cholesky", N: 70, GPUs: 1, Seed: 2},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		st, err := r.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit spec %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+
+	// Find a replica actively running a job, then kill -9 it.
+	var victim string
+	deadline := time.Now().Add(20 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no job ever reached running state")
+		}
+		for _, st := range r.List() {
+			if st.State == serve.JobRunning && st.Replica != "" {
+				victim = st.Replica
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := byURL[victim].cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatalf("kill -9 %s: %v", victim, err)
+	}
+	byURL[victim].cmd.Wait()
+	t.Logf("killed replica %s mid-load", victim)
+
+	// Every accepted job completes despite the kill.
+	results := make([]json.RawMessage, len(specs))
+	for i, id := range ids {
+		st := waitRouterDone(t, r, id)
+		if st.State != serve.JobDone {
+			t.Fatalf("job %d (%+v) after kill: state %s (%s)", i, specs[i], st.State, st.Error)
+		}
+		if st.Replica == victim {
+			t.Fatalf("job %d claims completion on the killed replica", i)
+		}
+		results[i] = st.Result
+	}
+	m := r.Snapshot()
+	if m.JobsDone != int64(len(specs)) || m.JobsFailed != 0 {
+		t.Fatalf("metrics after kill: %d done / %d failed, want %d / 0",
+			m.JobsDone, m.JobsFailed, len(specs))
+	}
+	if m.Failovers == 0 {
+		t.Error("killed an active replica but counted no failover re-dispatches")
+	}
+
+	// Byte-identical to single-node: run every spec through one
+	// in-process server with the real simulator and compare compacted
+	// result bytes.
+	single := serve.New(serve.Config{Workers: 2})
+	defer single.Drain(30 * time.Second)
+	var wg sync.WaitGroup
+	singleRes := make([][]byte, len(specs))
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec serve.JobRequest) {
+			defer wg.Done()
+			st, err := single.Submit(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			st, err = single.Wait(ctx, st.ID)
+			if err != nil || st.State != serve.JobDone {
+				errs[i] = fmt.Errorf("single-node state %s: %v", st.State, err)
+				return
+			}
+			singleRes[i], errs[i] = json.Marshal(st.Result)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("single-node run %d: %v", i, errs[i])
+		}
+		var got bytes.Buffer
+		if err := json.Compact(&got, results[i]); err != nil {
+			t.Fatalf("routed result %d is not valid JSON: %v", i, err)
+		}
+		if !bytes.Equal(got.Bytes(), singleRes[i]) {
+			t.Errorf("spec %d result differs from single-node:\nrouted: %s\nsingle: %s",
+				i, got.Bytes(), singleRes[i])
+		}
+	}
+
+	// Re-submitting each spec (different spelling: an explicit timeout)
+	// must be served from the content-addressed cache, byte-identical,
+	// and counted as hits.
+	hitsBefore := r.Snapshot().Cache.Hits
+	for i, spec := range specs {
+		spec.TimeoutMS = 12345 // wall-time only: same canonical key
+		st, err := r.Submit(spec)
+		if err != nil {
+			t.Fatalf("cache resubmit %d: %v", i, err)
+		}
+		st = waitRouterDone(t, r, st.ID)
+		if !st.CacheHit {
+			t.Fatalf("resubmit %d was not a cache hit (replica %s)", i, st.Replica)
+		}
+		if !bytes.Equal(st.Result, results[i]) {
+			t.Fatalf("cached result %d not byte-identical to the original", i)
+		}
+	}
+	if hits := r.Snapshot().Cache.Hits - hitsBefore; hits != int64(len(specs)) {
+		t.Fatalf("cache counted %d hits for %d resubmits", hits, len(specs))
+	}
+}

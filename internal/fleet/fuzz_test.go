@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"testing"
+
+	"memsched/internal/serve"
+)
+
+// FuzzCanonicalJobKey pins the canonicalization under arbitrary specs,
+// in the same style as fault.FuzzParseSpec: it must never panic,
+// Canonicalize must be a fixed point, the key must be invariant under
+// canonicalization, and TimeoutMS must never leak into the key.
+func FuzzCanonicalJobKey(f *testing.F) {
+	type seed struct {
+		workload, strategy, faults string
+		n, gpus                    int
+		keep                       float64
+		mem, seedv, timeout        int64
+		cost, critpath             bool
+	}
+	for _, s := range []seed{
+		{workload: "matmul2d", n: 4},
+		{workload: "cholesky", strategy: "HEFT", n: 8, gpus: 4, seedv: 9},
+		{workload: "sparse2d", n: 6, keep: 0.25, faults: "drop=1@5ms,transient=0.05"},
+		{workload: "matmul3d", n: 3, faults: "none", timeout: 5000},
+		{workload: "", strategy: "", n: 0},
+		{workload: "w|s=x", strategy: "y%7C", n: 1, faults: "not a spec"},
+		{workload: "a%b", strategy: "c|d", n: -5, gpus: 1000, keep: -1.5, mem: -3},
+		{workload: "\x00\xff", strategy: "||||", n: 1, faults: "drop=@"},
+	} {
+		f.Add(s.workload, s.strategy, s.faults, s.n, s.gpus, s.keep, s.mem, s.seedv, s.timeout, s.cost, s.critpath)
+	}
+	f.Fuzz(func(t *testing.T, workload, strategy, faults string, n, gpus int,
+		keep float64, mem, seedv, timeout int64, cost, critpath bool) {
+		req := serve.JobRequest{
+			Workload: workload, Strategy: strategy, Faults: faults,
+			N: n, GPUs: gpus, Keep: keep, MemMB: mem, Seed: seedv,
+			TimeoutMS: timeout, Cost: cost, CritPath: critpath,
+		}
+		once := Canonicalize(req) // must not panic, whatever the input
+		twice := Canonicalize(once)
+		if once != twice {
+			t.Fatalf("Canonicalize not a fixed point:\n once: %+v\ntwice: %+v", once, twice)
+		}
+		k := CanonicalKey(req)
+		if k == "" {
+			t.Fatalf("empty key for %+v", req)
+		}
+		if got := CanonicalKey(once); got != k {
+			t.Fatalf("equal specs disagree on key: %q vs %q", k, got)
+		}
+		// TimeoutMS bounds wall time, not the simulated result: two specs
+		// differing only there must share a key (and thus a cache entry).
+		req2 := req
+		req2.TimeoutMS = timeout + 1
+		if got := CanonicalKey(req2); got != k {
+			t.Fatalf("TimeoutMS leaked into the key: %q vs %q", k, got)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"memsched/internal/serve"
+)
+
+// ReplicaState is the prober's verdict on one replica.
+type ReplicaState int
+
+// Replica states. The three-way split is what the /readyz JSON body
+// buys the fleet: a draining replica is alive (its in-flight jobs will
+// finish; don't send new ones, don't fail its jobs over), a down one is
+// gone (re-dispatch everything it held).
+const (
+	// StateUp: serving and accepting jobs.
+	StateUp ReplicaState = iota
+	// StateDraining: alive but refusing new jobs; in-flight work will
+	// complete.
+	StateDraining
+	// StateDown: unreachable past the failure threshold.
+	StateDown
+)
+
+// String names the state for logs and the /replicas endpoint.
+func (s ReplicaState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the prober. Zero values select the defaults.
+type HealthConfig struct {
+	// Interval between probes of one replica (default 250ms).
+	Interval time.Duration
+	// Timeout of one probe request (default 1s).
+	Timeout time.Duration
+	// FailThreshold is the number of consecutive probe failures that
+	// marks a replica down (default 3). Dispatch-path connection errors
+	// reported via ReportFailure count toward the same threshold, so a
+	// kill -9 is usually detected by the first job that trips over it
+	// rather than by the probe cadence.
+	FailThreshold int
+}
+
+func (c *HealthConfig) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+}
+
+// ReplicaView is the observable health of one replica.
+type ReplicaView struct {
+	Replica string       `json:"replica"`
+	State   ReplicaState `json:"-"`
+	// StateName is State rendered for JSON consumers.
+	StateName string `json:"state"`
+	// ConsecutiveFails counts probe/dispatch failures since the last
+	// success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// LastError is the most recent probe failure, empty while up.
+	LastError string `json:"last_error,omitempty"`
+	// QueueDepth/QueueCap mirror the replica's last /readyz body.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+}
+
+// Health watches a fixed replica set with periodic /readyz probes.
+// Replicas start optimistically up; the prober demotes them. Start
+// launches one goroutine per replica, Stop joins them.
+type Health struct {
+	cfg    HealthConfig
+	client *http.Client
+	// onChange fires outside the state lock on every transition (flight
+	// events, log lines, failover nudges hang off it).
+	onChange func(replica string, from, to ReplicaState, reason string)
+
+	mu       sync.Mutex
+	replicas map[string]*replicaHealth
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type replicaHealth struct {
+	state      ReplicaState
+	fails      int
+	lastErr    string
+	queueDepth int
+	queueCap   int
+}
+
+// NewHealth builds the prober over the replica base URLs. client may be
+// nil (a timeout-bounded default is built); onChange may be nil.
+func NewHealth(replicas []string, cfg HealthConfig, client *http.Client,
+	onChange func(replica string, from, to ReplicaState, reason string)) *Health {
+	cfg.applyDefaults()
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	h := &Health{
+		cfg:      cfg,
+		client:   client,
+		onChange: onChange,
+		replicas: make(map[string]*replicaHealth, len(replicas)),
+		stop:     make(chan struct{}),
+	}
+	for _, r := range replicas {
+		h.replicas[r] = &replicaHealth{state: StateUp}
+	}
+	return h
+}
+
+// Start launches the probe loops.
+func (h *Health) Start() {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.replicas))
+	for r := range h.replicas {
+		names = append(names, r)
+	}
+	h.mu.Unlock()
+	for _, r := range names {
+		h.wg.Add(1)
+		go func(replica string) {
+			defer h.wg.Done()
+			t := time.NewTicker(h.cfg.Interval)
+			defer t.Stop()
+			for {
+				h.probe(replica)
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+				}
+			}
+		}(r)
+	}
+}
+
+// Stop halts the probe loops and waits for them.
+func (h *Health) Stop() {
+	close(h.stop)
+	h.wg.Wait()
+}
+
+// probe performs one /readyz check of replica and folds the outcome in.
+func (h *Health) probe(replica string) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/readyz", nil)
+	if err != nil {
+		h.ReportFailure(replica, "bad probe url: "+err.Error())
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.ReportFailure(replica, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	// Probe bodies are bounded so a misbehaving endpoint can't balloon
+	// the prober.
+	var ready serve.ReadyStatus
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ready)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		h.reportUp(replica, StateUp, ready)
+	case resp.StatusCode == http.StatusServiceUnavailable && decErr == nil && ready.Draining:
+		// Alive and telling us so: the JSON drain marker is what keeps a
+		// draining replica from being declared dead and its in-flight
+		// jobs from being redundantly re-dispatched.
+		h.reportUp(replica, StateDraining, ready)
+	default:
+		h.ReportFailure(replica, "readyz status "+resp.Status)
+	}
+}
+
+// reportUp records a successful probe with the observed target state.
+func (h *Health) reportUp(replica string, to ReplicaState, ready serve.ReadyStatus) {
+	h.mu.Lock()
+	st, ok := h.replicas[replica]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	from := st.state
+	st.state = to
+	st.fails = 0
+	st.lastErr = ""
+	st.queueDepth = ready.QueueDepth
+	st.queueCap = ready.QueueCap
+	h.mu.Unlock()
+	if from != to && h.onChange != nil {
+		h.onChange(replica, from, to, "probe ok")
+	}
+}
+
+// ReportFailure counts one failed probe or dispatch-path connection
+// error; crossing the threshold marks the replica down. Dispatchers
+// call this on transport errors so detection is as fast as the first
+// failing request.
+func (h *Health) ReportFailure(replica, reason string) {
+	h.mu.Lock()
+	st, ok := h.replicas[replica]
+	if !ok {
+		h.mu.Unlock()
+		return
+	}
+	st.fails++
+	st.lastErr = reason
+	from := st.state
+	demote := st.fails >= h.cfg.FailThreshold && from != StateDown
+	if demote {
+		st.state = StateDown
+	}
+	h.mu.Unlock()
+	if demote && h.onChange != nil {
+		h.onChange(replica, from, StateDown, reason)
+	}
+}
+
+// State returns the current verdict for replica (StateDown for unknown
+// names, so a typo'd replica is never dispatched to).
+func (h *Health) State(replica string) ReplicaState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.replicas[replica]; ok {
+		return st.state
+	}
+	return StateDown
+}
+
+// Snapshot returns every replica's view, sorted by name.
+func (h *Health) Snapshot() []ReplicaView {
+	h.mu.Lock()
+	out := make([]ReplicaView, 0, len(h.replicas))
+	for r, st := range h.replicas {
+		out = append(out, ReplicaView{
+			Replica:          r,
+			State:            st.state,
+			StateName:        st.state.String(),
+			ConsecutiveFails: st.fails,
+			LastError:        st.lastErr,
+			QueueDepth:       st.queueDepth,
+			QueueCap:         st.queueCap,
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// AllDown reports whether every replica is down (draining counts as
+// alive: its in-flight jobs will still finish).
+func (h *Health) AllDown() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, st := range h.replicas {
+		if st.state != StateDown {
+			return false
+		}
+	}
+	return true
+}
+
+// UpCount returns how many replicas are currently up (not draining, not
+// down).
+func (h *Health) UpCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, st := range h.replicas {
+		if st.state == StateUp {
+			n++
+		}
+	}
+	return n
+}

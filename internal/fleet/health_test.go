@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"memsched/internal/serve"
+)
+
+// fakeReadyz is a replica stub whose /readyz behavior is switchable at
+// runtime between ok, draining and broken.
+type fakeReadyz struct {
+	mu   sync.Mutex
+	mode string // "ok", "draining", "error"
+}
+
+func (f *fakeReadyz) set(mode string) {
+	f.mu.Lock()
+	f.mode = mode
+	f.mu.Unlock()
+}
+
+func (f *fakeReadyz) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	mode := f.mode
+	f.mu.Unlock()
+	switch mode {
+	case "draining":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining","draining":true,"queue_depth":2,"queue_cap":64}`))
+	case "error":
+		w.WriteHeader(http.StatusInternalServerError)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ready","draining":false,"queue_depth":1,"queue_cap":64}`))
+	}
+}
+
+func waitState(t *testing.T, h *Health, replica string, want ReplicaState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.State(replica) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica %s never reached state %s (now %s)", replica, want, h.State(replica))
+}
+
+func TestHealthDistinguishesUpDrainingDown(t *testing.T) {
+	fake := &fakeReadyz{mode: "ok"}
+	srv := httptest.NewServer(fake)
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var transitions []string
+	h := NewHealth([]string{srv.URL}, HealthConfig{
+		Interval: 10 * time.Millisecond, Timeout: time.Second, FailThreshold: 2,
+	}, nil, func(replica string, from, to ReplicaState, reason string) {
+		mu.Lock()
+		transitions = append(transitions, from.String()+"->"+to.String())
+		mu.Unlock()
+	})
+	h.Start()
+	defer h.Stop()
+
+	// Replicas start optimistically up, so wait for a probe to land (the
+	// queue fields come from the readyz body) rather than for the state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v := h.Snapshot()[0]
+		if v.QueueDepth == 1 && v.QueueCap == 64 && v.State == StateUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz body never folded into view: %+v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fake.set("draining")
+	waitState(t, h, srv.URL, StateDraining)
+	if h.AllDown() {
+		t.Error("a draining replica must not count as down")
+	}
+	if h.UpCount() != 0 {
+		t.Error("a draining replica must not count as up")
+	}
+
+	fake.set("error")
+	waitState(t, h, srv.URL, StateDown)
+	if !h.AllDown() {
+		t.Error("AllDown false with the only replica down")
+	}
+
+	fake.set("ok")
+	waitState(t, h, srv.URL, StateUp)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"up->draining", "draining->down", "down->up"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestHealthReportFailureFromDispatchPath pins the fast-detection
+// property: dispatch errors count toward the same threshold as probe
+// failures, so a dead replica is discovered by the first jobs that trip
+// over it, not by the probe cadence.
+func TestHealthReportFailureFromDispatchPath(t *testing.T) {
+	h := NewHealth([]string{"http://dead:1"}, HealthConfig{
+		Interval: time.Hour, Timeout: time.Second, FailThreshold: 3,
+	}, nil, nil)
+	// No Start: only dispatch-path reports.
+	for i := 0; i < 2; i++ {
+		h.ReportFailure("http://dead:1", "connection refused")
+		if got := h.State("http://dead:1"); got != StateUp {
+			t.Fatalf("demoted after %d failures (threshold 3): %s", i+1, got)
+		}
+	}
+	h.ReportFailure("http://dead:1", "connection refused")
+	if got := h.State("http://dead:1"); got != StateDown {
+		t.Fatalf("state after threshold failures = %s, want down", got)
+	}
+	if v := h.Snapshot()[0]; v.ConsecutiveFails != 3 || v.LastError == "" {
+		t.Errorf("failure accounting not visible: %+v", v)
+	}
+}
+
+func TestHealthUnknownReplicaIsDown(t *testing.T) {
+	h := NewHealth([]string{"http://a"}, HealthConfig{}, nil, nil)
+	if got := h.State("http://typo"); got != StateDown {
+		t.Fatalf("unknown replica state = %s, want down", got)
+	}
+	h.ReportFailure("http://typo", "x") // must not panic or create entries
+	if n := len(h.Snapshot()); n != 1 {
+		t.Fatalf("ReportFailure on unknown replica grew the set to %d", n)
+	}
+}
+
+// TestHealthProbeParsesRealReadyz wires the prober against a real
+// serve.Server handler so the two layers' /readyz contract stays
+// glued: a live server probes up, a drained one probes draining (not
+// down).
+func TestHealthProbeParsesRealReadyz(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1, Logger: nil})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	h := NewHealth([]string{srv.URL}, HealthConfig{
+		Interval: 10 * time.Millisecond, Timeout: time.Second, FailThreshold: 2,
+	}, nil, nil)
+	h.Start()
+	defer h.Stop()
+	waitState(t, h, srv.URL, StateUp)
+
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitState(t, h, srv.URL, StateDraining)
+}

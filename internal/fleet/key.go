@@ -1,0 +1,104 @@
+// Package fleet scales memschedd out: a router daemon (cmd/memrouter)
+// shards jobs across N replicas by consistent hashing on a canonical
+// job key, health-checks the replicas, fails jobs over from dead ones,
+// hedges stragglers, and answers repeated specs from a content-
+// addressed result cache.
+//
+// Everything leans on one invariant the project has pinned since PR 1:
+// a job spec determines its result bit-for-bit. That turns re-execution
+// into a safe recovery move (a job lost with a replica can be replayed
+// anywhere) and turns caching into correctness-preserving throughput
+// (the cached bytes are exactly what a fresh run would produce).
+package fleet
+
+import (
+	"strconv"
+	"strings"
+
+	"memsched/internal/fault"
+	"memsched/internal/serve"
+)
+
+// Canonicalize maps a job request onto its canonical form: the fixed
+// point every equivalent spelling of the same job collapses to. It
+// fills the serve-layer defaults and rewrites the fault spec into its
+// canonical rendering (fault.Plan.String, with the empty plan spelled
+// ""). Specs that would fail admission (an unparsable fault plan, say)
+// are canonicalized as far as possible and left otherwise intact — the
+// replica's admission control stays the arbiter of validity, the key
+// only has to be stable and panic-free.
+func Canonicalize(req serve.JobRequest) serve.JobRequest {
+	req.Normalize()
+	if plan, err := fault.ParseSpec(req.Faults); err == nil {
+		if plan.Empty() {
+			req.Faults = ""
+		} else {
+			req.Faults = plan.String()
+		}
+	}
+	return req
+}
+
+// CanonicalKey returns the content address of a job: two requests get
+// the same key exactly when the determinism invariant guarantees them
+// byte-identical results. The key covers every field that feeds the
+// simulation — workload, strategy, n, gpus, keep, mem, seed, cost,
+// faults, critpath — and deliberately excludes TimeoutMS, which bounds
+// wall time without touching the simulated outcome.
+//
+// The rendering is versioned ("v1|...") so a future field addition
+// invalidates caches instead of aliasing into them.
+func CanonicalKey(req serve.JobRequest) string {
+	c := Canonicalize(req)
+	var sb strings.Builder
+	sb.Grow(96)
+	sb.WriteString("v1|w=")
+	sb.WriteString(escapeKeyField(c.Workload))
+	sb.WriteString("|s=")
+	sb.WriteString(escapeKeyField(c.Strategy))
+	sb.WriteString("|n=")
+	sb.WriteString(strconv.Itoa(c.N))
+	sb.WriteString("|g=")
+	sb.WriteString(strconv.Itoa(c.GPUs))
+	sb.WriteString("|k=")
+	sb.WriteString(strconv.FormatFloat(c.Keep, 'g', -1, 64))
+	sb.WriteString("|m=")
+	sb.WriteString(strconv.FormatInt(c.MemMB, 10))
+	sb.WriteString("|seed=")
+	sb.WriteString(strconv.FormatInt(c.Seed, 10))
+	sb.WriteString("|cost=")
+	sb.WriteString(boolField(c.Cost))
+	sb.WriteString("|cp=")
+	sb.WriteString(boolField(c.CritPath))
+	sb.WriteString("|f=")
+	sb.WriteString(escapeKeyField(c.Faults))
+	return sb.String()
+}
+
+func boolField(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// escapeKeyField keeps the key unambiguous for arbitrary field values:
+// the separator '|' and the escape '%' are percent-encoded, so no two
+// distinct field tuples can render to the same key.
+func escapeKeyField(s string) string {
+	if !strings.ContainsAny(s, "|%") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '|':
+			sb.WriteString("%7C")
+		case '%':
+			sb.WriteString("%25")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}

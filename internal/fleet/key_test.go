@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"memsched/internal/serve"
+)
+
+func TestCanonicalizeFixedPoint(t *testing.T) {
+	reqs := []serve.JobRequest{
+		{Workload: "matmul2d", N: 4},
+		{Workload: "cholesky", N: 8, GPUs: 4, Strategy: "HEFT", Seed: 9},
+		{Workload: "sparse2d", N: 6, Keep: 0.5, Faults: "drop=1@5ms"},
+		{Workload: "matmul3d", N: 3, Faults: "none"},
+		{Workload: "matmul2d", N: 2, Faults: "definitely not a fault spec"},
+	}
+	for _, req := range reqs {
+		once := Canonicalize(req)
+		twice := Canonicalize(once)
+		if once != twice {
+			t.Errorf("Canonicalize not a fixed point for %+v:\n once: %+v\ntwice: %+v", req, once, twice)
+		}
+		if k1, k2 := CanonicalKey(req), CanonicalKey(once); k1 != k2 {
+			t.Errorf("key changes under canonicalization for %+v: %q vs %q", req, k1, k2)
+		}
+	}
+}
+
+// TestCanonicalKeyCollapsesEquivalentSpellings pins the point of the
+// canonical key: every spelling of the same job shares one key, so the
+// ring sends them to the same replica and the cache answers them from
+// one entry.
+func TestCanonicalKeyCollapsesEquivalentSpellings(t *testing.T) {
+	base := serve.JobRequest{Workload: "matmul2d", N: 4, GPUs: 1, Strategy: "DARTS+LUF", Seed: 1}
+	variants := []serve.JobRequest{
+		{Workload: "matmul2d", N: 4},                        // all defaults implicit
+		{Workload: "matmul2d", N: 4, Strategy: "DARTS+LUF"}, // strategy explicit
+		{Workload: "matmul2d", N: 4, Seed: 1, GPUs: 1},      // seed+gpus explicit
+		{Workload: "matmul2d", N: 4, Faults: "none"},        // empty fault plan spelled out
+		{Workload: "matmul2d", N: 4, Faults: ""},            // empty fault plan
+		{Workload: "matmul2d", N: 4, TimeoutMS: 9999},       // timeout excluded by design
+		{Workload: "matmul2d", N: 4, TimeoutMS: 1, Strategy: "DARTS+LUF"},
+	}
+	want := CanonicalKey(base)
+	for _, v := range variants {
+		if got := CanonicalKey(v); got != want {
+			t.Errorf("CanonicalKey(%+v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishesResultFields(t *testing.T) {
+	base := serve.JobRequest{Workload: "matmul2d", N: 4}
+	distinct := []serve.JobRequest{
+		{Workload: "matmul2d", N: 5},
+		{Workload: "matmul3d", N: 4},
+		{Workload: "matmul2d", N: 4, GPUs: 2},
+		{Workload: "matmul2d", N: 4, Strategy: "HEFT"},
+		{Workload: "matmul2d", N: 4, Seed: 2},
+		{Workload: "matmul2d", N: 4, MemMB: 1024},
+		{Workload: "matmul2d", N: 4, Cost: true},
+		{Workload: "matmul2d", N: 4, CritPath: true},
+		{Workload: "matmul2d", N: 4, Faults: "drop=1@5ms"},
+	}
+	want := CanonicalKey(base)
+	seen := map[string]int{want: -1}
+	for i, v := range distinct {
+		got := CanonicalKey(v)
+		if got == want {
+			t.Errorf("CanonicalKey(%+v) aliases the base key %q", v, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("CanonicalKey collision between variants %d and %d: %q", prev, i, got)
+		}
+		seen[got] = i
+	}
+}
+
+// TestCanonicalKeyEscaping pins the unambiguity property: field values
+// containing the separator cannot forge another field.
+func TestCanonicalKeyEscaping(t *testing.T) {
+	a := serve.JobRequest{Workload: "w|s=x", N: 1, Strategy: "y"}
+	b := serve.JobRequest{Workload: "w", N: 1, Strategy: "x|s=y"} // would alias unescaped
+	ka, kb := CanonicalKey(a), CanonicalKey(b)
+	if ka == kb {
+		t.Fatalf("escaping failed: %q and %q share key %q", a.Workload, b.Strategy, ka)
+	}
+	if !strings.Contains(ka, "%7C") {
+		t.Errorf("separator not escaped in %q", ka)
+	}
+	if got := CanonicalKey(serve.JobRequest{Workload: "a%7Cb", N: 1}); !strings.Contains(got, "%257Cb") {
+		t.Errorf("escape character not escaped in %q", got)
+	}
+}
+
+func TestCanonicalKeyVersioned(t *testing.T) {
+	if k := CanonicalKey(serve.JobRequest{Workload: "matmul2d", N: 4}); !strings.HasPrefix(k, "v1|") {
+		t.Fatalf("key %q is not versioned", k)
+	}
+}

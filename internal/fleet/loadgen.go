@@ -1,0 +1,421 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsched/internal/obs"
+	"memsched/internal/serve"
+)
+
+// LoadgenConfig tunes a load-generation run against a router (or a
+// single replica — the wire contract is the same).
+type LoadgenConfig struct {
+	// Target is the base URL to drive.
+	Target string
+	// Jobs is the number of submissions (default 50).
+	Jobs int
+	// Concurrency is the closed-loop worker count (default 4). Ignored
+	// in open-loop mode.
+	Concurrency int
+	// RatePerSec > 0 selects open-loop mode: submissions arrive on a
+	// fixed schedule regardless of completions (the shed-rate probe).
+	RatePerSec float64
+	// Duration bounds an open-loop run; 0 runs until Jobs submissions.
+	Duration time.Duration
+	// RepeatEvery makes every k-th submission repeat an earlier spec,
+	// driving content-addressed cache hits (0 disables).
+	RepeatEvery int
+	// Seed makes the generated spec mix reproducible (default 1).
+	Seed int64
+	// MaxN caps generated workload sizes (default 6: small and fast).
+	MaxN int
+	// JobWait bounds the terminal-status wait per accepted job (default
+	// 2m); a job still pending past it counts as lost.
+	JobWait time.Duration
+	// Client overrides the HTTP client (nil builds one).
+	Client *http.Client
+}
+
+func (c *LoadgenConfig) applyDefaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 50
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxN < 2 {
+		c.MaxN = 6
+	}
+	if c.JobWait <= 0 {
+		c.JobWait = 2 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+}
+
+// LoadgenReport is the run summary, JSON-printed by cmd/memloadgen.
+// Lost is the one number that must be zero: jobs the target accepted
+// and then never resolved to a terminal state.
+type LoadgenReport struct {
+	Target      string `json:"target"`
+	Mode        string `json:"mode"` // "closed" or "open"
+	JobsPlanned int    `json:"jobs_planned"`
+
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Lost      int64 `json:"lost"`
+
+	Shed       int64 `json:"shed"`        // 429 rejections
+	Rejected   int64 `json:"rejected"`    // 400/503 rejections
+	HTTPErrors int64 `json:"http_errors"` // transport failures
+
+	CacheHits    int64 `json:"cache_hits"`
+	Hedged       int64 `json:"hedged"`
+	Redispatched int64 `json:"redispatched"`
+
+	SojournP50MS float64 `json:"sojourn_p50_ms"`
+	SojournP95MS float64 `json:"sojourn_p95_ms"`
+	SojournP99MS float64 `json:"sojourn_p99_ms"`
+
+	ElapsedMS        int64   `json:"elapsed_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	// RouterMetrics is the target's own /metrics?format=json snapshot
+	// when the target speaks the router schema (nil for a bare replica).
+	RouterMetrics *Metrics `json:"router_metrics,omitempty"`
+}
+
+// lgStatus is the subset of a job status the loadgen reads; it decodes
+// from both a router's and a replica's response.
+type lgStatus struct {
+	ID           string         `json:"id"`
+	State        serve.JobState `json:"state"`
+	Error        string         `json:"error,omitempty"`
+	CacheHit     bool           `json:"cache_hit,omitempty"`
+	Hedged       bool           `json:"hedged,omitempty"`
+	Redispatches int            `json:"redispatches,omitempty"`
+}
+
+// Loadgen drives a target with a reproducible spec mix and measures
+// client-side sojourn (submit to terminal, as the caller experiences
+// it — including every router-side failover and hedge).
+type Loadgen struct {
+	cfg   LoadgenConfig
+	specs []serve.JobRequest
+
+	sojourn obs.Histogram
+
+	submitted, accepted           atomic.Int64
+	done, failed, canceled, lost  atomic.Int64
+	shed, rejected, httpErrs      atomic.Int64
+	cacheHits, hedged, redispatch atomic.Int64
+}
+
+// NewLoadgen builds a generator with a deterministic spec mix.
+func NewLoadgen(cfg LoadgenConfig) *Loadgen {
+	cfg.applyDefaults()
+	return &Loadgen{cfg: cfg, specs: GenSpecs(cfg.Jobs, cfg.Seed, cfg.MaxN, cfg.RepeatEvery)}
+}
+
+// GenSpecs produces n small job specs, reproducible from seed. When
+// repeatEvery > 0, every repeatEvery-th spec repeats an earlier one so
+// a content-addressed cache has hits to serve.
+func GenSpecs(n int, seed int64, maxN, repeatEvery int) []serve.JobRequest {
+	rng := rand.New(rand.NewSource(seed))
+	workloads := []string{"matmul2d", "cholesky", "matmul3d"}
+	specs := make([]serve.JobRequest, 0, n)
+	for i := 0; i < n; i++ {
+		if repeatEvery > 0 && i > 0 && i%repeatEvery == 0 {
+			specs = append(specs, specs[rng.Intn(len(specs))])
+			continue
+		}
+		specs = append(specs, serve.JobRequest{
+			Workload: workloads[rng.Intn(len(workloads))],
+			N:        2 + rng.Intn(maxN-1),
+			GPUs:     1 + rng.Intn(2),
+			Seed:     1 + int64(rng.Intn(3)),
+		})
+	}
+	return specs
+}
+
+// Run executes the load and assembles the report. ctx aborts early.
+func (l *Loadgen) Run(ctx context.Context) LoadgenReport {
+	start := time.Now()
+	if l.cfg.RatePerSec > 0 {
+		l.runOpen(ctx)
+	} else {
+		l.runClosed(ctx)
+	}
+	elapsed := time.Since(start)
+
+	rep := LoadgenReport{
+		Target:       l.cfg.Target,
+		Mode:         "closed",
+		JobsPlanned:  l.cfg.Jobs,
+		Submitted:    l.submitted.Load(),
+		Accepted:     l.accepted.Load(),
+		Done:         l.done.Load(),
+		Failed:       l.failed.Load(),
+		Canceled:     l.canceled.Load(),
+		Lost:         l.lost.Load(),
+		Shed:         l.shed.Load(),
+		Rejected:     l.rejected.Load(),
+		HTTPErrors:   l.httpErrs.Load(),
+		CacheHits:    l.cacheHits.Load(),
+		Hedged:       l.hedged.Load(),
+		Redispatched: l.redispatch.Load(),
+		ElapsedMS:    elapsed.Milliseconds(),
+	}
+	if l.cfg.RatePerSec > 0 {
+		rep.Mode = "open"
+	}
+	snap := l.sojourn.Snapshot()
+	rep.SojournP50MS = finiteMS(snap, 0.50)
+	rep.SojournP95MS = finiteMS(snap, 0.95)
+	rep.SojournP99MS = finiteMS(snap, 0.99)
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ThroughputPerSec = float64(rep.Done) / secs
+	}
+	rep.RouterMetrics = l.fetchRouterMetrics(ctx)
+	return rep
+}
+
+func (l *Loadgen) runClosed(ctx context.Context) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < l.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(l.specs) || ctx.Err() != nil {
+					return
+				}
+				l.oneJob(ctx, l.specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (l *Loadgen) runOpen(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / l.cfg.RatePerSec)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	deadline := time.Time{}
+	if l.cfg.Duration > 0 {
+		deadline = time.Now().Add(l.cfg.Duration)
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < len(l.specs); i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+		}
+		spec := l.specs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.oneJob(ctx, spec)
+		}()
+	}
+	wg.Wait()
+}
+
+// oneJob submits one spec and follows it to a terminal state.
+func (l *Loadgen) oneJob(ctx context.Context, spec serve.JobRequest) {
+	start := time.Now()
+	l.submitted.Add(1)
+	st, code, err := l.submit(ctx, spec)
+	if err != nil {
+		l.httpErrs.Add(1)
+		return
+	}
+	switch {
+	case code == http.StatusAccepted:
+		l.accepted.Add(1)
+	case code == http.StatusTooManyRequests:
+		l.shed.Add(1)
+		return
+	default:
+		l.rejected.Add(1)
+		return
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, l.cfg.JobWait)
+	defer cancel()
+	final, ok := l.follow(wctx, st.ID)
+	if !ok {
+		l.lost.Add(1)
+		return
+	}
+	l.sojourn.Observe(time.Since(start))
+	switch final.State {
+	case serve.JobDone:
+		l.done.Add(1)
+	case serve.JobFailed:
+		l.failed.Add(1)
+	case serve.JobCanceled:
+		l.canceled.Add(1)
+	}
+	if final.CacheHit {
+		l.cacheHits.Add(1)
+	}
+	if final.Hedged {
+		l.hedged.Add(1)
+	}
+	l.redispatch.Add(int64(final.Redispatches))
+}
+
+func (l *Loadgen) submit(ctx context.Context, spec serve.JobRequest) (lgStatus, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return lgStatus{}, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.cfg.Target+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return lgStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := l.cfg.Client.Do(req)
+	if err != nil {
+		return lgStatus{}, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var st lgStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxRespBytes)).Decode(&st); err != nil {
+			return lgStatus{}, resp.StatusCode, err
+		}
+	}
+	return st, resp.StatusCode, nil
+}
+
+// follow long-polls the job until it is terminal; false means the wait
+// bound expired or the target became unreachable — a lost job from the
+// client's point of view.
+func (l *Loadgen) follow(ctx context.Context, id string) (lgStatus, bool) {
+	consecutiveErrs := 0
+	for {
+		if ctx.Err() != nil {
+			return lgStatus{}, false
+		}
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, l.cfg.Target+"/jobs/"+id+"?wait=1", nil)
+		if err != nil {
+			cancel()
+			return lgStatus{}, false
+		}
+		resp, err := l.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			if pctx.Err() != nil && ctx.Err() == nil {
+				continue // benign long-poll timeout
+			}
+			consecutiveErrs++
+			if consecutiveErrs >= 5 {
+				return lgStatus{}, false
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var st lgStatus
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, maxRespBytes)).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			consecutiveErrs++
+			if consecutiveErrs >= 5 {
+				return lgStatus{}, false
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		consecutiveErrs = 0
+		if st.State.Terminal() {
+			return st, true
+		}
+	}
+}
+
+// fetchRouterMetrics pulls the target's JSON metrics snapshot; nil when
+// the target does not speak the router schema.
+func (l *Loadgen) fetchRouterMetrics(ctx context.Context) *Metrics {
+	mctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(mctx, http.MethodGet, l.cfg.Target+"/metrics?format=json", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := l.cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m Metrics
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRespBytes)).Decode(&m); err != nil {
+		return nil
+	}
+	// A replica's JSON snapshot decodes too, but has no replica table;
+	// use that to tell the schemas apart.
+	if len(m.Replicas) == 0 {
+		return nil
+	}
+	return &m
+}
+
+// finiteMS renders a histogram quantile in milliseconds, mapping the
+// empty-histogram NaN and overflow-bucket +Inf (both of which would
+// break JSON encoding) to 0 and -1 respectively.
+func finiteMS(s obs.HistSnapshot, q float64) float64 {
+	v := s.Quantile(q)
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 0):
+		return -1
+	}
+	return v * 1000
+}
+
+// String renders the human-facing one-line summary.
+func (r LoadgenReport) String() string {
+	return fmt.Sprintf(
+		"memloadgen: %s %d jobs: %d done, %d failed, %d canceled, %d lost, %d shed; p50 %.1fms p99 %.1fms; cache hits %d, hedged %d, redispatched %d",
+		r.Mode, r.Submitted, r.Done, r.Failed, r.Canceled, r.Lost, r.Shed,
+		r.SojournP50MS, r.SojournP99MS, r.CacheHits, r.Hedged, r.Redispatched)
+}

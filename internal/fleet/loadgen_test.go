@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"memsched/internal/serve"
+	"memsched/internal/sim"
+)
+
+func TestGenSpecsDeterministicWithRepeats(t *testing.T) {
+	a := GenSpecs(20, 7, 6, 3)
+	b := GenSpecs(20, 7, 6, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different spec mixes")
+	}
+	repeats := 0
+	for i := 3; i < len(a); i += 3 {
+		for j := 0; j < i; j++ {
+			if a[i] == a[j] {
+				repeats++
+				break
+			}
+		}
+	}
+	if repeats != 6 { // i = 3,6,9,12,15,18
+		t.Fatalf("found %d repeated specs, want 6", repeats)
+	}
+}
+
+// TestLoadgenClosedLoopAgainstRouter runs the generator end to end
+// against a real router over real replica HTTP servers: zero lost jobs,
+// cache hits from the repeated specs, and the router's own metrics
+// folded into the report.
+func TestLoadgenClosedLoopAgainstRouter(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	r := newTestRouter(t, fastRouterCfg(h.urls))
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// Concurrency 1 so every repeated spec's original has finished (and
+	// been cached) before the repeat is submitted.
+	lg := NewLoadgen(LoadgenConfig{
+		Target: srv.URL, Jobs: 16, Concurrency: 1, RepeatEvery: 3, Seed: 7,
+		JobWait: 15 * time.Second,
+	})
+	rep := lg.Run(context.Background())
+
+	if rep.Mode != "closed" || rep.JobsPlanned != 16 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Submitted != 16 || rep.Accepted != 16 || rep.Done != 16 {
+		t.Fatalf("submitted %d accepted %d done %d, want 16/16/16 (report %+v)",
+			rep.Submitted, rep.Accepted, rep.Done, rep)
+	}
+	if rep.Lost != 0 || rep.Failed != 0 || rep.HTTPErrors != 0 {
+		t.Fatalf("lost %d failed %d http errors %d, want 0/0/0", rep.Lost, rep.Failed, rep.HTTPErrors)
+	}
+	if rep.CacheHits < 5 { // i = 3,6,9,12,15 repeat earlier specs
+		t.Fatalf("cache hits %d, want >= 5", rep.CacheHits)
+	}
+	if rep.RouterMetrics == nil {
+		t.Fatal("router metrics missing from the report")
+	}
+	if rep.RouterMetrics.Cache.Hits != rep.CacheHits {
+		t.Fatalf("router counted %d cache hits, client saw %d",
+			rep.RouterMetrics.Cache.Hits, rep.CacheHits)
+	}
+	if rep.SojournP50MS < 0 || rep.SojournP99MS < rep.SojournP50MS {
+		t.Fatalf("sojourn quantiles not ordered: p50 %.2f p99 %.2f", rep.SojournP50MS, rep.SojournP99MS)
+	}
+
+	// The report must be JSON-encodable (NaN/Inf quantiles would not be).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}
+
+// TestLoadgenOpenLoopObservesShedding drives an open loop faster than a
+// MaxInFlight=2 router over slow replicas can absorb: sheds must be
+// counted, and every accepted job must still resolve.
+func TestLoadgenOpenLoopObservesShedding(t *testing.T) {
+	h := newHarness(t, 2, func(i int) serve.Runner {
+		return func(ctx context.Context, req serve.JobRequest) (*sim.Result, error) {
+			select {
+			case <-time.After(80 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return okRes(req), nil
+		}
+	})
+	cfg := fastRouterCfg(h.urls)
+	cfg.MaxInFlight = 2
+	cfg.DisableCache = true // every submission must occupy a slot
+	r := newTestRouter(t, cfg)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	lg := NewLoadgen(LoadgenConfig{
+		Target: srv.URL, Jobs: 12, RatePerSec: 300, Seed: 3,
+		JobWait: 15 * time.Second,
+	})
+	rep := lg.Run(context.Background())
+
+	if rep.Mode != "open" {
+		t.Fatalf("mode %q, want open", rep.Mode)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("open loop at 300/s against MaxInFlight=2 shed nothing: %+v", rep)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("%d accepted jobs lost: %+v", rep.Lost, rep)
+	}
+	if rep.Done == 0 || rep.Done+rep.Shed+rep.Rejected+rep.HTTPErrors != rep.Submitted {
+		t.Fatalf("accounting does not close: %+v", rep)
+	}
+}

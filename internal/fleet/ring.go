@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over replica names: each replica owns
+// VNodes points on a 64-bit circle and a key is served by the replica
+// owning the first point at or after the key's hash. Consistency is the
+// property the fleet needs for its cache and for failover: adding or
+// removing one replica moves only ~1/N of the key space, so warm
+// replica-local state (page cache, scratch arenas) keeps paying off.
+//
+// Prefs returns the full preference order of a key — primary first,
+// then each distinct successor around the circle — which doubles as the
+// failover and hedging order: every driver walking the same ring makes
+// the same decisions, with no coordination.
+//
+// The hash is FNV-1a, chosen because it is stable across processes and
+// Go versions (unlike maphash): the router fleet can be restarted or
+// scaled and keys keep mapping to the same replicas.
+type Ring struct {
+	replicas []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into replicas
+}
+
+// DefaultVNodes is the virtual-node count per replica; 64 keeps the
+// max/mean load ratio within a few percent for small fleets.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over replicas (order-insensitive: the point set
+// depends only on the names). vnodes <= 0 selects DefaultVNodes.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{replicas: append([]string(nil), replicas...)}
+	r.points = make([]ringPoint, 0, len(replicas)*vnodes)
+	for i, name := range r.replicas {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(name + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on replica index so the order is fully deterministic
+		// even in the (unlikely) event of a hash collision.
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// Replicas returns the member names in construction order.
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Prefs appends the preference order of key to dst and returns it:
+// every replica exactly once, primary first. A nil dst allocates; a
+// reused dst[:0] makes the call allocation-free after warmup.
+func (r *Ring) Prefs(key string, dst []string) []string {
+	dst = dst[:0]
+	if len(r.points) == 0 {
+		return dst
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := 0
+	var mask uint64 // replica-index bitset; fleets are far below 64 replicas
+	for i := 0; i < len(r.points) && seen < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.idx < 64 {
+			if mask&(1<<uint(p.idx)) != 0 {
+				continue
+			}
+			mask |= 1 << uint(p.idx)
+		} else {
+			if containsStr(dst, r.replicas[p.idx]) {
+				continue
+			}
+		}
+		dst = append(dst, r.replicas[p.idx])
+		seen++
+	}
+	return dst
+}
+
+// Primary returns the first preference for key ("" on an empty ring).
+func (r *Ring) Primary(key string) string {
+	prefs := r.Prefs(key, make([]string, 0, 1))
+	if len(prefs) == 0 {
+		return ""
+	}
+	return prefs[0]
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fleetNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return out
+}
+
+func TestRingPrefsCoverAllReplicasOnce(t *testing.T) {
+	replicas := fleetNames(5)
+	r := NewRing(replicas, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("v1|w=matmul2d|n=%d", i)
+		prefs := r.Prefs(key, nil)
+		if len(prefs) != len(replicas) {
+			t.Fatalf("Prefs(%q) has %d entries, want %d", key, len(prefs), len(replicas))
+		}
+		seen := map[string]bool{}
+		for _, p := range prefs {
+			if seen[p] {
+				t.Fatalf("Prefs(%q) repeats %q: %v", key, p, prefs)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingOrderInsensitive pins cross-process stability: two routers
+// configured with the same replicas in different order (or restarted)
+// must agree on every placement, or failover determinism and cache
+// affinity fall apart.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 32)
+	b := NewRing([]string{"http://c", "http://a", "http://b"}, 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pa, pb := a.Prefs(key, nil), b.Prefs(key, nil)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("orderings disagree for %q: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// TestRingConsistency pins the ~1/N movement property: dropping one
+// replica must only remap keys that replica owned.
+func TestRingConsistency(t *testing.T) {
+	all := fleetNames(5)
+	full := NewRing(all, 0)
+	without := NewRing(all[:4], 0) // drop replica-4
+	moved, owned := 0, 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Primary(key)
+		after := without.Primary(key)
+		if before == all[4] {
+			owned++
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved that were not on the removed replica", moved)
+	}
+	if owned == 0 {
+		t.Errorf("removed replica owned no keys out of %d — distribution is broken", keys)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	replicas := fleetNames(4)
+	r := NewRing(replicas, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Primary(fmt.Sprintf("key-%d", i))]++
+	}
+	want := keys / len(replicas)
+	for _, rep := range replicas {
+		if c := counts[rep]; c < want/3 || c > want*3 {
+			t.Errorf("replica %s owns %d of %d keys (mean %d) — distribution badly skewed", rep, c, keys, want)
+		}
+	}
+}
+
+func TestRingFailoverOrderStableUnderPrimaryLoss(t *testing.T) {
+	r := NewRing(fleetNames(4), 0)
+	key := "v1|w=cholesky|n=16"
+	prefs := r.Prefs(key, nil)
+	// The failover target (prefs[1]) must equal the primary a ring
+	// without prefs[0] would choose: drivers and fresh routers agree.
+	survivors := make([]string, 0, 3)
+	for _, rep := range fleetNames(4) {
+		if rep != prefs[0] {
+			survivors = append(survivors, rep)
+		}
+	}
+	if got := NewRing(survivors, 0).Primary(key); got != prefs[1] {
+		t.Fatalf("failover disagreement: Prefs[1]=%s but shrunken ring primary=%s", prefs[1], got)
+	}
+}
+
+func TestRingEmptyAndReuse(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Prefs("k", nil); len(got) != 0 {
+		t.Fatalf("empty ring returned prefs %v", got)
+	}
+	if p := empty.Primary("k"); p != "" {
+		t.Fatalf("empty ring primary %q", p)
+	}
+	r := NewRing(fleetNames(3), 0)
+	buf := make([]string, 0, 3)
+	first := append([]string(nil), r.Prefs("a", buf)...)
+	second := r.Prefs("a", buf)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reused buffer changed the result: %v vs %v", first, second)
+		}
+	}
+}

@@ -31,6 +31,15 @@ const (
 	KindDrainReject                       // submission refused: draining (503)
 	KindInvalid                           // submission refused: admission control (400)
 	KindBreakerTrip                       // a (workload,strategy) breaker opened
+
+	// Fleet-layer kinds, recorded by the memrouter flight recorder.
+	KindRoute       // job dispatched to a replica (Note names it)
+	KindFailover    // job re-dispatched off a dead/draining replica
+	KindHedge       // straggler job hedged onto a second replica
+	KindHedgeWin    // a hedged dispatch finished first (Note names the winner)
+	KindCacheHit    // submission answered from the result cache
+	KindReplicaDown // health prober marked a replica down
+	KindReplicaUp   // health prober marked a replica back up
 )
 
 var spanKindNames = [...]string{
@@ -47,6 +56,13 @@ var spanKindNames = [...]string{
 	KindDrainReject:   "drain-reject",
 	KindInvalid:       "invalid",
 	KindBreakerTrip:   "breaker-trip",
+	KindRoute:         "route",
+	KindFailover:      "failover",
+	KindHedge:         "hedge",
+	KindHedgeWin:      "hedge-win",
+	KindCacheHit:      "cache-hit",
+	KindReplicaDown:   "replica-down",
+	KindReplicaUp:     "replica-up",
 }
 
 // String returns the JSONL wire name of the kind.
@@ -247,6 +263,17 @@ func NewTracer(spanCap, eventCap, sampleEvery int) *Tracer {
 // lifecycle spans should be recorded.
 func (t *Tracer) Begin() (trace uint64, sampled bool) {
 	trace = t.seq.Add(1)
+	return trace, t.sampleEvery > 0 && trace%t.sampleEvery == 0
+}
+
+// Adopt continues an externally-propagated trace (a router forwarding a
+// job to a replica sends its trace ID along, so the replica's spans and
+// log lines correlate with the router's). A zero external ID falls back
+// to Begin; adopted traces follow the same sampling rule.
+func (t *Tracer) Adopt(trace uint64) (uint64, bool) {
+	if trace == 0 {
+		return t.Begin()
+	}
 	return trace, t.sampleEvery > 0 && trace%t.sampleEvery == 0
 }
 

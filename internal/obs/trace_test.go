@@ -125,9 +125,12 @@ func TestWriteJSONL(t *testing.T) {
 }
 
 func TestSpanKindStrings(t *testing.T) {
-	for k := KindAdmit; k <= KindBreakerTrip; k++ {
+	for k := KindAdmit; k <= KindReplicaUp; k++ {
 		if s := k.String(); s == "unknown" || s == "" {
 			t.Fatalf("kind %d has no name", k)
+		}
+		if got := KindByName(k.String()); got != k {
+			t.Fatalf("KindByName(%q) = %d, want %d", k.String(), got, k)
 		}
 	}
 	if SpanKind(0).String() != "unknown" || SpanKind(200).String() != "unknown" {

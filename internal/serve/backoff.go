@@ -38,19 +38,20 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
-// backoff is the retry delay policy: exponential growth from Base,
-// capped at Max, with full jitter on the upper half (the delay for
-// attempt i is uniform in [d/2, d] where d = min(Base<<i, Max)). The
-// jitter decorrelates retry storms without ever shrinking the delay
-// below half the deterministic schedule.
-type backoff struct {
+// Backoff is the retry delay policy shared by the worker pool and the
+// fleet router: exponential growth from Base, capped at Max, with full
+// jitter on the upper half (the delay for attempt i is uniform in
+// [d/2, d] where d = min(Base<<i, Max)). The jitter decorrelates retry
+// storms without ever shrinking the delay below half the deterministic
+// schedule.
+type Backoff struct {
 	Base time.Duration
 	Max  time.Duration
 }
 
-// delay returns the wait before retry attempt (0-based: the delay after
-// the first failure is delay(0)).
-func (b backoff) delay(attempt int, rng *rand.Rand) time.Duration {
+// Delay returns the wait before retry attempt (0-based: the delay after
+// the first failure is Delay(0)).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	d := b.Base
 	// Shift with an overflow guard: 40 doublings overflow any sane Base.
 	for i := 0; i < attempt && i < 40 && d < b.Max; i++ {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBackoffDelayBounds(t *testing.T) {
-	b := backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
 	rng := rand.New(rand.NewSource(1))
 	for attempt := 0; attempt < 12; attempt++ {
 		want := b.Base << attempt
@@ -17,7 +17,7 @@ func TestBackoffDelayBounds(t *testing.T) {
 			want = b.Max
 		}
 		for i := 0; i < 200; i++ {
-			d := b.delay(attempt, rng)
+			d := b.Delay(attempt, rng)
 			if d < want/2 || d > want {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
 			}
@@ -26,10 +26,10 @@ func TestBackoffDelayBounds(t *testing.T) {
 }
 
 func TestBackoffHugeAttemptDoesNotOverflow(t *testing.T) {
-	b := backoff{Base: time.Second, Max: time.Minute}
+	b := Backoff{Base: time.Second, Max: time.Minute}
 	rng := rand.New(rand.NewSource(1))
 	for _, attempt := range []int{50, 500, 1 << 20} {
-		d := b.delay(attempt, rng)
+		d := b.Delay(attempt, rng)
 		if d < b.Max/2 || d > b.Max {
 			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, b.Max/2, b.Max)
 		}

@@ -5,17 +5,20 @@ import (
 	"time"
 )
 
-// breaker is a per-key circuit breaker. Keys are (workload, strategy)
-// pairs (JobRequest.Key): because the simulator is deterministic, a
-// combination that fails permanently will keep failing, so after
-// Threshold consecutive permanent failures the breaker opens and
-// submissions for that key are shed immediately (503 + Retry-After)
-// instead of burning queue slots and worker time.
+// Breaker is a per-key circuit breaker. Inside the server keys are
+// (workload, strategy) pairs (JobRequest.Key): because the simulator is
+// deterministic, a combination that fails permanently will keep
+// failing, so after Threshold consecutive permanent failures the
+// breaker opens and submissions for that key are shed immediately (503
+// + Retry-After) instead of burning queue slots and worker time. The
+// fleet router reuses the same machinery with replica base URLs as
+// keys: a replica that keeps refusing dispatches is taken out of the
+// rotation until a probe succeeds.
 //
 // After Cooldown the breaker goes half-open: the next submission is
 // admitted as a probe. A probe success closes the breaker; a probe
 // failure re-opens it for another full Cooldown.
-type breaker struct {
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time
@@ -32,8 +35,15 @@ type breakerState struct {
 	probing   bool      // a half-open probe is in flight
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
-	return &breaker{
+// NewBreaker builds a breaker that opens a key after threshold
+// consecutive failures and sheds it for cooldown before admitting a
+// probe. A non-positive threshold disables the breaker; a nil clock
+// uses time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{
 		threshold: threshold,
 		cooldown:  cooldown,
 		now:       now,
@@ -41,9 +51,9 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 	}
 }
 
-// allow reports whether a submission for key may be admitted; when it
+// Allow reports whether a submission for key may be admitted; when it
 // may not, retryAfter is the remaining cooldown.
-func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+func (b *Breaker) Allow(key string) (ok bool, retryAfter time.Duration) {
 	if b.threshold <= 0 {
 		return true, 0
 	}
@@ -65,8 +75,8 @@ func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
 	return true, 0
 }
 
-// onSuccess records a permanent success for key, closing its breaker.
-func (b *breaker) onSuccess(key string) {
+// OnSuccess records a permanent success for key, closing its breaker.
+func (b *Breaker) OnSuccess(key string) {
 	if b.threshold <= 0 {
 		return
 	}
@@ -77,11 +87,11 @@ func (b *breaker) onSuccess(key string) {
 	}
 }
 
-// onFailure records a permanent failure for key, tripping the breaker
+// OnFailure records a permanent failure for key, tripping the breaker
 // after threshold consecutive failures (or immediately when a half-open
 // probe fails). It reports whether this failure opened the breaker, so
 // the caller can record a breaker-trip event.
-func (b *breaker) onFailure(key string) (tripped bool) {
+func (b *Breaker) OnFailure(key string) (tripped bool) {
 	if b.threshold <= 0 {
 		return false
 	}
@@ -111,16 +121,16 @@ func (b *breaker) onFailure(key string) (tripped bool) {
 	return false
 }
 
-// tripCount returns the total number of times any key's breaker opened.
-func (b *breaker) tripCount() int64 {
+// TripCount returns the total number of times any key's breaker opened.
+func (b *Breaker) TripCount() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
 }
 
-// openKeys returns the keys whose breakers are currently open or
+// OpenKeys returns the keys whose breakers are currently open or
 // half-open, for the /metrics snapshot.
-func (b *breaker) openKeys() []string {
+func (b *Breaker) OpenKeys() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var keys []string

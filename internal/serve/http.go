@@ -13,6 +13,10 @@ import (
 	"memsched/internal/obs"
 )
 
+// TraceHeader carries a propagated trace ID on forwarded submissions
+// (router → replica). The value is the decimal uint64 trace ID.
+const TraceHeader = "X-Memsched-Trace"
+
 // Handler returns the HTTP API of the server:
 //
 //	POST   /jobs        submit a JobRequest; 202 + JobStatus, or 400 /
@@ -44,11 +48,16 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+		// The body carries queue depth, open breaker keys and the drain
+		// flag in both the 200 and the 503 so a health prober (the fleet
+		// router's, in particular) can tell "draining" from "dead" and
+		// watch saturation build.
+		st := s.Ready()
+		code := http.StatusOK
+		if st.Draining {
+			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, code, st)
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
@@ -126,7 +135,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	st, err := s.Submit(req)
+	// A router forwarding the job propagates its trace ID so the spans
+	// recorded here correlate with the router's flight recorder. A
+	// malformed header is ignored rather than rejected: tracing is
+	// observability, not admission control.
+	var extTrace uint64
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+			extTrace = v
+		}
+	}
+	st, err := s.SubmitTraced(req, extTrace)
 	if err != nil {
 		writeReject(w, err)
 		return

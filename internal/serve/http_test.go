@@ -243,3 +243,157 @@ func TestWriteRejectRoundsUp(t *testing.T) {
 		t.Fatalf("fallback status = %d", rec.Code)
 	}
 }
+
+func TestReadyzBodyShape(t *testing.T) {
+	// The 503 body must let a fleet health prober distinguish "draining"
+	// from "dead": queue depth, open breaker keys and the drain flag are
+	// present in both the ready and the draining form.
+	cfg := fastCfg()
+	cfg.BreakerThreshold = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return nil, fmt.Errorf("always fails")
+	}
+	s, ts := newHTTPServer(t, cfg)
+
+	getReady := func(wantCode int) ReadyStatus {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/readyz = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var rs ReadyStatus
+		if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+			t.Fatalf("decode /readyz body: %v", err)
+		}
+		return rs
+	}
+
+	rs := getReady(http.StatusOK)
+	if rs.Status != "ready" || rs.Draining || rs.QueueCap != 64 || rs.QueueDepth != 0 {
+		t.Fatalf("ready body = %+v", rs)
+	}
+	if len(rs.BreakersOpen) != 0 {
+		t.Fatalf("fresh server reports open breakers: %+v", rs)
+	}
+
+	// One permanent failure trips the threshold-1 breaker; the key shows
+	// up in the readiness body.
+	st := mustSubmit(t, s, validReq())
+	waitDone(t, s, st.ID)
+	rs = getReady(http.StatusOK)
+	if len(rs.BreakersOpen) != 1 || rs.BreakersOpen[0] != "matmul2d|DARTS+LUF" {
+		t.Fatalf("breakers_open = %+v, want [matmul2d|DARTS+LUF]", rs.BreakersOpen)
+	}
+
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	rs = getReady(http.StatusServiceUnavailable)
+	if rs.Status != "draining" || !rs.Draining {
+		t.Fatalf("draining body = %+v", rs)
+	}
+	if len(rs.BreakersOpen) != 1 {
+		t.Fatalf("draining body lost breaker state: %+v", rs)
+	}
+}
+
+func TestLongPollClientDisconnect(t *testing.T) {
+	// An abandoned ?wait=1 long-poll must release its handler as soon as
+	// the client goes away, not pin it until the job completes.
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return okResult(req), nil
+	}
+	s, ts := newHTTPServer(t, cfg)
+	defer close(release)
+
+	st := mustSubmit(t, s, validReq())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/jobs/"+st.ID+"?wait=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Let the long-poll park, then drop the client.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Fatalf("abandoned long-poll returned %v, want context canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned long-poll still blocked after cancel; handler pinned until job completion")
+	}
+
+	// The job is untouched by the disconnect and still completes.
+	if got, _ := s.Job(st.ID); got.State.Terminal() {
+		t.Fatalf("job reached %q before release; disconnect must not cancel it", got.State)
+	}
+}
+
+func TestSubmitTraceHeaderPropagation(t *testing.T) {
+	// A router forwarding a job sends its trace ID; the replica's job
+	// must adopt it so spans and logs correlate across both processes.
+	cfg := fastCfg()
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		return okResult(req), nil
+	}
+	s, ts := newHTTPServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs",
+		strings.NewReader(`{"workload":"matmul2d","n":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "12345678901")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp)
+	if st.Trace != 12345678901 {
+		t.Fatalf("job trace = %d, want the propagated 12345678901", st.Trace)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("traced job state = %q", final.State)
+	}
+	// The flight recorder filed the lifecycle under the adopted ID.
+	spans := s.tracer.JobSpans(st.ID)
+	if len(spans) == 0 || spans[0].Trace != 12345678901 {
+		t.Fatalf("spans not recorded under adopted trace: %+v", spans)
+	}
+
+	// A malformed header is ignored, not rejected.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs",
+		strings.NewReader(`{"workload":"matmul2d","n":2}`))
+	req2.Header.Set(TraceHeader, "not-a-number")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := decodeStatus(t, resp2)
+	if resp2.StatusCode != http.StatusAccepted || st2.Trace == 0 {
+		t.Fatalf("malformed trace header: status %d, trace %d", resp2.StatusCode, st2.Trace)
+	}
+}

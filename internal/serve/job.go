@@ -59,8 +59,10 @@ func (r *JobRequest) Key() string {
 	return r.Workload + "|" + r.Strategy
 }
 
-// normalize fills the documented defaults in place.
-func (r *JobRequest) normalize() {
+// Normalize fills the documented defaults in place. Submit applies it
+// automatically; the fleet layer calls it directly so canonical job
+// keys are computed on the same spec a replica would run.
+func (r *JobRequest) Normalize() {
 	if r.GPUs == 0 {
 		r.GPUs = 1
 	}
@@ -79,16 +81,23 @@ func (r *JobRequest) normalize() {
 // oversized instance, name an unknown workload or strategy, or carry an
 // invalid fault plan is rejected before it consumes a queue slot.
 func (r *JobRequest) validate(cfg Config) error {
+	return r.Validate(cfg.MaxN, cfg.MaxGPUs)
+}
+
+// Validate runs the admission checks against explicit bounds. The fleet
+// router shares it so an invalid job is a local 400, not a wasted
+// round-trip to a replica.
+func (r *JobRequest) Validate(maxN, maxGPUs int) error {
 	switch r.Workload {
 	case "matmul2d", "matmul2d-rand", "matmul3d", "cholesky", "sparse2d":
 	default:
 		return fmt.Errorf("unknown workload %q (matmul2d, matmul2d-rand, matmul3d, cholesky, sparse2d)", r.Workload)
 	}
-	if r.N < 1 || r.N > cfg.MaxN {
-		return fmt.Errorf("n %d out of range [1, %d]", r.N, cfg.MaxN)
+	if r.N < 1 || r.N > maxN {
+		return fmt.Errorf("n %d out of range [1, %d]", r.N, maxN)
 	}
-	if r.GPUs < 1 || r.GPUs > cfg.MaxGPUs {
-		return fmt.Errorf("gpus %d out of range [1, %d]", r.GPUs, cfg.MaxGPUs)
+	if r.GPUs < 1 || r.GPUs > maxGPUs {
+		return fmt.Errorf("gpus %d out of range [1, %d]", r.GPUs, maxGPUs)
 	}
 	if r.MemMB < 0 {
 		return fmt.Errorf("mem_mb %d negative", r.MemMB)

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -190,8 +191,8 @@ var ErrUnknownJob = errors.New("unknown job id")
 // with Drain.
 type Server struct {
 	cfg     Config
-	breaker *breaker
-	bo      backoff
+	breaker *Breaker
+	bo      Backoff
 
 	// Observability. The tracer and histograms are self-synchronized
 	// (rings and atomics) and are never touched under s.mu by exporters:
@@ -240,8 +241,8 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
-		bo:      backoff{Base: cfg.BaseBackoff, Max: cfg.MaxBackoff},
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		bo:      Backoff{Base: cfg.BaseBackoff, Max: cfg.MaxBackoff},
 		tracer:  obs.NewTracer(cfg.TraceSpanCap, cfg.TraceEventCap, cfg.TraceSample),
 		log:     cfg.Logger,
 		baseCtx: ctx,
@@ -269,11 +270,19 @@ func New(cfg Config) *Server {
 // is full, 503 when the job's circuit breaker is open or the server is
 // draining.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
-	req.normalize()
+	return s.SubmitTraced(req, 0)
+}
+
+// SubmitTraced is Submit continuing an externally-propagated trace ID
+// (the fleet router forwards its own, so a job's spans and log lines
+// correlate across router and replica). A zero extTrace allocates a
+// fresh ID, exactly like Submit.
+func (s *Server) SubmitTraced(req JobRequest, extTrace uint64) (JobStatus, error) {
+	req.Normalize()
 	// Every submission gets a trace ID — including rejected ones, whose
 	// rejection lands in the flight recorder's event ring. The key is
 	// computed once and shared by the breaker, the spans and the job.
-	trace, sampled := s.tracer.Begin()
+	trace, sampled := s.tracer.Adopt(extTrace)
 	key := req.Key()
 	now := s.now()
 	s.mu.Lock()
@@ -301,7 +310,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 			Reason:     fmt.Sprintf("queue full (%d jobs); retry later", s.cfg.QueueCap),
 		}
 	}
-	if ok, retryAfter := s.breaker.allow(key); !ok {
+	if ok, retryAfter := s.breaker.Allow(key); !ok {
 		s.ctrRejectedBreaker.Add(1)
 		s.reject(obs.KindBreakerReject, trace, key, now, "breaker open")
 		return JobStatus{}, &RejectError{
@@ -425,6 +434,42 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// ReadyStatus is the /readyz body. It carries enough state for a fleet
+// health prober to tell "draining" (alive, finishing in-flight work,
+// don't send new jobs) from "dead" (no response at all), and to see
+// saturation coming before the queue sheds.
+type ReadyStatus struct {
+	// Status is "ready" or "draining".
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// QueueDepth and QueueCap describe queue saturation.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// BreakersOpen lists the (workload|strategy) keys currently shed by
+	// an open or half-open circuit breaker.
+	BreakersOpen []string `json:"breakers_open,omitempty"`
+}
+
+// Ready assembles the readiness snapshot served by /readyz.
+func (s *Server) Ready() ReadyStatus {
+	s.mu.Lock()
+	depth := len(s.queue)
+	draining := s.draining
+	s.mu.Unlock()
+	st := ReadyStatus{
+		Status:       "ready",
+		Draining:     draining,
+		QueueDepth:   depth,
+		QueueCap:     s.cfg.QueueCap,
+		BreakersOpen: s.breaker.OpenKeys(),
+	}
+	sort.Strings(st.BreakersOpen)
+	if draining {
+		st.Status = "draining"
+	}
+	return st
+}
+
 // Drain gracefully shuts the server down: no new submissions are
 // accepted, jobs still queued are rejected with a drain error, retry
 // backoffs abort, and in-flight attempts run to completion. It returns
@@ -524,7 +569,7 @@ func (s *Server) runJob(j *job) {
 		}
 		s.ctrRetried.Add(1)
 		s.mu.Lock()
-		delay := s.bo.delay(attempt, s.rng)
+		delay := s.bo.Delay(attempt, s.rng)
 		s.mu.Unlock()
 		s.tracer.Event(obs.Span{
 			Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindRetry,
@@ -573,7 +618,7 @@ func (s *Server) runJob(j *job) {
 			res.Trace = nil
 		}
 		s.finishLocked(j, JobDone, jr, "")
-		s.breaker.onSuccess(j.key)
+		s.breaker.OnSuccess(j.key)
 	case j.cancelRequested || errors.Is(err, context.Canceled):
 		// Client cancellation (or drain-deadline cancellation): not a
 		// failure of the (workload, strategy) key, so the breaker is
@@ -581,7 +626,7 @@ func (s *Server) runJob(j *job) {
 		s.finishLocked(j, JobCanceled, nil, err.Error())
 	default:
 		s.finishLocked(j, JobFailed, nil, err.Error())
-		if s.breaker.onFailure(j.key) {
+		if s.breaker.OnFailure(j.key) {
 			now := s.now().UnixNano()
 			s.tracer.Event(obs.Span{
 				Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindBreakerTrip,
@@ -734,7 +779,7 @@ func (s *Server) Snapshot() Metrics {
 		RejectedFull:     s.ctrRejectedFull.Value(),
 		RejectedBreaker:  s.ctrRejectedBreaker.Value(),
 		RejectedDraining: s.ctrRejectedDraining.Value(),
-		BreakerTrips:     s.breaker.tripCount(),
-		BreakersOpen:     s.breaker.openKeys(),
+		BreakerTrips:     s.breaker.TripCount(),
+		BreakersOpen:     s.breaker.OpenKeys(),
 	}
 }

@@ -493,3 +493,42 @@ func TestWaitAndList(t *testing.T) {
 		t.Fatalf("Wait on done job with canceled ctx: %v", err)
 	}
 }
+
+func TestWaitCancelledContextReturnsPromptly(t *testing.T) {
+	// Wait must unblock the moment its context dies (the HTTP layer
+	// passes the request context, so a client disconnect lands here),
+	// returning the job's current, possibly non-terminal status.
+	release := make(chan struct{})
+	cfg := fastCfg()
+	cfg.Workers = 1
+	cfg.Runner = func(ctx context.Context, req JobRequest) (*sim.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return okResult(req), nil
+	}
+	s := newTestServer(t, cfg)
+	defer close(release)
+
+	st := mustSubmit(t, s, validReq())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already-dead context: Wait must not block at all
+	t0 := time.Now()
+	got, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatal("Wait blocked on a cancelled context")
+	}
+	if got.State.Terminal() {
+		t.Fatalf("job already terminal (%q); wanted the in-flight snapshot", got.State)
+	}
+
+	// An unknown id still reports ErrUnknownJob even with a dead context.
+	if _, err := s.Wait(ctx, "job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Wait(unknown) = %v, want ErrUnknownJob", err)
+	}
+}
