@@ -47,6 +47,7 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "spec-mix seed")
 		maxN        = flag.Int("max-n", 6, "generated workload size cap")
 		jobWait     = flag.Duration("job-wait", 2*time.Minute, "terminal-status wait bound per accepted job")
+		retryWindow = flag.Duration("retry-window", 2*time.Second, "keep retrying through transport errors this long before counting a job lost (covers a router restart)")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func run() int {
 		Seed:        *seed,
 		MaxN:        *maxN,
 		JobWait:     *jobWait,
+		RetryWindow: *retryWindow,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -9,19 +9,29 @@
 // Usage:
 //
 //	memrouter -addr 127.0.0.1:8090 -replicas http://h1:8080,http://h2:8080
+//	memrouter -journal /var/lib/memrouter/jobs.journal ...
 //	memrouter -version
 //
 // Endpoints mirror memschedd: POST/GET /jobs, GET /jobs/{id} (?wait=1
 // long-polls), DELETE /jobs/{id}, /healthz, /readyz, /metrics
 // (Prometheus text, or JSON with ?format=json), /debug/flight,
-// /debug/spans.jsonl — plus GET /replicas for the health table. On
-// SIGTERM or SIGINT the router drains: new submissions get 503,
-// in-flight jobs finish under -drain-timeout, then it exits 0 (1 if the
-// deadline forced cancellation).
+// /debug/spans.jsonl — plus GET /replicas for the health table,
+// POST /replicas to join a replica at runtime and DELETE /replicas to
+// drain one out. On SIGTERM or SIGINT the router drains: new
+// submissions get 503, in-flight jobs finish under -drain-timeout,
+// then it exits 0 (1 if the deadline forced cancellation).
 //
-// The "listening on" port-discovery line and the final drain summary
-// stay on stdout in both log formats — scripts and the chaos CI smoke
-// parse them, same contract as memschedd.
+// With -journal the router appends every job transition to an fsync'd
+// write-ahead journal before acknowledging it, and on startup replays
+// the journal: completed jobs are re-served byte-identically from
+// their recorded results, incomplete ones are re-dispatched (safe
+// because replica results are bit-deterministic). A kill -9 therefore
+// loses no accepted job.
+//
+// The "listening on" port-discovery line, the "journal recovered"
+// summary and the final drain summary stay on stdout in both log
+// formats — scripts and the chaos CI smoke parse them, same contract
+// as memschedd.
 package main
 
 import (
@@ -67,8 +77,10 @@ func run() int {
 		noCache      = flag.Bool("no-cache", false, "disable the content-addressed result cache")
 		maxN         = flag.Int("max-n", 300, "admission cap on workload size")
 		maxGPUs      = flag.Int("max-gpus", 8, "admission cap on GPU count")
-		healthEvery  = flag.Duration("health-interval", 250*time.Millisecond, "replica /readyz probe cadence")
+		healthEvery  = flag.Duration("health-interval", 250*time.Millisecond, "replica /readyz probe cadence (jittered ±20% to avoid probe synchronization)")
 		healthFails  = flag.Int("health-fail-threshold", 3, "consecutive probe/dispatch failures that mark a replica down")
+		journalPath  = flag.String("journal", "", "write-ahead job journal path; empty disables durability")
+		evictAfter   = flag.Duration("evict-after", 0, "auto-evict a replica continuously down this long (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -96,6 +108,15 @@ func run() int {
 			urls = append(urls, strings.TrimRight(u, "/"))
 		}
 	}
+	var journal *fleet.Journal
+	if *journalPath != "" {
+		journal, err = fleet.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memrouter: open journal: %v\n", err)
+			return 2
+		}
+		defer journal.Close()
+	}
 	r, err := fleet.New(fleet.Config{
 		Replicas:         urls,
 		VNodes:           *vnodes,
@@ -119,6 +140,8 @@ func run() int {
 			Interval:      *healthEvery,
 			FailThreshold: *healthFails,
 		},
+		Journal:       journal,
+		EvictAfter:    *evictAfter,
 		Logger:        logger,
 		TraceSample:   *traceSample,
 		TraceSpanCap:  *traceSpans,
@@ -139,6 +162,13 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("memrouter listening on http://%s\n", ln.Addr())
+	if journal != nil {
+		// Machine-readable recovery summary, same stdout contract as the
+		// "listening on" line: the chaos e2e and the CI smoke parse it.
+		rec := r.Recovery()
+		fmt.Printf("memrouter: journal recovered: %d complete, %d replayed, %d deduped (%s)\n",
+			rec.Complete, rec.Replayed, rec.Deduped, journal.Path())
+	}
 	logger.Info("memrouter started",
 		"addr", ln.Addr().String(),
 		"replicas", len(urls),

@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -80,5 +81,71 @@ func TestCacheReplaceAccountsBytes(t *testing.T) {
 	got, _ := c.Get("k")
 	if !bytes.Equal(got, bytes.Repeat([]byte{'b'}, 10)) {
 		t.Fatal("replace did not update the body")
+	}
+}
+
+// TestCacheConcurrentCountersExact hammers the cache with concurrent
+// Get/Put from many goroutines (run under -race) and asserts the
+// counters stay arithmetically exact, not just approximately sane:
+// every lookup is accounted as exactly one hit or miss, every insert
+// ends resident or evicted, and resident bytes equal entries times the
+// fixed body size.
+func TestCacheConcurrentCountersExact(t *testing.T) {
+	const (
+		workers       = 8
+		putsPerWorker = 500
+		getsPerWorker = 2000
+		maxEntries    = 64
+	)
+	body := bytes.Repeat([]byte{'r'}, 100)
+	c := NewCache(maxEntries, int64(maxEntries*len(body)))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker puts a disjoint key range, so globally every
+			// key is inserted exactly once and the replace path (which
+			// would complicate the eviction arithmetic) never runs.
+			for i := 0; i < putsPerWorker; i++ {
+				c.Put(fmt.Sprintf("w%d-k%d", w, i), body)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < getsPerWorker; i++ {
+				// Mix of keys that may be resident, evicted, or never
+				// inserted — every outcome must count once.
+				c.Get(fmt.Sprintf("w%d-k%d", (w+i)%workers, i%(putsPerWorker+100)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	totalPuts := int64(workers * putsPerWorker)
+	totalGets := int64(workers * getsPerWorker)
+	if st.Hits+st.Misses != totalGets {
+		t.Fatalf("hits %d + misses %d != gets %d", st.Hits, st.Misses, totalGets)
+	}
+	if int64(st.Entries)+st.Evictions != totalPuts {
+		t.Fatalf("entries %d + evictions %d != puts %d", st.Entries, st.Evictions, totalPuts)
+	}
+	if st.Entries != maxEntries {
+		t.Fatalf("entries = %d, want the cache full at %d", st.Entries, maxEntries)
+	}
+	if st.Bytes != int64(st.Entries*len(body)) {
+		t.Fatalf("bytes = %d, want entries*%d = %d", st.Bytes, len(body), st.Entries*len(body))
+	}
+	// Post-storm determinism: a fresh put+get must account exactly.
+	c.Put("final", body)
+	if _, ok := c.Get("final"); !ok {
+		t.Fatal("fresh insert not readable")
+	}
+	after := c.Stats()
+	if after.Hits != st.Hits+1 || int64(after.Entries)+after.Evictions != totalPuts+1 {
+		t.Fatalf("post-storm accounting drifted: %+v -> %+v", st, after)
 	}
 }

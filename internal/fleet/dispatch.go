@@ -67,6 +67,7 @@ func (r *Router) drive(j *rjob) {
 	}
 	j.cancel = cancel
 	prefs := r.ring.Prefs(j.key, nil)
+	prefCount := len(prefs)
 	r.mu.Unlock()
 
 	// active tracks in-flight dispatches (replica -> remote job id,
@@ -92,6 +93,13 @@ func (r *Router) drive(j *rjob) {
 			act[rep] = true
 		}
 		amu.Unlock()
+		// Recompute the preference order from the live ring so a
+		// membership change (join, leave, evict) between attempts is
+		// visible: a retry can land on a just-joined replica and never
+		// lands on a departed one.
+		r.mu.Lock()
+		prefs = r.ring.Prefs(j.key, prefs[:0])
+		r.mu.Unlock()
 		replica := r.eligibleReplica(prefs, act, excluded)
 		if replica == "" && len(excluded) > 0 {
 			// Every replica has been tried once this job; wrap around so
@@ -112,6 +120,7 @@ func (r *Router) drive(j *rjob) {
 		amu.Unlock()
 		r.mu.Lock()
 		r.ctrDispatches++
+		r.dispActive[replica]++
 		r.mu.Unlock()
 		onAccept := func(remote string) {
 			amu.Lock()
@@ -125,6 +134,9 @@ func (r *Router) drive(j *rjob) {
 				}
 			}
 			r.mu.Unlock()
+			if r.journal != nil {
+				r.journal.Dispatch(j.id, replica)
+			}
 		}
 		go r.runDispatch(ctx, j, replica, hedge, onAccept, results)
 		return true
@@ -147,7 +159,7 @@ func (r *Router) drive(j *rjob) {
 	}
 
 	var hedgeCh <-chan time.Time
-	if !r.cfg.DisableHedge && len(prefs) > 1 {
+	if !r.cfg.DisableHedge && prefCount > 1 {
 		ht := time.NewTimer(r.hedgeDelay())
 		defer ht.Stop()
 		hedgeCh = ht.C
@@ -275,7 +287,16 @@ func (r *Router) eligibleReplica(prefs []string, active, excluded map[string]boo
 func (r *Router) runDispatch(ctx context.Context, j *rjob, replica string, hedge bool,
 	onAccept func(remote string), results chan<- dispatchResult) {
 	res := dispatchResult{replica: replica, hedge: hedge}
-	defer func() { results <- res }()
+	defer func() {
+		// dispActive feeds drain-aware membership leave: a leaving
+		// replica is removed from the health view once this hits zero.
+		r.mu.Lock()
+		if r.dispActive[replica]--; r.dispActive[replica] <= 0 {
+			delete(r.dispActive, replica)
+		}
+		r.mu.Unlock()
+		results <- res
+	}()
 	start := r.now()
 
 	body, err := json.Marshal(j.req)

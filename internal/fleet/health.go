@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -54,6 +55,11 @@ type HealthConfig struct {
 	// kill -9 is usually detected by the first job that trips over it
 	// rather than by the probe cadence.
 	FailThreshold int
+	// Jitter spreads each probe delay uniformly over
+	// [Interval*(1-Jitter), Interval*(1+Jitter)] so N replicas aren't
+	// probed in synchronized bursts (default 0.2; clamped to [0, 0.5];
+	// negative disables jitter).
+	Jitter float64
 }
 
 func (c *HealthConfig) applyDefaults() {
@@ -66,6 +72,24 @@ func (c *HealthConfig) applyDefaults() {
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 3
 	}
+	switch {
+	case c.Jitter == 0:
+		c.Jitter = 0.2
+	case c.Jitter < 0:
+		c.Jitter = 0
+	case c.Jitter > 0.5:
+		c.Jitter = 0.5
+	}
+}
+
+// probeDelay returns one jittered probe interval: uniform over
+// [interval*(1-jitter), interval*(1+jitter)].
+func probeDelay(interval time.Duration, jitter float64, rng *rand.Rand) time.Duration {
+	if jitter <= 0 {
+		return interval
+	}
+	f := 1 - jitter + 2*jitter*rng.Float64()
+	return time.Duration(float64(interval) * f)
 }
 
 // ReplicaView is the observable health of one replica.
@@ -74,6 +98,9 @@ type ReplicaView struct {
 	State   ReplicaState `json:"-"`
 	// StateName is State rendered for JSON consumers.
 	StateName string `json:"state"`
+	// Leaving marks a replica in drain-aware departure: kept at
+	// draining until its in-flight dispatches finish, then removed.
+	Leaving bool `json:"leaving,omitempty"`
 	// ConsecutiveFails counts probe/dispatch failures since the last
 	// success.
 	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
@@ -84,29 +111,42 @@ type ReplicaView struct {
 	QueueCap   int `json:"queue_cap"`
 }
 
-// Health watches a fixed replica set with periodic /readyz probes.
+// Health watches a dynamic replica set with periodic /readyz probes.
 // Replicas start optimistically up; the prober demotes them. Start
-// launches one goroutine per replica, Stop joins them.
+// launches one goroutine per replica; Add/Remove grow and shrink the
+// set at runtime; Stop joins every loop.
 type Health struct {
 	cfg    HealthConfig
 	client *http.Client
 	// onChange fires outside the state lock on every transition (flight
 	// events, log lines, failover nudges hang off it).
 	onChange func(replica string, from, to ReplicaState, reason string)
+	// now is a test seam for eviction-age arithmetic.
+	now func() time.Time
 
 	mu       sync.Mutex
 	replicas map[string]*replicaHealth
+	started  bool
+	stopped  bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 type replicaHealth struct {
-	state      ReplicaState
-	fails      int
-	lastErr    string
+	state   ReplicaState
+	leaving bool
+	fails   int
+	lastErr string
+	// downSince is when the replica was last demoted to down; zero
+	// while reachable. Feeds auto-eviction.
+	downSince  time.Time
 	queueDepth int
 	queueCap   int
+	// stop ends this replica's probe loop when it is removed from the
+	// set; closed guards against a double Remove.
+	stop   chan struct{}
+	closed bool
 }
 
 // NewHealth builds the prober over the replica base URLs. client may be
@@ -121,11 +161,12 @@ func NewHealth(replicas []string, cfg HealthConfig, client *http.Client,
 		cfg:      cfg,
 		client:   client,
 		onChange: onChange,
+		now:      time.Now,
 		replicas: make(map[string]*replicaHealth, len(replicas)),
 		stop:     make(chan struct{}),
 	}
 	for _, r := range replicas {
-		h.replicas[r] = &replicaHealth{state: StateUp}
+		h.replicas[r] = &replicaHealth{state: StateUp, stop: make(chan struct{})}
 	}
 	return h
 }
@@ -133,31 +174,121 @@ func NewHealth(replicas []string, cfg HealthConfig, client *http.Client,
 // Start launches the probe loops.
 func (h *Health) Start() {
 	h.mu.Lock()
-	names := make([]string, 0, len(h.replicas))
-	for r := range h.replicas {
-		names = append(names, r)
+	h.started = true
+	type entry struct {
+		name string
+		stop chan struct{}
+	}
+	loops := make([]entry, 0, len(h.replicas))
+	for r, st := range h.replicas {
+		loops = append(loops, entry{r, st.stop})
 	}
 	h.mu.Unlock()
-	for _, r := range names {
+	for _, e := range loops {
 		h.wg.Add(1)
-		go func(replica string) {
-			defer h.wg.Done()
-			t := time.NewTicker(h.cfg.Interval)
-			defer t.Stop()
-			for {
-				h.probe(replica)
-				select {
-				case <-h.stop:
-					return
-				case <-t.C:
-				}
-			}
-		}(r)
+		go h.probeLoop(e.name, e.stop)
 	}
 }
 
-// Stop halts the probe loops and waits for them.
+// probeLoop probes one replica until its per-replica stop channel (a
+// Remove) or the global stop (a Stop) closes. Each delay is jittered so
+// replica probes drift apart instead of firing in lockstep.
+func (h *Health) probeLoop(replica string, stop chan struct{}) {
+	defer h.wg.Done()
+	rng := rand.New(rand.NewSource(int64(hash64(replica))))
+	for {
+		h.probe(replica)
+		t := time.NewTimer(probeDelay(h.cfg.Interval, h.cfg.Jitter, rng))
+		select {
+		case <-h.stop:
+			t.Stop()
+			return
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Add inserts a replica into the probed set (optimistically up) and, if
+// the prober is running, launches its probe loop. Returns false if the
+// replica is already a member.
+func (h *Health) Add(replica string) bool {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return false
+	}
+	if _, ok := h.replicas[replica]; ok {
+		h.mu.Unlock()
+		return false
+	}
+	st := &replicaHealth{state: StateUp, stop: make(chan struct{})}
+	h.replicas[replica] = st
+	launch := h.started
+	if launch {
+		h.wg.Add(1)
+	}
+	h.mu.Unlock()
+	if launch {
+		go h.probeLoop(replica, st.stop)
+	}
+	return true
+}
+
+// Remove deletes a replica from the probed set and stops its loop.
+// Returns false if the replica is not a member.
+func (h *Health) Remove(replica string) bool {
+	h.mu.Lock()
+	st, ok := h.replicas[replica]
+	if !ok {
+		h.mu.Unlock()
+		return false
+	}
+	delete(h.replicas, replica)
+	if !st.closed {
+		st.closed = true
+		close(st.stop)
+	}
+	h.mu.Unlock()
+	return true
+}
+
+// MarkLeaving flags a replica for drain-aware departure: its state
+// drops to draining (so no new dispatches route there) and successful
+// probes can no longer promote it back to up. Returns false for
+// unknown replicas.
+func (h *Health) MarkLeaving(replica string) bool {
+	h.mu.Lock()
+	st, ok := h.replicas[replica]
+	if !ok {
+		h.mu.Unlock()
+		return false
+	}
+	st.leaving = true
+	from := st.state
+	demote := from == StateUp
+	if demote {
+		st.state = StateDraining
+	}
+	h.mu.Unlock()
+	if demote && h.onChange != nil {
+		h.onChange(replica, from, StateDraining, "leaving")
+	}
+	return true
+}
+
+// Stop halts every probe loop and waits for them.
 func (h *Health) Stop() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	}
+	h.stopped = true
+	h.mu.Unlock()
 	close(h.stop)
 	h.wg.Wait()
 }
@@ -195,6 +326,8 @@ func (h *Health) probe(replica string) {
 }
 
 // reportUp records a successful probe with the observed target state.
+// A leaving replica is pinned at draining: reachability can't re-admit
+// it to the routable set mid-departure.
 func (h *Health) reportUp(replica string, to ReplicaState, ready serve.ReadyStatus) {
 	h.mu.Lock()
 	st, ok := h.replicas[replica]
@@ -202,10 +335,14 @@ func (h *Health) reportUp(replica string, to ReplicaState, ready serve.ReadyStat
 		h.mu.Unlock()
 		return
 	}
+	if st.leaving {
+		to = StateDraining
+	}
 	from := st.state
 	st.state = to
 	st.fails = 0
 	st.lastErr = ""
+	st.downSince = time.Time{}
 	st.queueDepth = ready.QueueDepth
 	st.queueCap = ready.QueueCap
 	h.mu.Unlock()
@@ -231,6 +368,7 @@ func (h *Health) ReportFailure(replica, reason string) {
 	demote := st.fails >= h.cfg.FailThreshold && from != StateDown
 	if demote {
 		st.state = StateDown
+		st.downSince = h.now()
 	}
 	h.mu.Unlock()
 	if demote && h.onChange != nil {
@@ -258,6 +396,7 @@ func (h *Health) Snapshot() []ReplicaView {
 			Replica:          r,
 			State:            st.state,
 			StateName:        st.state.String(),
+			Leaving:          st.leaving,
 			ConsecutiveFails: st.fails,
 			LastError:        st.lastErr,
 			QueueDepth:       st.queueDepth,
@@ -294,4 +433,27 @@ func (h *Health) UpCount() int {
 		}
 	}
 	return n
+}
+
+// Count returns the membership size (any state).
+func (h *Health) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.replicas)
+}
+
+// DownLongerThan returns the replicas that have been continuously down
+// for at least d, sorted by name. Feeds the router's auto-eviction.
+func (h *Health) DownLongerThan(d time.Duration) []string {
+	cutoff := h.now().Add(-d)
+	h.mu.Lock()
+	var out []string
+	for r, st := range h.replicas {
+		if st.state == StateDown && !st.downSince.IsZero() && !st.downSince.After(cutoff) {
+			out = append(out, r)
+		}
+	}
+	h.mu.Unlock()
+	sort.Strings(out)
+	return out
 }

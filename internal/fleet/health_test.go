@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -146,6 +147,144 @@ func TestHealthUnknownReplicaIsDown(t *testing.T) {
 	h.ReportFailure("http://typo", "x") // must not panic or create entries
 	if n := len(h.Snapshot()); n != 1 {
 		t.Fatalf("ReportFailure on unknown replica grew the set to %d", n)
+	}
+}
+
+// TestHealthProbeJitterBounds pins the jitter contract: every delay
+// drawn falls in [Interval*(1-Jitter), Interval*(1+Jitter)], the draws
+// actually spread (not all equal), and a zero-jitter config degrades to
+// the fixed interval. Deterministic: a seeded rng stands in for the
+// wall clock.
+func TestHealthProbeJitterBounds(t *testing.T) {
+	const interval = 250 * time.Millisecond
+	cfg := HealthConfig{Interval: interval}
+	cfg.applyDefaults()
+	if cfg.Jitter != 0.2 {
+		t.Fatalf("default jitter = %g, want 0.2", cfg.Jitter)
+	}
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := interval, interval
+	for i := 0; i < 10000; i++ {
+		d := probeDelay(interval, cfg.Jitter, rng)
+		if d < time.Duration(float64(interval)*0.8) || d > time.Duration(float64(interval)*1.2) {
+			t.Fatalf("draw %d: delay %v outside [%v, %v]", i, d,
+				time.Duration(float64(interval)*0.8), time.Duration(float64(interval)*1.2))
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	// The draws must cover most of the band, or the jitter isn't doing
+	// its de-synchronization job.
+	if lo > time.Duration(float64(interval)*0.81) || hi < time.Duration(float64(interval)*1.19) {
+		t.Fatalf("draws span only [%v, %v]; jitter not spreading", lo, hi)
+	}
+	if d := probeDelay(interval, 0, rng); d != interval {
+		t.Fatalf("zero jitter delay = %v, want %v", d, interval)
+	}
+	// Config clamping: negative disables, oversized clamps to 0.5.
+	neg := HealthConfig{Interval: interval, Jitter: -1}
+	neg.applyDefaults()
+	if neg.Jitter != 0 {
+		t.Fatalf("negative jitter = %g, want 0", neg.Jitter)
+	}
+	big := HealthConfig{Interval: interval, Jitter: 0.9}
+	big.applyDefaults()
+	if big.Jitter != 0.5 {
+		t.Fatalf("oversized jitter = %g, want 0.5", big.Jitter)
+	}
+}
+
+// TestHealthDynamicAddRemove pins runtime membership in the prober: an
+// added replica is probed and reaches a real state, a removed one's
+// loop stops and its state reads down, and a leaving replica is pinned
+// at draining even while its probes succeed.
+func TestHealthDynamicAddRemove(t *testing.T) {
+	fake := &fakeReadyz{mode: "ok"}
+	srv := httptest.NewServer(fake)
+	defer srv.Close()
+
+	h := NewHealth(nil, HealthConfig{
+		Interval: 10 * time.Millisecond, Timeout: time.Second, FailThreshold: 2,
+	}, nil, nil)
+	h.Start()
+	defer h.Stop()
+	if h.Count() != 0 {
+		t.Fatalf("initial count = %d", h.Count())
+	}
+
+	if !h.Add(srv.URL) {
+		t.Fatal("Add refused a new replica")
+	}
+	if h.Add(srv.URL) {
+		t.Fatal("Add accepted a duplicate")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count after add = %d", h.Count())
+	}
+	// The probe loop must have started: wait for a probe to fold in.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v := h.Snapshot(); len(v) == 1 && v[0].QueueCap == 64 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("added replica never probed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Leaving: pinned at draining despite successful probes.
+	if !h.MarkLeaving(srv.URL) {
+		t.Fatal("MarkLeaving refused a member")
+	}
+	waitState(t, h, srv.URL, StateDraining)
+	time.Sleep(50 * time.Millisecond) // several successful probes later...
+	if got := h.State(srv.URL); got != StateDraining {
+		t.Fatalf("leaving replica promoted back to %s", got)
+	}
+	if v := h.Snapshot()[0]; !v.Leaving {
+		t.Fatalf("leaving flag not visible: %+v", v)
+	}
+
+	if !h.Remove(srv.URL) {
+		t.Fatal("Remove refused a member")
+	}
+	if h.Remove(srv.URL) {
+		t.Fatal("Remove accepted an unknown replica")
+	}
+	if got := h.State(srv.URL); got != StateDown {
+		t.Fatalf("removed replica state = %s, want down", got)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("count after remove = %d", h.Count())
+	}
+}
+
+// TestHealthDownSince pins auto-eviction arithmetic: DownLongerThan
+// only reports replicas continuously down past the threshold, and a
+// recovery resets the clock.
+func TestHealthDownSince(t *testing.T) {
+	h := NewHealth([]string{"http://a", "http://b"}, HealthConfig{FailThreshold: 1}, nil, nil)
+	base := time.UnixMilli(0)
+	now := base
+	h.now = func() time.Time { return now }
+
+	h.ReportFailure("http://a", "connection refused")
+	if got := h.DownLongerThan(time.Minute); len(got) != 0 {
+		t.Fatalf("just-down replica already evictable: %v", got)
+	}
+	now = base.Add(2 * time.Minute)
+	if got := h.DownLongerThan(time.Minute); len(got) != 1 || got[0] != "http://a" {
+		t.Fatalf("DownLongerThan = %v, want [http://a]", got)
+	}
+	// Recovery clears the down clock.
+	h.reportUp("http://a", StateUp, serve.ReadyStatus{})
+	if got := h.DownLongerThan(time.Minute); len(got) != 0 {
+		t.Fatalf("recovered replica still evictable: %v", got)
 	}
 }
 

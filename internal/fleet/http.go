@@ -23,6 +23,9 @@ import (
 //	GET    /jobs/{id}   poll one job; ?wait=1 long-polls until terminal
 //	DELETE /jobs/{id}   cancel a routed job (and its replica-side jobs)
 //	GET    /replicas    health view of every replica
+//	POST   /replicas    join a replica: {"replica":"http://host:port"}
+//	DELETE /replicas?replica=URL[&force=1]
+//	                    leave a replica (drain-aware unless force=1)
 //	GET    /healthz     liveness
 //	GET    /readyz      readiness; 503 + JSON body once draining
 //	GET    /metrics     Prometheus text exposition (0.0.4); JSON with
@@ -40,6 +43,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /replicas", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.Replicas())
 	})
+	mux.HandleFunc("POST /replicas", r.handleReplicaJoin)
+	mux.HandleFunc("DELETE /replicas", r.handleReplicaLeave)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -106,6 +111,45 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (r *Router) handleReplicaJoin(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Replica string `json:"replica"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if err := r.AddReplica(body.Replica); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Replicas())
+}
+
+func (r *Router) handleReplicaLeave(w http.ResponseWriter, req *http.Request) {
+	replica := req.URL.Query().Get("replica")
+	if replica == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing replica query parameter"})
+		return
+	}
+	force := false
+	switch v := req.URL.Query().Get("force"); v {
+	case "", "0", "false":
+	case "1", "true":
+		force = true
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad force value %q", v)})
+		return
+	}
+	if err := r.RemoveReplica(replica, force); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Replicas())
 }
 
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {

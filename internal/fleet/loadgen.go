@@ -42,6 +42,11 @@ type LoadgenConfig struct {
 	// JobWait bounds the terminal-status wait per accepted job (default
 	// 2m); a job still pending past it counts as lost.
 	JobWait time.Duration
+	// RetryWindow is how long follow keeps retrying through continuous
+	// transport errors before declaring a job lost (default 2s). A window
+	// long enough to cover a router restart lets clients ride out a crash
+	// and pick their jobs back up from the recovered journal.
+	RetryWindow time.Duration
 	// Client overrides the HTTP client (nil builds one).
 	Client *http.Client
 }
@@ -61,6 +66,9 @@ func (c *LoadgenConfig) applyDefaults() {
 	}
 	if c.JobWait <= 0 {
 		c.JobWait = 2 * time.Minute
+	}
+	if c.RetryWindow <= 0 {
+		c.RetryWindow = 2 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -322,10 +330,19 @@ func (l *Loadgen) submit(ctx context.Context, spec serve.JobRequest) (lgStatus, 
 }
 
 // follow long-polls the job until it is terminal; false means the wait
-// bound expired or the target became unreachable — a lost job from the
-// client's point of view.
+// bound expired or the target stayed unreachable past RetryWindow — a
+// lost job from the client's point of view. Errors are tolerated by
+// wall clock, not by count: a router restarting with its journal is
+// unreachable for whole seconds, and a consecutive-error counter at a
+// 100ms retry cadence would give up long before it comes back.
 func (l *Loadgen) follow(ctx context.Context, id string) (lgStatus, bool) {
-	consecutiveErrs := 0
+	var errSince time.Time // zero while the target is answering
+	fail := func() bool {
+		if errSince.IsZero() {
+			errSince = time.Now()
+		}
+		return time.Since(errSince) >= l.cfg.RetryWindow
+	}
 	for {
 		if ctx.Err() != nil {
 			return lgStatus{}, false
@@ -342,8 +359,7 @@ func (l *Loadgen) follow(ctx context.Context, id string) (lgStatus, bool) {
 			if pctx.Err() != nil && ctx.Err() == nil {
 				continue // benign long-poll timeout
 			}
-			consecutiveErrs++
-			if consecutiveErrs >= 5 {
+			if fail() {
 				return lgStatus{}, false
 			}
 			time.Sleep(100 * time.Millisecond)
@@ -355,14 +371,13 @@ func (l *Loadgen) follow(ctx context.Context, id string) (lgStatus, bool) {
 		resp.Body.Close()
 		cancel()
 		if decErr != nil || resp.StatusCode != http.StatusOK {
-			consecutiveErrs++
-			if consecutiveErrs >= 5 {
+			if fail() {
 				return lgStatus{}, false
 			}
 			time.Sleep(100 * time.Millisecond)
 			continue
 		}
-		consecutiveErrs = 0
+		errSince = time.Time{}
 		if st.State.Terminal() {
 			return st, true
 		}

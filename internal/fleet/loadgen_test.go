@@ -3,8 +3,10 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -77,6 +79,59 @@ func TestLoadgenClosedLoopAgainstRouter(t *testing.T) {
 	// The report must be JSON-encodable (NaN/Inf quantiles would not be).
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatalf("report does not marshal: %v", err)
+	}
+}
+
+// TestLoadgenFollowRidesOutOutage pins the crash-tolerance contract of
+// the follower: transport errors are forgiven by wall clock
+// (RetryWindow), not by count, so a target that goes dark for less
+// than the window — a restarting router — does not cost the client its
+// job; one dark for longer does.
+func TestLoadgenFollowRidesOutOutage(t *testing.T) {
+	var mu sync.Mutex
+	polls := 0
+	failPolls := 6 // ~600ms of outage at the 100ms retry cadence
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"rjob-000001","state":"queued"}`))
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		polls++
+		n := polls
+		mu.Unlock()
+		if n <= failPolls {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"rjob-000001","state":"done"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	lg := NewLoadgen(LoadgenConfig{
+		Target: srv.URL, Jobs: 1, Concurrency: 1, RepeatEvery: 0,
+		JobWait: 15 * time.Second, RetryWindow: 5 * time.Second,
+	})
+	rep := lg.Run(context.Background())
+	if rep.Lost != 0 || rep.Done != 1 {
+		t.Fatalf("outage shorter than the window lost the job: %+v", rep)
+	}
+
+	// An outage outlasting the window gives up: the job counts lost.
+	mu.Lock()
+	polls, failPolls = 0, 1<<30
+	mu.Unlock()
+	lg = NewLoadgen(LoadgenConfig{
+		Target: srv.URL, Jobs: 1, Concurrency: 1, RepeatEvery: 0,
+		JobWait: 15 * time.Second, RetryWindow: 300 * time.Millisecond,
+	})
+	rep = lg.Run(context.Background())
+	if rep.Lost != 1 {
+		t.Fatalf("endless outage not declared lost: %+v", rep)
 	}
 }
 

@@ -41,6 +41,19 @@ type Metrics struct {
 	BreakersOpen []string      `json:"breakers_open,omitempty"`
 	BreakerTrips int64         `json:"breaker_trips"`
 
+	// Membership change counters (dynamic join/leave/auto-evict).
+	MembershipJoins  int64 `json:"membership_joins"`
+	MembershipLeaves int64 `json:"membership_leaves"`
+	MembershipEvicts int64 `json:"membership_evicts"`
+
+	// Journal is the write-ahead journal view; nil when running without
+	// one. JournalErrors counts failed appends (accept failures reject
+	// the submission; complete failures only cost a replay).
+	Journal       *JournalStats `json:"journal,omitempty"`
+	JournalErrors int64         `json:"journal_errors,omitempty"`
+	// Recovery summarizes the journal replay at startup.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+
 	Draining      bool    `json:"draining"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -64,10 +77,22 @@ func (r *Router) Snapshot() Metrics {
 		HedgesStarted:      r.ctrHedges,
 		HedgeWins:          r.ctrHedgeWins,
 		CacheServed:        r.ctrCacheServed,
+		MembershipJoins:    r.ctrJoins,
+		MembershipLeaves:   r.ctrLeaves,
+		MembershipEvicts:   r.ctrEvicts,
+		JournalErrors:      r.ctrJournalErrs,
 		Draining:           r.draining,
 		UptimeSeconds:      r.now().Sub(r.started).Seconds(),
 	}
+	if r.recStats != (RecoveryStats{}) {
+		rec := r.recStats
+		m.Recovery = &rec
+	}
 	r.mu.Unlock()
+	if r.journal != nil {
+		js := r.journal.Stats()
+		m.Journal = &js
+	}
 	m.Cache = r.CacheStats()
 	m.Replicas = r.health.Snapshot()
 	m.BreakersOpen = r.breaker.OpenKeys()
@@ -113,6 +138,26 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 	counter("breaker_trips_total", "Replica dispatch-breaker openings.", m.BreakerTrips)
 	counter("trace_spans_total", "Lifecycle spans recorded into the flight-recorder ring.", int64(spanTotal))
 	counter("trace_events_total", "Service events (failover/hedge/shed/cache/replica) recorded.", int64(eventTotal))
+
+	p.Meta(promPrefix+"membership_changes_total", "counter", "Replica membership changes, by operation.")
+	for _, mm := range []struct {
+		op string
+		v  int64
+	}{
+		{"join", m.MembershipJoins},
+		{"leave", m.MembershipLeaves},
+		{"evict", m.MembershipEvicts},
+	} {
+		p.Sample(promPrefix+"membership_changes_total", []obs.Label{{Name: "op", Value: mm.op}}, float64(mm.v))
+	}
+	if m.Journal != nil {
+		counter("journal_records_total", "Write-ahead journal records appended by this process.", m.Journal.Records)
+		counter("journal_errors_total", "Write-ahead journal append failures.", m.JournalErrors)
+	}
+	if m.Recovery != nil {
+		counter("journal_recovered_complete_total", "Completed jobs re-registered from the journal at startup.", int64(m.Recovery.Complete))
+		counter("journal_replayed_total", "Incomplete jobs re-dispatched from the journal at startup.", int64(m.Recovery.Replayed))
+	}
 
 	p.Meta(promPrefix+"rejected_total", "counter", "Submissions refused by the router, by reason.")
 	for _, rr := range []struct {

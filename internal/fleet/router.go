@@ -18,8 +18,9 @@ import (
 // Config tunes a Router. The zero value of every field selects the
 // documented default; only Replicas is required.
 type Config struct {
-	// Replicas are the memschedd base URLs ("http://host:port"). The set
-	// is fixed for the router's lifetime.
+	// Replicas are the memschedd base URLs ("http://host:port") of the
+	// initial membership; AddReplica/RemoveReplica change the set at
+	// runtime.
 	Replicas []string
 	// VNodes is the consistent-hash virtual-node count per replica
 	// (default DefaultVNodes).
@@ -77,6 +78,16 @@ type Config struct {
 
 	// Health tunes the replica prober.
 	Health HealthConfig
+
+	// Journal is the write-ahead job journal (nil runs without
+	// durability). The router journals accept before acknowledging a
+	// submission and complete on every terminal transition; a journal
+	// opened over a previous run's file replays its incomplete jobs.
+	Journal *Journal
+	// EvictAfter auto-removes a replica from the membership once it has
+	// been continuously down this long (0 disables auto-eviction). The
+	// last member is never evicted.
+	EvictAfter time.Duration
 
 	// HTTPClient overrides the dispatch client (nil builds one without a
 	// global timeout — per-request contexts bound everything, and a
@@ -180,6 +191,8 @@ type Router struct {
 	sojourn     obs.Histogram
 	dispatchDur obs.Histogram
 
+	journal *Journal
+
 	mu       sync.Mutex
 	jobs     map[string]*rjob
 	order    []string
@@ -188,6 +201,14 @@ type Router struct {
 	draining bool
 	started  time.Time
 	rng      *rand.Rand
+	// dispActive counts in-flight dispatches per replica; drain-aware
+	// membership leave waits for a replica's count to reach zero.
+	dispActive map[string]int
+	// Recovered jobs staged by New for Start to launch: one driver per
+	// unique canonical key, followers adopt their leader's outcome.
+	recLeaders   []*rjob
+	recFollowers []recFollower
+	recStats     RecoveryStats
 
 	// Counters, guarded by mu.
 	ctrSubmitted, ctrDone, ctrFailed, ctrCanceled               int64
@@ -195,8 +216,29 @@ type Router struct {
 	ctrDispatches, ctrDispatchErrs, ctrFailovers                int64
 	ctrHedges, ctrHedgeWins                                     int64
 	ctrCacheServed                                              int64
+	ctrJoins, ctrLeaves, ctrEvicts                              int64
+	ctrJournalErrs                                              int64
 
-	wg sync.WaitGroup // job drivers
+	wg        sync.WaitGroup // job drivers
+	janitorWg sync.WaitGroup // auto-evict loop
+}
+
+// recFollower pairs a recovered job with the leader whose outcome it
+// adopts (both share one canonical key, so one re-execution serves all).
+type recFollower struct {
+	j      *rjob
+	leader *rjob
+}
+
+// RecoveryStats summarizes a journal-backed startup.
+type RecoveryStats struct {
+	// Complete jobs were re-registered terminal from journaled results.
+	Complete int `json:"complete"`
+	// Replayed jobs had no terminal record and were re-dispatched.
+	Replayed int `json:"replayed"`
+	// Deduped counts replayed jobs that shared a canonical key with an
+	// earlier one and rode its driver instead of dispatching again.
+	Deduped int `json:"deduped"`
 }
 
 // rjob is the router-side job record; mutable fields are guarded by
@@ -305,27 +347,153 @@ func New(cfg Config) (*Router, error) {
 		client = &http.Client{}
 	}
 	r := &Router{
-		cfg:     cfg,
-		ring:    NewRing(cfg.Replicas, cfg.VNodes),
-		breaker: serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
-		bo:      serve.Backoff{Base: cfg.BaseBackoff, Max: cfg.MaxBackoff},
-		tracer:  obs.NewTracer(cfg.TraceSpanCap, cfg.TraceEventCap, cfg.TraceSample),
-		log:     log,
-		client:  client,
-		jobs:    make(map[string]*rjob),
-		started: cfg.now(),
-		rng:     rand.New(rand.NewSource(cfg.now().UnixNano())),
+		cfg:        cfg,
+		ring:       NewRing(cfg.Replicas, cfg.VNodes),
+		breaker:    serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		bo:         serve.Backoff{Base: cfg.BaseBackoff, Max: cfg.MaxBackoff},
+		tracer:     obs.NewTracer(cfg.TraceSpanCap, cfg.TraceEventCap, cfg.TraceSample),
+		log:        log,
+		client:     client,
+		journal:    cfg.Journal,
+		jobs:       make(map[string]*rjob),
+		dispActive: make(map[string]int),
+		started:    cfg.now(),
+		rng:        rand.New(rand.NewSource(cfg.now().UnixNano())),
 	}
 	if !cfg.DisableCache {
 		r.cache = NewCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	r.baseCtx, r.baseCancel = context.WithCancel(context.Background())
 	r.health = NewHealth(cfg.Replicas, cfg.Health, nil, r.onReplicaChange)
+	if r.journal != nil {
+		r.loadJournal()
+	}
 	return r, nil
 }
 
-// Start launches the health prober.
-func (r *Router) Start() { r.health.Start() }
+// loadJournal folds a pre-existing journal into the job table:
+// completed jobs become terminal records (done results also seed the
+// cache), incomplete ones are staged for replay — one driver per unique
+// canonical key, every other job with that key becomes a follower of it
+// (the "dedupe by job ID + canonical key" half of recovery).
+func (r *Router) loadJournal() {
+	complete, incomplete := r.journal.Recovered()
+	var maxSeq int64
+	noteSeq := func(id string) {
+		var n int64
+		if _, err := fmt.Sscanf(id, "rjob-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	for _, c := range complete {
+		noteSeq(c.ID)
+		j := &rjob{
+			id: c.ID, req: c.Req, key: c.Key, trace: c.Trace,
+			state: c.State, errMsg: c.Error, result: c.Result,
+			submitted: time.UnixMilli(c.SubmittedMS),
+			finished:  time.UnixMilli(c.FinishedMS),
+			done:      make(chan struct{}),
+		}
+		close(j.done)
+		r.jobs[j.id] = j
+		r.order = append(r.order, j.id)
+		if c.State == serve.JobDone && r.cache != nil && len(c.Result) > 0 {
+			r.cache.Put(j.key, c.Result)
+		}
+	}
+	leaders := make(map[string]*rjob)
+	for _, inc := range incomplete {
+		noteSeq(inc.ID)
+		j := &rjob{
+			id: inc.ID, req: inc.Req, key: inc.Key, trace: inc.Trace,
+			state:     serve.JobQueued,
+			submitted: time.UnixMilli(inc.SubmittedMS),
+			done:      make(chan struct{}),
+		}
+		r.jobs[j.id] = j
+		r.order = append(r.order, j.id)
+		r.inflight++
+		if lead, ok := leaders[j.key]; ok {
+			r.recFollowers = append(r.recFollowers, recFollower{j: j, leader: lead})
+			r.recStats.Deduped++
+		} else {
+			leaders[j.key] = j
+			r.recLeaders = append(r.recLeaders, j)
+		}
+	}
+	// IDs are zero-padded, so lexicographic order restores accept order
+	// across the complete/incomplete split.
+	sort.Strings(r.order)
+	if r.seq < maxSeq {
+		r.seq = maxSeq
+	}
+	r.recStats.Complete = len(complete)
+	r.recStats.Replayed = len(incomplete)
+}
+
+// Start launches the health prober, the auto-evict janitor, and the
+// drivers of any jobs recovered from the journal.
+func (r *Router) Start() {
+	r.health.Start()
+	if r.cfg.EvictAfter > 0 {
+		r.janitorWg.Add(1)
+		go r.evictLoop()
+	}
+	r.mu.Lock()
+	leaders, followers := r.recLeaders, r.recFollowers
+	r.recLeaders, r.recFollowers = nil, nil
+	for range leaders {
+		r.wg.Add(1)
+	}
+	for range followers {
+		r.wg.Add(1)
+	}
+	r.mu.Unlock()
+	now := r.now().UnixNano()
+	for _, j := range leaders {
+		r.tracer.Event(obs.Span{
+			Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindRecover,
+			Start: now, End: now, Note: "replayed from journal",
+		})
+		r.log.Info("replaying journaled job", obs.TraceAttr(j.trace), "job", j.id, "key", j.key)
+		go r.drive(j)
+	}
+	for _, f := range followers {
+		r.tracer.Event(obs.Span{
+			Trace: f.j.trace, Job: f.j.id, Key: f.j.key, Kind: obs.KindRecover,
+			Start: now, End: now, Note: "replayed from journal (following " + f.leader.id + ")",
+		})
+		go r.runFollower(f.j, f.leader)
+	}
+}
+
+// runFollower completes a recovered job by adopting its leader's
+// outcome: both share one canonical key, so determinism makes the
+// leader's bytes this job's bytes.
+func (r *Router) runFollower(j, leader *rjob) {
+	defer r.wg.Done()
+	select {
+	case <-leader.done:
+	case <-r.baseCtx.Done():
+		r.finish(j, serve.JobCanceled, nil, "router shutting down")
+		return
+	}
+	r.mu.Lock()
+	state, result, errMsg := leader.state, leader.result, leader.errMsg
+	if !j.state.Terminal() {
+		j.replica, j.remote = leader.replica, leader.remote
+	}
+	r.mu.Unlock()
+	r.finish(j, state, result, errMsg)
+}
+
+// Recovery reports what the journal replay reconstructed (zero without
+// a journal).
+func (r *Router) Recovery() RecoveryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recStats
+}
 
 // onReplicaChange turns prober transitions into flight events and logs.
 func (r *Router) onReplicaChange(replica string, from, to ReplicaState, reason string) {
@@ -400,6 +568,11 @@ func (r *Router) SubmitTraced(req serve.JobRequest, extTrace uint64) (JobStatus,
 			r.ctrCacheServed++
 			st := j.status()
 			r.mu.Unlock()
+			// Journal the hit as accept+complete so the job ID stays
+			// unique across restarts and the result survives in the
+			// journal-backed cache.
+			r.journalAccept(j)
+			r.journalComplete(j)
 			r.tracer.Event(obs.Span{
 				Trace: trace, Job: j.id, Key: key, Kind: obs.KindCacheHit,
 				Start: now.UnixNano(), End: now.UnixNano(),
@@ -430,9 +603,54 @@ func (r *Router) SubmitTraced(req serve.JobRequest, extTrace uint64) (JobStatus,
 	r.wg.Add(1)
 	r.mu.Unlock()
 
+	// Write-ahead: the accept record is durable before the client sees
+	// the acknowledgment. If the journal can't make that promise, refuse
+	// the job rather than hold it in memory only.
+	if err := r.journalAccept(j); err != nil {
+		r.finish(j, serve.JobFailed, nil, "journal write failed: "+err.Error())
+		r.wg.Done()
+		return JobStatus{}, &serve.RejectError{
+			Status: 503, RetryAfter: time.Second,
+			Reason: "journal write failed: " + err.Error(),
+		}
+	}
+
 	go r.drive(j)
 	r.log.Debug("job routed", obs.TraceAttr(trace), "job", j.id, "key", key)
 	return st, nil
+}
+
+// journalAccept appends the job's write-ahead accept record.
+func (r *Router) journalAccept(j *rjob) error {
+	if r.journal == nil {
+		return nil
+	}
+	err := r.journal.Accept(j.id, j.key, j.trace, j.req, j.submitted)
+	if err != nil {
+		r.mu.Lock()
+		r.ctrJournalErrs++
+		r.mu.Unlock()
+		r.log.Error("journal accept failed", "job", j.id, "err", err)
+	}
+	return err
+}
+
+// journalComplete appends the job's terminal record. Failure here is
+// logged, not fatal: an unrecorded complete only costs a re-execution
+// on recovery, which determinism makes safe.
+func (r *Router) journalComplete(j *rjob) {
+	if r.journal == nil {
+		return
+	}
+	r.mu.Lock()
+	state, result, errMsg, finished := j.state, j.result, j.errMsg, j.finished
+	r.mu.Unlock()
+	if err := r.journal.Complete(j.id, state, result, errMsg, finished); err != nil {
+		r.mu.Lock()
+		r.ctrJournalErrs++
+		r.mu.Unlock()
+		r.log.Error("journal complete failed", "job", j.id, "err", err)
+	}
 }
 
 // newJobLocked allocates and registers a job record. Caller holds r.mu.
@@ -505,20 +723,21 @@ func (r *Router) Cancel(id string) (JobStatus, error) {
 		return JobStatus{}, serve.ErrUnknownJob
 	}
 	var cancel context.CancelFunc
+	finishNow := false
 	if !j.state.Terminal() {
 		j.cancelRequested = true
 		cancel = j.cancel
-		if cancel == nil {
-			// Driver not started yet: finish directly.
-			r.finishLocked(j, serve.JobCanceled, nil, "canceled by client")
-		}
+		// Driver not started yet: finish directly (through finish, not
+		// finishLocked, so the journal records the terminal transition).
+		finishNow = cancel == nil
 	}
-	st := j.status()
 	r.mu.Unlock()
-	if cancel != nil {
+	if finishNow {
+		r.finish(j, serve.JobCanceled, nil, "canceled by client")
+	} else if cancel != nil {
 		cancel()
 	}
-	return st, nil
+	return r.Job(id)
 }
 
 // ReadyStatus is the router's /readyz body.
@@ -546,8 +765,10 @@ func (r *Router) Ready() ReadyStatus {
 	if st.Draining {
 		st.Status = "draining"
 	}
+	// Live membership, not the startup slice: join/leave/evict change
+	// the set at runtime.
 	st.ReplicasUp = r.health.UpCount()
-	st.Replicas = len(r.cfg.Replicas)
+	st.Replicas = r.health.Count()
 	st.BreakersOpen = r.breaker.OpenKeys()
 	sort.Strings(st.BreakersOpen)
 	return st
@@ -605,8 +826,20 @@ func (r *Router) Close() {
 func (r *Router) shutdown() {
 	r.stopOnce.Do(func() {
 		r.baseCancel()
+		r.janitorWg.Wait()
 		r.health.Stop()
 	})
+}
+
+// Members returns the current ring membership, sorted.
+func (r *Router) Members() []string {
+	r.mu.Lock()
+	members := r.ring.Replicas()
+	out := make([]string, len(members))
+	copy(out, members)
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // finishLocked moves a job to a terminal state. Caller holds r.mu.
@@ -648,6 +881,7 @@ func (r *Router) finish(j *rjob, state serve.JobState, result json.RawMessage, e
 	if state == serve.JobDone && r.cache != nil && len(result) > 0 {
 		r.cache.Put(j.key, result)
 	}
+	r.journalComplete(j)
 	if j.sampled {
 		r.tracer.Span(obs.Span{
 			Trace: j.trace, Job: j.id, Key: j.key, Kind: obs.KindRoute,

@@ -37,9 +37,12 @@ const (
 	KindFailover    // job re-dispatched off a dead/draining replica
 	KindHedge       // straggler job hedged onto a second replica
 	KindHedgeWin    // a hedged dispatch finished first (Note names the winner)
-	KindCacheHit    // submission answered from the result cache
-	KindReplicaDown // health prober marked a replica down
-	KindReplicaUp   // health prober marked a replica back up
+	KindCacheHit     // submission answered from the result cache
+	KindReplicaDown  // health prober marked a replica down
+	KindReplicaUp    // health prober marked a replica back up
+	KindReplicaJoin  // replica joined the fleet membership
+	KindReplicaLeave // replica left the membership (drain, force, or auto-evict)
+	KindRecover      // job replayed from the write-ahead journal after a restart
 )
 
 var spanKindNames = [...]string{
@@ -63,6 +66,9 @@ var spanKindNames = [...]string{
 	KindCacheHit:      "cache-hit",
 	KindReplicaDown:   "replica-down",
 	KindReplicaUp:     "replica-up",
+	KindReplicaJoin:   "replica-join",
+	KindReplicaLeave:  "replica-leave",
+	KindRecover:       "recover",
 }
 
 // String returns the JSONL wire name of the kind.

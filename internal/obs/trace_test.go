@@ -125,7 +125,7 @@ func TestWriteJSONL(t *testing.T) {
 }
 
 func TestSpanKindStrings(t *testing.T) {
-	for k := KindAdmit; k <= KindReplicaUp; k++ {
+	for k := KindAdmit; k <= KindRecover; k++ {
 		if s := k.String(); s == "unknown" || s == "" {
 			t.Fatalf("kind %d has no name", k)
 		}
